@@ -1,0 +1,28 @@
+# Convenience targets for the GNN-DSE reproduction.
+
+PY ?= python
+
+.PHONY: install test bench bench-fast examples clean
+
+install:
+	$(PY) setup.py develop
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+# Smoke-scale benchmark run (~minutes): tiny database + training budgets.
+bench-fast:
+	REPRO_SCALE=0.1 REPRO_EPOCHS=6 REPRO_TABLE2_EPOCHS=4 \
+	REPRO_FIG7_ROUNDS=2 REPRO_FIG7_EPOCHS=2 REPRO_ABLATION_EPOCHS=2 \
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PY) examples/quickstart.py
+	$(PY) examples/explore_design_space.py
+
+clean:
+	rm -rf .repro_cache .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,90 @@
+"""Ablations beyond the paper (DESIGN.md §5).
+
+1. **Edge features** — TransformerConv with vs without the W3·e_ij
+   term of Eq. 8.  The paper motivates TransformerConv precisely by its
+   edge-feature support (flow/position attributes carry information).
+2. **JKN mode** — max-pooling over layers (Eq. 9) vs last-layer-only.
+
+Both train the main regression model for a short budget on identical
+splits and compare test RMSE totals.
+"""
+
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.graph.encoding import EDGE_DIM, NODE_DIM
+from repro.model import (
+    MODEL_CONFIGS,
+    REGRESSION_OBJECTIVES,
+    GraphDatasetBuilder,
+    TrainConfig,
+    Trainer,
+    build_model,
+    evaluate_regression,
+    train_test_split,
+)
+
+_EPOCHS = int(os.environ.get("REPRO_ABLATION_EPOCHS", "8"))
+
+
+@pytest.fixture(scope="module")
+def splits(ctx):
+    builder = GraphDatasetBuilder(ctx.database())
+    samples = builder.build(valid_only=True)
+    train, test = train_test_split(samples, 0.2, seed=ctx.seed)
+    return train, test
+
+
+def _train_and_score(config, train, test, seed):
+    model = build_model(config, NODE_DIM, EDGE_DIM, seed=seed)
+    Trainer(TrainConfig(epochs=_EPOCHS, seed=seed)).fit(model, train)
+    metrics = evaluate_regression(model, test)
+    return sum(metrics.values()), metrics
+
+
+def test_ablation_edge_features(benchmark, ctx, splits):
+    train, test = splits
+    base = MODEL_CONFIGS["M6"].for_task("regression", REGRESSION_OBJECTIVES)
+
+    def run():
+        with_edges, m1 = _train_and_score(base, train, test, ctx.seed)
+        without, m2 = _train_and_score(
+            replace(base, use_edge_attr=False), train, test, ctx.seed
+        )
+        return with_edges, without, m1, m2
+
+    with_edges, without, m1, m2 = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nedge-feature ablation (RMSE total, lower=better): "
+          f"with={with_edges:.4f} without={without:.4f}")
+    print(f"  with:    { {k: round(v, 4) for k, v in m1.items()} }")
+    print(f"  without: { {k: round(v, 4) for k, v in m2.items()} }")
+    # This is a *reporting* benchmark: at the short default budget the
+    # comparison is noisy (the variant with more parameters converges
+    # slower), so only sanity is asserted; raise REPRO_ABLATION_EPOCHS
+    # to ~20+ for a converged comparison.
+    import numpy as np
+
+    assert np.isfinite(with_edges) and np.isfinite(without)
+    assert 0 < with_edges < 50 and 0 < without < 50
+
+
+def test_ablation_jkn_mode(benchmark, ctx, splits):
+    train, test = splits
+    base = MODEL_CONFIGS["M6"].for_task("regression", REGRESSION_OBJECTIVES)
+
+    def run():
+        jkn_max, m1 = _train_and_score(base, train, test, ctx.seed)
+        last_only, m2 = _train_and_score(
+            replace(base, use_jkn=False), train, test, ctx.seed
+        )
+        return jkn_max, last_only, m1, m2
+
+    jkn_max, last_only, m1, m2 = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nJKN ablation (RMSE total): max-JKN={jkn_max:.4f} last-layer={last_only:.4f}")
+    # Reporting benchmark (see the edge-feature ablation note above).
+    import numpy as np
+
+    assert np.isfinite(jkn_max) and np.isfinite(last_only)
+    assert 0 < jkn_max < 50 and 0 < last_only < 50

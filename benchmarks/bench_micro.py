@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the pipeline stages.
+
+These quantify the claim structure of the paper: graph construction and
+pragma-fill are cheap (done once per kernel / per design point), model
+inference is milliseconds, and even our *simulated* HLS evaluator —
+standing in for the minutes-to-hours real tool — runs fast enough to
+generate thousands-of-designs databases.
+"""
+
+import random
+
+import pytest
+
+from repro.designspace import build_design_space
+from repro.frontend.pragmas import PipelineOption
+from repro.graph import encode_kernel
+from repro.hls import MerlinHLSTool
+from repro.kernels import get_kernel
+
+
+@pytest.fixture(scope="module")
+def gemm():
+    return get_kernel("gemm-ncubed")
+
+
+def test_frontend_to_graph_encoding(benchmark):
+    """Full front-end → IR → ProGraML graph → features, one kernel."""
+
+    def pipeline():
+        spec = get_kernel("gemm-ncubed")
+        spec.invalidate()
+        return encode_kernel(spec)
+
+    enc = benchmark(pipeline)
+    assert enc.num_nodes > 50
+
+
+def test_pragma_fill(benchmark, gemm):
+    """Per-design-point feature refresh (hot loop of dataset building)."""
+    enc = encode_kernel(gemm)
+    point = {"__PIPE__L0": PipelineOption.COARSE, "__PARA__L1": 8, "__TILE__L0": 2}
+    x = benchmark(enc.fill, point)
+    assert x.shape == enc.x_base.shape
+
+
+def test_hls_synthesize(benchmark, gemm):
+    """One simulated Merlin+HLS evaluation (uncached)."""
+    space = build_design_space(gemm)
+    rng = random.Random(0)
+    points = space.sample(rng, 512)
+    counter = {"i": 0}
+
+    def synth():
+        tool = MerlinHLSTool(cache=False)
+        counter["i"] = (counter["i"] + 1) % len(points)
+        return tool.synthesize(gemm, points[counter["i"]])
+
+    result = benchmark(synth)
+    assert result.latency > 0
+
+
+def test_design_space_enumeration(benchmark):
+    """Pruned enumeration of a mid-size space (atax, ~4.5k points)."""
+    spec = get_kernel("atax")
+    space = build_design_space(spec)
+
+    count = benchmark(lambda: sum(1 for _ in space.enumerate()))
+    assert count > 1000

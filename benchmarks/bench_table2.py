@@ -1,0 +1,45 @@
+"""Table 2: model comparison M1–M7.
+
+Trains all seven model variants (each = validity classifier + main
+regressor + BRAM regressor) on the shared database and reports
+per-objective RMSE, total, accuracy, and F1 on the held-out 20% split.
+
+Reproduced shape (see EXPERIMENTS.md for the honest deltas): all seven
+variants train to non-trivial accuracy; the full model (M7) posts the
+best validity classification of the family; at the short default budget
+the regression ordering between variants is noise-dominated (our
+simulated tool is more pragma-regular than Vitis, making M1 a stronger
+baseline than in the paper), while larger budgets put M7 ahead — the
+20-epoch probe recorded in EXPERIMENTS.md has M7 beating M1 on total
+RMSE with decisively better classification.
+"""
+
+import os
+
+from repro.experiments import format_table2, run_table2
+
+_EPOCHS = int(os.environ.get("REPRO_TABLE2_EPOCHS", "10"))
+
+
+def test_table2_model_comparison(benchmark, ctx):
+    rows = benchmark.pedantic(
+        lambda: run_table2(ctx, epochs=_EPOCHS), rounds=1, iterations=1
+    )
+    print()
+    print(format_table2(rows))
+    metrics = {r.model: r.metrics for r in rows}
+    # Robust facts at any budget: every variant trains to better-than-
+    # chance validity classification with finite losses...
+    for model, m in metrics.items():
+        assert m["all"] < 10.0, model
+        assert m["accuracy"] > 0.55, model
+        assert m["f1"] > 0.3, model
+    # ...and the full model posts the best classification accuracy of
+    # the family (its decisive edge in our reproduction).
+    best_acc = max(m["accuracy"] for m in metrics.values())
+    assert metrics["M7"]["accuracy"] >= best_acc - 0.02
+    # The GNN family is competitive with the MLP baselines on total
+    # RMSE (ordering beyond this is budget/noise-dominated; see
+    # EXPERIMENTS.md for the larger-budget comparison).
+    gnn_best = min(metrics[m]["all"] for m in ("M3", "M4", "M5", "M6", "M7"))
+    assert gnn_best < min(metrics["M1"]["all"], metrics["M2"]["all"]) * 1.25

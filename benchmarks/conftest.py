@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark suite.
+
+The heavyweight artifacts (database, trained predictor) are cached on
+disk by :class:`repro.experiments.ExperimentContext`, so repeated
+benchmark runs only pay for them once.  Tune with REPRO_SCALE /
+REPRO_EPOCHS (see ``repro/experiments/context.py``).
+"""
+
+import pytest
+
+from repro.experiments import ExperimentContext, default_context
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return default_context()
+
+
+@pytest.fixture(scope="session")
+def predictor(ctx):
+    """The cached M7 predictor stack (trained on first use)."""
+    return ctx.predictor("M7")

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Train the GNN surrogate (model M7) on a freshly-generated database.
+
+A scaled-down version of the paper's training flow (Sections 4.1–4.3):
+generate a design database with the three explorers, train the validity
+classifier + regression models, and sanity-check predictions against
+the (simulated) HLS tool on designs the model never saw.
+
+Takes a few minutes.  Run:  python examples/train_surrogate.py
+"""
+
+import random
+import time
+
+from repro.designspace import build_design_space
+from repro.explorer import generate_database
+from repro.hls import MerlinHLSTool
+from repro.kernels import get_kernel
+from repro.model import TrainConfig, train_predictor
+
+SCALE = 0.2  # fraction of the Table 1 database targets
+EPOCHS = 12
+
+
+def main() -> None:
+    print(f"generating database (scale={SCALE}) ...")
+    tool = MerlinHLSTool()
+    database = generate_database(scale=SCALE, seed=0, tool=tool)
+    stats = database.stats()
+    print(f"  {stats['total']} designs, {stats['valid']} valid\n")
+
+    print(f"training M7 predictor stack ({EPOCHS} epochs) ...")
+    start = time.time()
+    predictor, metrics = train_predictor(
+        database,
+        config_name="M7",
+        train_config=TrainConfig(epochs=EPOCHS, seed=0),
+        return_metrics=True,
+    )
+    print(f"  trained in {time.time() - start:.0f}s")
+    print("  test metrics (RMSE on normalised targets; Table 2 format):")
+    for key in ("latency", "DSP", "LUT", "FF", "BRAM", "all", "accuracy", "f1"):
+        print(f"    {key:9s} {metrics[key]:.4f}")
+
+    print("\nspot-check: model prediction vs simulated HLS on unseen points")
+    spec = get_kernel("gemm-ncubed")
+    space = build_design_space(spec)
+    rng = random.Random(123)
+    points = [p for p in space.sample(rng, 12) if not database.has(spec.name, p)][:5]
+    predictions = predictor.predict_batch(spec.name, points)
+    print(f"{'point':>3s} {'pred valid':>10s} {'pred latency':>13s} "
+          f"{'true latency':>13s} {'true valid':>10s}")
+    for i, (point, pred) in enumerate(zip(points, predictions)):
+        truth = tool.synthesize(spec, point)
+        print(
+            f"{i:3d} {pred.valid_prob:10.2f} {pred.latency:13,.0f} "
+            f"{truth.latency:13,} {str(truth.valid):>10s}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setuptools shim: enables legacy editable installs (`pip install -e .`)
+in offline environments that lack the `wheel` package required by the
+PEP 660 editable-install path."""
+
+from setuptools import setup
+
+setup()

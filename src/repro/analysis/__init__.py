@@ -1,0 +1,15 @@
+"""Embedding and attention analysis (Figs. 5 and 6 of the paper)."""
+
+from .attention import AttentionReport, NodeAttention, attention_report
+from .plotting import ascii_bars, ascii_scatter
+from .tsne import neighborhood_coherence, tsne
+
+__all__ = [
+    "AttentionReport",
+    "NodeAttention",
+    "attention_report",
+    "ascii_bars",
+    "ascii_scatter",
+    "neighborhood_coherence",
+    "tsne",
+]

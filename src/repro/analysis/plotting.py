@@ -1,0 +1,99 @@
+"""Terminal (ASCII) plotting for the paper's figures.
+
+The offline environment has no matplotlib, so the figure experiments
+render directly into the terminal: scatter plots for the t-SNE
+embeddings of Fig. 6 (with a latency-quantile glyph per point) and bar
+charts for the per-round speedups of Fig. 7.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_scatter", "ascii_bars"]
+
+#: Glyphs from low to high value (latency quantiles in Fig. 6).
+_GLYPHS = ".:-=+*#%@"
+
+
+def ascii_scatter(
+    points: np.ndarray,
+    values: Optional[np.ndarray] = None,
+    width: int = 68,
+    height: int = 22,
+    title: str = "",
+) -> str:
+    """Render 2-D ``points`` as an ASCII scatter plot.
+
+    ``values`` (optional) colour-codes each point by its quantile using
+    the glyph ramp ``. : - = + * # % @`` (low to high).  Overlapping
+    points keep the highest-quantile glyph, making hot spots visible.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("ascii_scatter expects an (N, 2) array")
+    n = points.shape[0]
+    if values is None:
+        ranks = np.zeros(n, dtype=int)
+    else:
+        values = np.asarray(values, dtype=np.float64)
+        order = np.argsort(np.argsort(values))
+        ranks = (order * (len(_GLYPHS) - 1) // max(n - 1, 1)).astype(int)
+
+    x, y = points[:, 0], points[:, 1]
+    x_min, x_max = float(x.min()), float(x.max())
+    y_min, y_max = float(y.min()), float(y.max())
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    level = [[-1] * width for _ in range(height)]
+    for xi, yi, rank in zip(x, y, ranks):
+        col = int((xi - x_min) / x_span * (width - 1))
+        row = int((1.0 - (yi - y_min) / y_span) * (height - 1))
+        if rank > level[row][col]:
+            grid[row][col] = _GLYPHS[rank]
+            level[row][col] = rank
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    border = "+" + "-" * width + "+"
+    lines.append(border)
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append(border)
+    if values is not None:
+        lines.append(f"glyphs: '{_GLYPHS[0]}' = lowest value ... '{_GLYPHS[-1]}' = highest")
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    series: Dict[str, Sequence[float]],
+    width: int = 40,
+    reference: float = 1.0,
+    title: str = "",
+) -> str:
+    """Render grouped horizontal bars (one row per label per series entry).
+
+    ``series`` maps a label (e.g. kernel name) to its per-round values.
+    A ``|`` marks the ``reference`` line (speedup = 1.0 in Fig. 7).
+    """
+    flat = [v for values in series.values() for v in values]
+    top = max(max(flat, default=1.0), reference) or 1.0
+    scale = width / (top * 1.05)  # headroom so the reference mark stays inside
+    ref_col = min(int(reference * scale), width - 1)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, values in series.items():
+        for index, value in enumerate(values):
+            bar_len = max(int(value * scale), 0)
+            bar = "#" * bar_len + " " * (width - bar_len)
+            if 0 <= ref_col < width:
+                marker = "|" if bar_len <= ref_col else "+"
+                bar = bar[:ref_col] + marker + bar[ref_col + 1:]
+            name = label if index == 0 else ""
+            lines.append(f"{name:14s} r{index + 1} [{bar}] {value:5.2f}")
+    lines.append(f"{'':14s}    {'':1s}{' ' * ref_col}^ reference = {reference:g}")
+    return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""t-SNE (van der Maaten & Hinton, 2008) in numpy, for Fig. 6.
+
+A standard reference implementation: binary-search per-point
+perplexity calibration, symmetrised affinities, early exaggeration, and
+momentum gradient descent on the Student-t low-dimensional affinities.
+Scoped to the few-thousand-point embedding sets of the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["tsne", "neighborhood_coherence"]
+
+
+def _pairwise_sq_dists(x: np.ndarray) -> np.ndarray:
+    sums = np.sum(np.square(x), axis=1)
+    d2 = sums[:, None] + sums[None, :] - 2.0 * (x @ x.T)
+    np.fill_diagonal(d2, 0.0)
+    return np.maximum(d2, 0.0)
+
+
+def _calibrate_affinities(d2: np.ndarray, perplexity: float, tol: float = 1e-5) -> np.ndarray:
+    """Per-row precision search so each row's entropy matches perplexity."""
+    n = d2.shape[0]
+    target = np.log(perplexity)
+    p = np.zeros((n, n))
+    for i in range(n):
+        beta, beta_min, beta_max = 1.0, -np.inf, np.inf
+        row = np.delete(d2[i], i)
+        for _ in range(50):
+            exps = np.exp(-row * beta)
+            total = exps.sum()
+            if total <= 0:
+                h, probs = 0.0, np.zeros_like(row)
+            else:
+                probs = exps / total
+                h = float(np.log(total) + beta * np.sum(row * probs))
+            diff = h - target
+            if abs(diff) < tol:
+                break
+            if diff > 0:
+                beta_min = beta
+                beta = beta * 2.0 if beta_max == np.inf else (beta + beta_max) / 2.0
+            else:
+                beta_max = beta
+                beta = beta / 2.0 if beta_min == -np.inf else (beta + beta_min) / 2.0
+        p[i, np.arange(n) != i] = probs
+    return p
+
+
+def tsne(
+    x: np.ndarray,
+    dims: int = 2,
+    perplexity: float = 30.0,
+    iterations: int = 350,
+    learning_rate: float = 200.0,
+    seed: int = 0,
+    verbose: bool = False,
+) -> np.ndarray:
+    """Embed (N, F) data into (N, dims) with t-SNE."""
+    x = np.asarray(x, dtype=np.float64)
+    n = x.shape[0]
+    if n <= dims:
+        return np.zeros((n, dims))
+    perplexity = min(perplexity, max((n - 1) / 3.0, 2.0))
+    p = _calibrate_affinities(_pairwise_sq_dists(x), perplexity)
+    p = (p + p.T) / (2.0 * n)
+    p = np.maximum(p, 1e-12)
+
+    rng = np.random.default_rng(seed)
+    y = rng.normal(scale=1e-4, size=(n, dims))
+    velocity = np.zeros_like(y)
+    gains = np.ones_like(y)
+    exaggeration_until = 100
+    p_run = p * 4.0
+
+    for it in range(iterations):
+        if it == exaggeration_until:
+            p_run = p
+        d2 = _pairwise_sq_dists(y)
+        inv = 1.0 / (1.0 + d2)
+        np.fill_diagonal(inv, 0.0)
+        q = np.maximum(inv / inv.sum(), 1e-12)
+        pq = (p_run - q) * inv
+        grad = 4.0 * ((np.diag(pq.sum(axis=1)) - pq) @ y)
+        momentum = 0.5 if it < 20 else 0.8
+        sign_match = np.sign(grad) == np.sign(velocity)
+        gains = np.where(sign_match, gains * 0.8, gains + 0.2)
+        gains = np.maximum(gains, 0.01)
+        velocity = momentum * velocity - learning_rate * gains * grad
+        y = y + velocity
+        y = y - y.mean(axis=0)
+        if verbose and (it + 1) % 100 == 0:
+            kl = float(np.sum(p_run * np.log(p_run / q)))
+            print(f"  t-SNE iter {it + 1}: KL={kl:.3f}")
+    return y
+
+
+def neighborhood_coherence(
+    embedding: np.ndarray, values: np.ndarray, k: int = 10
+) -> float:
+    """How well an embedding clusters points with similar values.
+
+    For each point, takes its ``k`` nearest neighbours in the embedding
+    and measures the mean absolute difference of ``values`` inside the
+    neighbourhood, normalised by the global mean absolute difference.
+    Lower is better; ~1.0 means no structure.  Used to quantify Fig. 6's
+    claim that learned embeddings cluster designs by latency.
+    """
+    embedding = np.asarray(embedding, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    n = embedding.shape[0]
+    if n < k + 1:
+        return 1.0
+    d2 = _pairwise_sq_dists(embedding)
+    np.fill_diagonal(d2, np.inf)
+    local = 0.0
+    for i in range(n):
+        neighbors = np.argpartition(d2[i], k)[:k]
+        local += float(np.mean(np.abs(values[neighbors] - values[i])))
+    local /= n
+    centered = np.abs(values[:, None] - values[None, :])
+    global_mean = float(centered[~np.eye(n, dtype=bool)].mean())
+    if global_mean == 0.0:
+        return 1.0
+    return local / global_mean

@@ -1,0 +1,304 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the three operating modes of Fig. 1(a) plus utilities:
+
+- ``kernels``     — list registered kernels and their design spaces;
+- ``synthesize``  — run the simulated Merlin+HLS flow on one design point;
+- ``database``    — generate a training database with the explorers;
+- ``train``       — train a predictor stack on a database;
+- ``dse``         — model-driven DSE on a kernel (requires a trained
+  predictor cached by ``train``);
+- ``autodse``     — run the HLS-in-the-loop bottleneck explorer;
+- ``experiment``  — regenerate one paper table/figure.
+
+Examples::
+
+    python -m repro kernels
+    python -m repro synthesize -k gemm-ncubed -s __PARA__L2=8 -s __PIPE__L2=cg
+    python -m repro database -o db.json --scale 0.2
+    python -m repro train -d db.json -o predictor.npz --epochs 12
+    python -m repro dse -k gesummv -d db.json -p predictor.npz
+    python -m repro experiment table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from .designspace import build_design_space
+from .errors import ReproError
+from .frontend.pragmas import PipelineOption
+from .hls import MerlinHLSTool
+from .kernels import TRAINING_KERNELS, UNSEEN_KERNELS, get_kernel, list_kernels
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_setting(text: str):
+    """Parse one ``NAME=value`` pragma setting from the command line."""
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(f"expected NAME=value, got {text!r}")
+    name, raw = text.split("=", 1)
+    if raw in ("off", "cg", "fg"):
+        return name, PipelineOption(raw)
+    try:
+        return name, int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad pragma value {raw!r}") from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GNN-DSE reproduction (DAC 2022) command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("kernels", help="list registered kernels")
+    p.add_argument("--sizes", action="store_true", help="compute design-space sizes")
+
+    p = sub.add_parser("synthesize", help="evaluate one design point with the HLS simulator")
+    p.add_argument("-k", "--kernel", required=True)
+    p.add_argument(
+        "-s", "--set", dest="settings", action="append", type=_parse_setting,
+        default=[], metavar="NAME=VALUE", help="pragma setting (repeatable)",
+    )
+    p.add_argument("--json", action="store_true", help="emit JSON")
+
+    p = sub.add_parser("database", help="generate a training database")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--scale", type=float, default=0.3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--kernels", nargs="*", default=None)
+
+    p = sub.add_parser("train", help="train a predictor stack on a database")
+    p.add_argument("-d", "--database", required=True)
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--model", default="M7", help="model config (M1-M7)")
+    p.add_argument("--epochs", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("dse", help="model-driven DSE on one kernel")
+    p.add_argument("-k", "--kernel", required=True)
+    p.add_argument("-d", "--database", required=True, help="database the predictor was trained on")
+    p.add_argument("-p", "--predictor", required=True, help="weights saved by `train`")
+    p.add_argument("--model", default="M7")
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--time-limit", type=float, default=300.0)
+    p.add_argument("--evaluate", action="store_true", help="synthesize the top designs")
+    p.add_argument(
+        "--emit-source", metavar="FILE",
+        help="write the best design as concrete pragma-annotated C",
+    )
+
+    p = sub.add_parser("coverage", help="database coverage report for one kernel")
+    p.add_argument("-k", "--kernel", required=True)
+    p.add_argument("-d", "--database", required=True)
+
+    p = sub.add_parser("autodse", help="HLS-in-the-loop bottleneck explorer")
+    p.add_argument("-k", "--kernel", required=True)
+    p.add_argument("--max-evals", type=int, default=100)
+    p.add_argument("--max-hours", type=float, default=None, help="simulated tool-hours budget")
+
+    p = sub.add_parser("experiment", help="regenerate one paper table/figure")
+    p.add_argument(
+        "name",
+        choices=["table1", "table2", "table3", "fig5", "fig6", "fig7", "speed"],
+    )
+    return parser
+
+
+# -- command implementations -------------------------------------------------
+
+
+def _cmd_kernels(args) -> int:
+    print(f"{'kernel':14s} {'suite':10s} {'split':8s} {'#pragmas':>8s}"
+          + (f" {'#configs':>14s}" if args.sizes else ""))
+    for name in list_kernels():
+        spec = get_kernel(name)
+        split = "unseen" if spec.unseen else "train"
+        line = f"{name:14s} {spec.suite:10s} {split:8s} {len(spec.pragmas):8d}"
+        if args.sizes:
+            line += f" {build_design_space(spec).size():14,d}"
+        print(line)
+    return 0
+
+
+def _cmd_synthesize(args) -> int:
+    spec = get_kernel(args.kernel)
+    space = build_design_space(spec)
+    point = space.default_point()
+    point.update(dict(args.settings))
+    space.validate(point)
+    result = MerlinHLSTool().synthesize(spec, point)
+    if args.json:
+        print(json.dumps({
+            "kernel": result.kernel,
+            "valid": result.valid,
+            "invalid_reason": result.invalid_reason,
+            "latency": result.latency,
+            "utilization": result.utilization,
+            "synth_seconds": result.synth_seconds,
+        }, indent=1))
+        return 0
+    status = "valid" if result.valid else f"INVALID: {result.invalid_reason}"
+    print(f"{result.kernel}: {status}")
+    print(f"  latency        {result.latency:,} cycles")
+    for res, value in result.utilization.items():
+        print(f"  {res:14s} {value:.3f}")
+    print(f"  synth time     {result.synth_seconds / 60:.1f} min (modeled)")
+    return 0
+
+
+def _cmd_database(args) -> int:
+    from .explorer import generate_database
+
+    database = generate_database(kernels=args.kernels, scale=args.scale, seed=args.seed)
+    database.save(args.output)
+    stats = database.stats()
+    print(f"wrote {args.output}: {stats['total']} designs, {stats['valid']} valid")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from .experiments.context import ExperimentContext
+    from .explorer import Database
+    from .model import TrainConfig, train_predictor
+
+    database = Database.load(args.database)
+    predictor, metrics = train_predictor(
+        database,
+        config_name=args.model,
+        train_config=TrainConfig(epochs=args.epochs, seed=args.seed),
+        seed=args.seed,
+        return_metrics=True,
+    )
+    ExperimentContext.save_predictor(predictor, args.output)
+    print(f"wrote {args.output}")
+    for key in ("latency", "DSP", "LUT", "FF", "BRAM", "all", "accuracy", "f1"):
+        print(f"  {key:9s} {metrics[key]:.4f}")
+    return 0
+
+
+def _load_predictor(database_path: str, predictor_path: str, model: str):
+    from .experiments.context import ExperimentContext
+    from .explorer import Database
+
+    ctx = ExperimentContext.__new__(ExperimentContext)  # no cache dir side effects
+    ctx.seed = 0
+    ctx._database = Database.load(database_path)
+    ctx._predictors = {}
+    return ExperimentContext.load_predictor(ctx, predictor_path, model)
+
+
+def _cmd_dse(args) -> int:
+    from .dse import ModelDSE
+
+    spec = get_kernel(args.kernel)
+    space = build_design_space(spec)
+    predictor = _load_predictor(args.database, args.predictor, args.model)
+    dse = ModelDSE(predictor, spec, space, top_m=args.top)
+    result = dse.run(time_limit_seconds=args.time_limit)
+    mode = "exhaustive" if result.exhaustive else "heuristic"
+    print(
+        f"{args.kernel}: explored {result.explored:,} configs in {result.seconds:.1f}s "
+        f"({mode}, {result.predictions_per_second:.0f} inferences/s)"
+    )
+    tool = MerlinHLSTool()
+    for rank, candidate in enumerate(result.top):
+        line = f"  top-{rank + 1:02d} predicted latency {candidate.predicted_latency:>12,.0f}"
+        if args.evaluate:
+            truth = tool.synthesize(spec, candidate.point)
+            line += f"  true {truth.latency:>10,} ({'valid' if truth.valid else 'invalid'})"
+        print(line)
+    if args.emit_source and result.top:
+        from .designspace import render_source
+
+        with open(args.emit_source, "w") as handle:
+            handle.write(render_source(spec, result.top[0].point))
+        print(f"wrote {args.emit_source}")
+    return 0
+
+
+def _cmd_coverage(args) -> int:
+    from .explorer import Database, measure_coverage
+
+    spec = get_kernel(args.kernel)
+    space = build_design_space(spec)
+    database = Database.load(args.database)
+    print(measure_coverage(database, space).pretty())
+    return 0
+
+
+def _cmd_autodse(args) -> int:
+    from .explorer import BottleneckExplorer, Database, Evaluator
+
+    spec = get_kernel(args.kernel)
+    space = build_design_space(spec)
+    evaluator = Evaluator(MerlinHLSTool(), Database(), parallelism=8)
+    explorer = BottleneckExplorer(spec, space, evaluator)
+    result = explorer.run(max_evals=args.max_evals, max_hours=args.max_hours)
+    best = f"{result.best_latency:,}" if result.best_latency else "none"
+    print(
+        f"{args.kernel}: {result.evaluations} designs, "
+        f"{result.elapsed_hours:.1f} simulated tool-hours, best latency {best}"
+    )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from . import experiments as exp
+
+    ctx = exp.default_context()
+    if args.name == "table1":
+        print(exp.format_table1(exp.run_table1(ctx)))
+    elif args.name == "table2":
+        print(exp.format_table2(exp.run_table2(ctx)))
+    elif args.name == "table3":
+        print(exp.format_table3(exp.run_table3(ctx)))
+    elif args.name == "fig5":
+        print(exp.format_fig5(exp.run_fig5(ctx)))
+    elif args.name == "fig6":
+        print(exp.format_fig6(exp.run_fig6(ctx)))
+    elif args.name == "fig7":
+        print(exp.format_fig7(exp.run_fig7(ctx)))
+    elif args.name == "speed":
+        result = exp.run_inference_speed(ctx)
+        print(
+            f"{result.inferences_per_second:.1f} inferences/s "
+            f"({result.milliseconds_per_inference:.2f} ms each)"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "kernels": _cmd_kernels,
+    "synthesize": _cmd_synthesize,
+    "database": _cmd_database,
+    "train": _cmd_train,
+    "dse": _cmd_dse,
+    "autodse": _cmd_autodse,
+    "coverage": _cmd_coverage,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

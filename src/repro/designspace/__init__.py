@@ -1,0 +1,25 @@
+"""Design-space modelling: knobs, pruning rules, enumeration, sampling.
+
+Implements the Design Space Generator of the GNN-DSE framework (Fig. 2):
+:func:`build_design_space` turns a kernel spec into a pruned
+:class:`DesignSpace` whose points the explorers and the DSE search over.
+"""
+
+from .generator import build_design_space, divisors, factor_candidates
+from .render import render_point, render_source
+from .rules import PruningRules
+from .space import DesignPoint, DesignSpace, Knob, PragmaValue, point_key
+
+__all__ = [
+    "build_design_space",
+    "divisors",
+    "factor_candidates",
+    "PruningRules",
+    "DesignPoint",
+    "DesignSpace",
+    "Knob",
+    "PragmaValue",
+    "point_key",
+    "render_point",
+    "render_source",
+]

@@ -1,0 +1,93 @@
+"""Design-space generation: from kernel source to tunable knobs.
+
+Implements the "Design Space Generator" box of Fig. 1(a)/Fig. 2: each
+tunable ``auto{...}`` pragma becomes a knob whose candidate options come
+from the loop it annotates —
+
+* pipeline: ``off`` / ``cg`` / ``fg``;
+* parallel: the divisors of the loop trip count (so unrolling never
+  leaves a ragged remainder iteration), thinned to at most
+  ``max_factor_candidates`` geometrically spread values;
+* tile: divisors of the trip count up to ``trip/2``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import DesignSpaceError
+from ..frontend.pragmas import PragmaKind, PipelineOption
+from ..ir.analysis import KernelAnalysis
+from ..kernels.base import KernelSpec
+from .rules import PruningRules
+from .space import DesignSpace, Knob, PragmaValue
+
+__all__ = ["divisors", "factor_candidates", "build_design_space"]
+
+
+def divisors(n: int) -> List[int]:
+    """All positive divisors of ``n``, ascending."""
+    if n <= 0:
+        return [1]
+    small, large = [], []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            small.append(d)
+            if d != n // d:
+                large.append(n // d)
+        d += 1
+    return small + large[::-1]
+
+
+def factor_candidates(trip_count: int, max_candidates: int = 8) -> List[int]:
+    """Candidate unroll/tile factors for a loop of ``trip_count`` trips.
+
+    All divisors when few; otherwise a geometric thinning that always
+    keeps 1, the full factor, and near-power-of-two divisors — matching
+    how AutoDSE discretises factor spaces.
+    """
+    divs = divisors(max(trip_count, 1))
+    if len(divs) <= max_candidates:
+        return divs
+    keep = {1, divs[-1]}
+    power = 2
+    while power < divs[-1]:
+        best = min(divs, key=lambda d: abs(d - power))
+        keep.add(best)
+        power *= 2
+    out = sorted(keep)
+    while len(out) > max_candidates:
+        out.pop(len(out) // 2)  # drop mid-range factors, keep the extremes
+    return out
+
+
+def build_design_space(
+    spec: KernelSpec,
+    max_factor_candidates: int = 8,
+    max_tile_candidates: int = 4,
+) -> DesignSpace:
+    """Build the pruned :class:`DesignSpace` for a kernel.
+
+    Raises :class:`~repro.errors.DesignSpaceError` when the kernel has
+    no tunable pragmas.
+    """
+    analysis: KernelAnalysis = spec.analysis
+    knobs: List[Knob] = []
+    for pragma in analysis.pragmas:
+        if not pragma.is_tunable:
+            continue
+        loop = analysis.loop(pragma.function, pragma.loop_label)
+        candidates: List[PragmaValue]
+        if pragma.kind is PragmaKind.PIPELINE:
+            candidates = [PipelineOption.OFF, PipelineOption.COARSE, PipelineOption.FINE]
+        elif pragma.kind is PragmaKind.PARALLEL:
+            candidates = list(factor_candidates(loop.trip_count, max_factor_candidates))
+        else:  # TILE
+            full = factor_candidates(loop.trip_count, max_tile_candidates + 1)
+            candidates = [f for f in full if f < max(loop.trip_count, 2)] or [1]
+        knobs.append(Knob(pragma=pragma, candidates=candidates))
+    if not knobs:
+        raise DesignSpaceError(f"{spec.name}: kernel has no tunable pragmas")
+    rules = PruningRules(analysis, knobs)
+    return DesignSpace(spec.name, knobs, rules=rules)

@@ -1,0 +1,74 @@
+"""Render a design point back into concrete pragma-annotated C source.
+
+The end product of GNN-DSE is not a number — it is the kernel source
+with every ``auto{...}`` placeholder replaced by the chosen option,
+ready for the Merlin compiler.  :func:`render_source` performs that
+substitution (the "Pragma Fill" box of Fig. 3 applied to source text
+instead of the graph), and :func:`render_point` gives a compact human-
+readable summary of the choices per loop.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from ..frontend.pragmas import PipelineOption, PragmaKind
+from ..kernels.base import KernelSpec
+from .space import DesignPoint
+
+__all__ = ["render_source", "render_point"]
+
+_AUTO_RE = re.compile(r"auto\{([A-Za-z_][A-Za-z0-9_]*)\}")
+
+
+def _option_text(value) -> str:
+    if isinstance(value, PipelineOption):
+        return value.value
+    return str(int(value))
+
+
+def render_source(spec: KernelSpec, point: DesignPoint) -> str:
+    """Concrete kernel source for one design point.
+
+    Placeholders present in the source but absent from ``point`` are
+    substituted with their neutral option (pipeline ``off`` / factor 1),
+    so partial points render to valid code.  Neutral pragmas are
+    *dropped entirely* — Merlin treats a missing pragma and a neutral
+    one identically, and the emitted file reads cleaner.
+    """
+    knob_kind: Dict[str, PragmaKind] = {p.name: p.kind for p in spec.pragmas}
+
+    def substitute(match: re.Match) -> str:
+        name = match.group(1)
+        value = point.get(name)
+        if value is None:
+            kind = knob_kind.get(name)
+            value = PipelineOption.OFF if kind is PragmaKind.PIPELINE else 1
+        return _option_text(value)
+
+    out_lines: List[str] = []
+    for line in spec.source.split("\n"):
+        rendered = _AUTO_RE.sub(substitute, line)
+        stripped = rendered.strip()
+        if stripped.startswith("#pragma ACCEL"):
+            # Drop pragmas that ended up neutral.
+            if stripped.endswith("factor=1") or stripped.endswith("pipeline off"):
+                continue
+        out_lines.append(rendered)
+    return "\n".join(out_lines)
+
+
+def render_point(spec: KernelSpec, point: DesignPoint) -> str:
+    """One-line-per-loop summary of a design point's choices."""
+    by_loop: Dict[str, List[str]] = {}
+    for pragma in spec.pragmas:
+        value = point.get(pragma.name)
+        if value is None:
+            continue
+        text = f"{pragma.kind.keyword}={_option_text(value)}"
+        by_loop.setdefault(f"{pragma.function}/{pragma.loop_label}", []).append(text)
+    lines = []
+    for loop in sorted(by_loop):
+        lines.append(f"  {loop}: " + ", ".join(sorted(by_loop[loop])))
+    return "\n".join(lines) if lines else "  (all pragmas neutral)"

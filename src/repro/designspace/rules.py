@@ -1,0 +1,124 @@
+"""AutoDSE pruning rules over design points.
+
+Section 4.1/4.4 of the paper reuses AutoDSE's rules for pruning design
+configurations.  We implement them as a *canonicalisation*: a raw knob
+assignment is rewritten into the unique representative of its
+equivalence class, which both shrinks the enumerated space and teaches
+the explorers not to waste evaluations:
+
+1. **fg pipelining absorbs the sub-nest** — fine-grained pipelining of a
+   loop fully unrolls every loop nested below it, so all inner knobs are
+   forced neutral (pipeline off, factors 1).
+2. **full unroll makes pipelining moot** — a loop whose parallel factor
+   equals its trip count has no iterations left to pipeline, so its own
+   pipeline knob is forced off.
+3. **tile×parallel must fit the loop** — a combined tile*parallel factor
+   above the trip count is meaningless; the tile factor is clamped down
+   to the largest candidate that fits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..frontend.pragmas import PragmaKind, PipelineOption
+from ..ir.analysis import KernelAnalysis, LoopInfo
+from .space import DesignPoint, Knob
+
+__all__ = ["PruningRules"]
+
+
+class PruningRules:
+    """Canonicalisation and dependency queries for a kernel's knobs."""
+
+    def __init__(self, analysis: KernelAnalysis, knobs: List[Knob]):
+        self._analysis = analysis
+        self._knobs = {k.name: k for k in knobs}
+        #: (function, loop_label) -> {kind: knob}
+        self._loop_knobs: Dict[tuple, Dict[PragmaKind, Knob]] = {}
+        for knob in knobs:
+            slot = self._loop_knobs.setdefault((knob.function, knob.loop_label), {})
+            slot[knob.kind] = knob
+
+    # -- helpers -------------------------------------------------------------
+
+    def loop_of(self, knob: Knob) -> LoopInfo:
+        return self._analysis.loop(knob.function, knob.loop_label)
+
+    def knob_at(self, function: str, label: str, kind: PragmaKind) -> Optional[Knob]:
+        return self._loop_knobs.get((function, label), {}).get(kind)
+
+    def _descendants(self, function: str, label: str) -> List[LoopInfo]:
+        loop = self._analysis.loop(function, label)
+        return loop.subtree()[1:]
+
+    # -- canonicalisation -------------------------------------------------------
+
+    def canonicalize(self, point: DesignPoint) -> DesignPoint:
+        """Rewrite ``point`` to the canonical member of its class."""
+        out = dict(point)
+        self._apply_full_unroll_rule(out)
+        self._apply_tile_fit_rule(out)
+        self._apply_fg_rule(out)
+        return out
+
+    def _apply_fg_rule(self, point: DesignPoint) -> None:
+        for name, value in list(point.items()):
+            knob = self._knobs.get(name)
+            if knob is None or knob.kind is not PragmaKind.PIPELINE:
+                continue
+            if value is not PipelineOption.FINE:
+                continue
+            for inner in self._descendants(knob.function, knob.loop_label):
+                for inner_kind, inner_knob in self._loop_knobs.get(
+                    (inner.function, inner.label), {}
+                ).items():
+                    if inner_knob.name in point:
+                        point[inner_knob.name] = inner_knob.neutral
+
+    def _apply_full_unroll_rule(self, point: DesignPoint) -> None:
+        for name, value in list(point.items()):
+            knob = self._knobs.get(name)
+            if knob is None or knob.kind is not PragmaKind.PARALLEL:
+                continue
+            loop = self.loop_of(knob)
+            if int(value) >= loop.trip_count:
+                pipe = self.knob_at(knob.function, knob.loop_label, PragmaKind.PIPELINE)
+                if pipe is not None and pipe.name in point:
+                    point[pipe.name] = PipelineOption.OFF
+
+    def _apply_tile_fit_rule(self, point: DesignPoint) -> None:
+        for name, value in list(point.items()):
+            knob = self._knobs.get(name)
+            if knob is None or knob.kind is not PragmaKind.TILE:
+                continue
+            loop = self.loop_of(knob)
+            para = self.knob_at(knob.function, knob.loop_label, PragmaKind.PARALLEL)
+            para_factor = int(point.get(para.name, 1)) if para is not None else 1
+            tile_factor = int(value)
+            while tile_factor > 1 and tile_factor * para_factor > loop.trip_count:
+                candidates = [int(c) for c in knob.candidates if int(c) < tile_factor]
+                tile_factor = max(candidates) if candidates else 1
+            point[name] = tile_factor
+
+    # -- dependency queries (used by the DSE ordering heuristic, Section 4.4) ----
+
+    def dependency_of(self, knob: Knob) -> List[Knob]:
+        """Knobs whose setting can disable ``knob`` (must be decided first).
+
+        The paper's example: the ``parallel`` pragma of a loop depends on
+        the ``pipeline`` pragma of its parent loop (fg pipelining there
+        absorbs this loop).  A loop's own pipeline knob similarly depends
+        on its own parallel knob via the full-unroll rule.
+        """
+        out: List[Knob] = []
+        loop = self.loop_of(knob)
+        if knob.kind is PragmaKind.PIPELINE:
+            para = self.knob_at(knob.function, knob.loop_label, PragmaKind.PARALLEL)
+            if para is not None:
+                out.append(para)
+        if loop.parent is not None:
+            parent_pipe = self.knob_at(knob.function, loop.parent, PragmaKind.PIPELINE)
+            if parent_pipe is not None:
+                out.append(parent_pipe)
+        return out

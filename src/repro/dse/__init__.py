@@ -1,0 +1,31 @@
+"""Model-driven design-space exploration (Section 4.4).
+
+- :func:`order_pragmas` — the innermost-first pragma-ordering heuristic;
+- :class:`ModelDSE` — exhaustive / ordered-beam search over a design
+  space with the trained predictor in the loop;
+- :func:`run_dse_rounds` — Fig. 7's multi-round database augmentation;
+- :func:`pareto_front` — non-dominated filtering of designs.
+"""
+
+from .annealing import AnnealingResult, SimulatedAnnealingDSE
+from .augment import AugmentationResult, RoundOutcome, run_dse_rounds
+from .multiobjective import ParetoArchive, ParetoDSE
+from .ordering import order_pragmas
+from .pareto import dominates, pareto_front
+from .search import DSECandidate, DSEResult, ModelDSE
+
+__all__ = [
+    "AnnealingResult",
+    "SimulatedAnnealingDSE",
+    "AugmentationResult",
+    "RoundOutcome",
+    "run_dse_rounds",
+    "ParetoArchive",
+    "ParetoDSE",
+    "order_pragmas",
+    "dominates",
+    "pareto_front",
+    "DSECandidate",
+    "DSEResult",
+    "ModelDSE",
+]

@@ -1,0 +1,129 @@
+"""Simulated-annealing DSE baseline.
+
+The DSE literature the paper builds on includes simulated-annealing
+searchers (e.g. Mahapatra et al. [11], cited in Section 1).  This
+implementation searches the pragma space with any *scorer* — the
+trained predictor (milliseconds per probe) or the HLS tool itself
+(the classic, slow configuration) — giving the repo a second,
+structurally different search baseline to compare the ordered-beam
+ModelDSE against.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..designspace.space import DesignPoint, DesignSpace, point_key
+
+__all__ = ["AnnealingResult", "SimulatedAnnealingDSE"]
+
+#: A scorer maps a design point to (usable, latency-like score).
+Scorer = Callable[[DesignPoint], Tuple[bool, float]]
+
+
+@dataclass
+class AnnealingResult:
+    best_point: Optional[DesignPoint]
+    best_score: float
+    evaluations: int
+    accepted_moves: int
+    trajectory: List[float] = field(default_factory=list)
+
+
+class SimulatedAnnealingDSE:
+    """Classic SA over one kernel's design space.
+
+    Parameters
+    ----------
+    space:
+        The design space (neighbour moves come from
+        :meth:`~repro.designspace.space.DesignSpace.neighbors`).
+    scorer:
+        ``point -> (usable, score)``; score is minimised and only
+        usable points can become the incumbent best.
+    initial_temperature / cooling:
+        Exponential schedule ``T_k = T_0 * cooling**k``.
+    penalty:
+        Score assigned to unusable points, relative to the worst usable
+        score seen so far (keeps the chain able to traverse invalid
+        regions without settling in them).
+    """
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        scorer: Scorer,
+        initial_temperature: float = 2.0,
+        cooling: float = 0.97,
+        penalty: float = 4.0,
+        seed: int = 0,
+    ):
+        self.space = space
+        self.scorer = scorer
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+        self.penalty = penalty
+        self.rng = random.Random(seed)
+
+    def run(
+        self,
+        max_evals: int = 500,
+        start_point: Optional[DesignPoint] = None,
+    ) -> AnnealingResult:
+        """Anneal until the evaluation budget is spent."""
+        current = dict(start_point) if start_point else self.space.default_point()
+        cache = {}
+
+        def score_of(point: DesignPoint) -> Tuple[bool, float]:
+            key = point_key(point)
+            if key not in cache:
+                cache[key] = self.scorer(point)
+            return cache[key]
+
+        usable, current_score = score_of(current)
+        worst_usable = current_score if usable else 1.0
+        best_point = dict(current) if usable else None
+        best_score = current_score if usable else float("inf")
+
+        temperature = self.initial_temperature
+        evaluations = 1
+        accepted = 0
+        trajectory = [best_score]
+
+        while evaluations < max_evals:
+            neighbors = self.space.neighbors(current)
+            if not neighbors:
+                break
+            candidate = self.rng.choice(neighbors)
+            cand_usable, cand_score = score_of(candidate)
+            evaluations += 1
+            if cand_usable:
+                worst_usable = max(worst_usable, cand_score)
+                effective = cand_score
+            else:
+                effective = worst_usable * self.penalty
+            current_effective = (
+                current_score if usable else worst_usable * self.penalty
+            )
+            delta = effective - current_effective
+            scale = max(abs(current_effective), 1e-9)
+            if delta <= 0 or self.rng.random() < math.exp(
+                -delta / (scale * max(temperature, 1e-6))
+            ):
+                current, usable, current_score = candidate, cand_usable, cand_score
+                accepted += 1
+                if usable and cand_score < best_score:
+                    best_point, best_score = dict(candidate), cand_score
+            temperature *= self.cooling
+            trajectory.append(best_score)
+
+        return AnnealingResult(
+            best_point=best_point,
+            best_score=best_score,
+            evaluations=evaluations,
+            accepted_moves=accepted,
+            trajectory=trajectory,
+        )

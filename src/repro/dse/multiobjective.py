@@ -1,0 +1,99 @@
+"""Multi-objective DSE: maintain the predicted Pareto frontier.
+
+Problem 2 of the paper asks for *Pareto-optimal* design points (latency
+vs the four resource utilizations), not only the latency champion.
+:class:`ParetoDSE` extends :class:`~repro.dse.search.ModelDSE` with a
+bounded non-dominated archive updated on every prediction batch, so one
+sweep yields both the top-M latency designs *and* the predicted
+frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..designspace.space import point_key
+from .pareto import dominates
+from .search import DSECandidate, DSEResult, ModelDSE
+
+__all__ = ["ParetoArchive", "ParetoDSE"]
+
+_KEYS = ("latency", "DSP", "BRAM", "LUT", "FF")
+
+
+@dataclass
+class ParetoArchive:
+    """Bounded archive of mutually non-dominated candidates.
+
+    When the archive exceeds ``capacity`` the most-crowded member (by
+    nearest-neighbour latency distance) is evicted, preserving spread.
+    """
+
+    capacity: int = 64
+    members: List[DSECandidate] = field(default_factory=list)
+    _seen: set = field(default_factory=set)
+
+    def _objectives(self, candidate: DSECandidate) -> Dict[str, float]:
+        return {k: candidate.prediction.objectives[k] for k in _KEYS}
+
+    def offer(self, candidate: DSECandidate) -> bool:
+        """Insert ``candidate`` if it is not dominated; prune dominated
+        incumbents.  Returns True when the candidate was admitted."""
+        key = point_key(candidate.point)
+        if key in self._seen:
+            return False
+        objectives = self._objectives(candidate)
+        for member in self.members:
+            if dominates(self._objectives(member), objectives, _KEYS):
+                return False
+        survivors = [
+            m
+            for m in self.members
+            if not dominates(objectives, self._objectives(m), _KEYS)
+        ]
+        survivors.append(candidate)
+        self._seen = {point_key(m.point) for m in survivors}
+        self.members = survivors
+        if len(self.members) > self.capacity:
+            self._evict_most_crowded()
+        return True
+
+    def _evict_most_crowded(self) -> None:
+        ordered = sorted(self.members, key=lambda c: c.predicted_latency)
+        # Never evict the extremes; drop the member with the smallest
+        # latency gap to its neighbours.
+        best_index, best_gap = None, float("inf")
+        for i in range(1, len(ordered) - 1):
+            gap = (
+                ordered[i + 1].predicted_latency - ordered[i - 1].predicted_latency
+            )
+            if gap < best_gap:
+                best_index, best_gap = i, gap
+        if best_index is not None:
+            victim = ordered[best_index]
+            self.members = [m for m in self.members if m is not victim]
+            self._seen.discard(point_key(victim.point))
+
+    def frontier(self) -> List[DSECandidate]:
+        """Members sorted by predicted latency (ascending)."""
+        return sorted(self.members, key=lambda c: c.predicted_latency)
+
+
+class ParetoDSE(ModelDSE):
+    """ModelDSE that additionally tracks the predicted Pareto frontier."""
+
+    def __init__(self, *args, archive_capacity: int = 64, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.archive = ParetoArchive(capacity=archive_capacity)
+
+    def _merge_top(self, top, batch):
+        for candidate in batch:
+            if self._usable(candidate.prediction):
+                self.archive.offer(candidate)
+        return super()._merge_top(top, batch)
+
+    def run(self, time_limit_seconds: float = 3600.0) -> DSEResult:
+        result = super().run(time_limit_seconds)
+        result.pareto = self.archive.frontier()  # type: ignore[attr-defined]
+        return result

@@ -1,0 +1,75 @@
+"""Pragma-ordering heuristic of Section 4.4.
+
+For enormous solution spaces the DSE cannot sweep every knob jointly, so
+the paper orders the pragmas and explores them in that order:
+
+* BFS-like traversal starting from the **innermost** loop levels (HLS
+  implements fine-grained optimisations best, so inner pragmas are
+  evaluated sooner);
+* within one loop level the priority is ``parallel`` > ``pipeline`` >
+  ``tile``;
+* when the picked pragma A depends on a pragma B at the same or one
+  outer loop level (e.g. a loop's parallel knob depends on its parent's
+  pipeline knob, which can absorb it via fg), B is promoted ahead of A.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..designspace.rules import PruningRules
+from ..designspace.space import DesignSpace, Knob
+from ..frontend.pragmas import PragmaKind
+
+__all__ = ["order_pragmas"]
+
+#: parallel > pipeline > tile (Section 4.4).
+_KIND_ORDER = {PragmaKind.PARALLEL: 0, PragmaKind.PIPELINE: 1, PragmaKind.TILE: 2}
+
+
+def order_pragmas(space: DesignSpace, promote_dependencies: bool = True) -> List[Knob]:
+    """Return the knobs of ``space`` in the paper's evaluation order.
+
+    ``promote_dependencies=False`` skips the dependency fix-up, leaving
+    the raw innermost-first / parallel>pipeline>tile BFS order.
+    """
+    rules = space.rules
+    loop_depth: Dict[str, int] = {}
+    if isinstance(rules, PruningRules):
+        for knob in space.knobs:
+            loop_depth[knob.name] = rules.loop_of(knob).depth
+    else:
+        for knob in space.knobs:
+            loop_depth[knob.name] = 0
+
+    # Innermost-first (deepest loops first); stable on source order.
+    ordered = sorted(
+        space.knobs,
+        key=lambda k: (-loop_depth[k.name], _KIND_ORDER[k.kind]),
+    )
+
+    if promote_dependencies and isinstance(rules, PruningRules):
+        ordered = _promote_dependencies(ordered, rules)
+    return ordered
+
+
+def _promote_dependencies(ordered: List[Knob], rules: PruningRules) -> List[Knob]:
+    """Move each knob's dependencies ahead of it (stable otherwise)."""
+    result = list(ordered)
+    # A bounded number of passes suffices: each pass only moves knobs
+    # forward, and the dependency relation follows the loop tree.
+    for _ in range(len(result)):
+        moved = False
+        position = {knob.name: i for i, knob in enumerate(result)}
+        for knob in list(result):
+            for dep in rules.dependency_of(knob):
+                if dep.name not in position:
+                    continue
+                if position[dep.name] > position[knob.name]:
+                    result.remove(dep)
+                    result.insert(position[knob.name], dep)
+                    position = {k.name: i for i, k in enumerate(result)}
+                    moved = True
+        if not moved:
+            break
+    return result

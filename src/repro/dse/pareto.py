@@ -1,0 +1,44 @@
+"""Pareto-frontier utilities over design objectives.
+
+All objectives are minimised: latency directly; resource utilizations
+as reported.  Used to pick the Pareto-optimal designs the paper's DSE
+returns and to sanity-check DSE output in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["dominates", "pareto_front"]
+
+
+def dominates(a: Dict[str, float], b: Dict[str, float], keys: Sequence[str]) -> bool:
+    """True when ``a`` is no worse than ``b`` on every key and better on one."""
+    no_worse = all(a[k] <= b[k] for k in keys)
+    better = any(a[k] < b[k] for k in keys)
+    return no_worse and better
+
+
+def pareto_front(
+    items: Sequence[T],
+    objectives: Callable[[T], Dict[str, float]],
+    keys: Sequence[str] = ("latency", "DSP", "BRAM", "LUT", "FF"),
+) -> List[T]:
+    """Non-dominated subset of ``items`` (order preserved).
+
+    ``objectives(item)`` must return a dict containing every key in
+    ``keys``; all are minimised.
+    """
+    values = [objectives(item) for item in items]
+    front: List[T] = []
+    for i, item in enumerate(items):
+        dominated = False
+        for j, other in enumerate(values):
+            if j != i and dominates(other, values[i], keys):
+                dominated = True
+                break
+        if not dominated:
+            front.append(item)
+    return front

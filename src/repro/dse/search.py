@@ -1,0 +1,209 @@
+"""Model-driven design-space exploration (Section 4.4).
+
+With the predictor answering in milliseconds, small spaces are swept
+**exhaustively**; enormous ones are searched with the ordered-pragma
+heuristic: knobs are visited in the order of :func:`order_pragmas`, a
+beam of the most-promising partial assignments is kept, and the global
+top-M predicted designs are retained throughout.  A wall-clock limit
+bounds the search exactly as in the paper (one hour for mvt/2mm).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..designspace.space import DesignPoint, DesignSpace, point_key
+from ..model.predictor import GNNDSEPredictor, Prediction
+from .ordering import order_pragmas
+
+__all__ = ["DSECandidate", "DSEResult", "ModelDSE"]
+
+
+@dataclass
+class DSECandidate:
+    """One predicted-good design point."""
+
+    point: DesignPoint
+    prediction: Prediction
+
+    @property
+    def predicted_latency(self) -> float:
+        return self.prediction.latency
+
+
+@dataclass
+class DSEResult:
+    """Outcome of one model-driven DSE run."""
+
+    kernel: str
+    top: List[DSECandidate]
+    explored: int
+    seconds: float
+    exhaustive: bool
+    predictions_per_second: float = 0.0
+
+    def top_points(self) -> List[DesignPoint]:
+        return [c.point for c in self.top]
+
+
+class ModelDSE:
+    """Design-space exploration driven by the trained predictor.
+
+    Parameters
+    ----------
+    predictor:
+        Trained :class:`~repro.model.GNNDSEPredictor`.
+    spec, space:
+        Kernel and its design space.
+    fit_threshold:
+        Utilization ceiling T_u of Eq. 7.
+    top_m:
+        Number of best designs to keep (the paper evaluates the top 10
+        with the real HLS tool afterwards).
+    batch_size:
+        Prediction batch size.
+    exhaustive_limit:
+        Sweep the whole space when its size does not exceed this.
+    beam_width:
+        Beam kept per knob step in heuristic mode.
+    """
+
+    def __init__(
+        self,
+        predictor: GNNDSEPredictor,
+        spec,
+        space: DesignSpace,
+        fit_threshold: float = 0.8,
+        top_m: int = 10,
+        batch_size: int = 256,
+        exhaustive_limit: int = 20_000,
+        beam_width: int = 8,
+    ):
+        self.predictor = predictor
+        self.spec = spec
+        self.space = space
+        self.fit_threshold = fit_threshold
+        self.top_m = top_m
+        self.batch_size = batch_size
+        self.exhaustive_limit = exhaustive_limit
+        self.beam_width = beam_width
+
+    # -- scoring ------------------------------------------------------------------
+
+    def _usable(self, prediction: Prediction) -> bool:
+        return prediction.valid and prediction.fits(self.fit_threshold)
+
+    def _merge_top(
+        self, top: List[DSECandidate], batch: List[DSECandidate]
+    ) -> List[DSECandidate]:
+        merged = top + [c for c in batch if self._usable(c.prediction)]
+        merged.sort(key=lambda c: c.predicted_latency)
+        seen = set()
+        unique: List[DSECandidate] = []
+        for candidate in merged:
+            key = point_key(candidate.point)
+            if key not in seen:
+                seen.add(key)
+                unique.append(candidate)
+            if len(unique) >= self.top_m:
+                break
+        return unique
+
+    def _predict_batch(self, points: List[DesignPoint]) -> List[DSECandidate]:
+        predictions = self.predictor.predict_batch(self.spec.name, points)
+        return [DSECandidate(p, pred) for p, pred in zip(points, predictions)]
+
+    # -- public API ------------------------------------------------------------------
+
+    def run(self, time_limit_seconds: float = 3600.0) -> DSEResult:
+        """Run the DSE; returns the predicted top-M designs."""
+        if self.space.size(exact_limit=self.exhaustive_limit) <= self.exhaustive_limit:
+            return self._run_exhaustive(time_limit_seconds)
+        return self._run_heuristic(time_limit_seconds)
+
+    # -- exhaustive sweep ---------------------------------------------------------------
+
+    def _run_exhaustive(self, time_limit_seconds: float) -> DSEResult:
+        start = time.time()
+        top: List[DSECandidate] = []
+        explored = 0
+        pending: List[DesignPoint] = []
+        for point in self.space.enumerate():
+            pending.append(point)
+            if len(pending) >= self.batch_size:
+                top = self._merge_top(top, self._predict_batch(pending))
+                explored += len(pending)
+                pending = []
+                if time.time() - start > time_limit_seconds:
+                    break
+        if pending and time.time() - start <= time_limit_seconds:
+            top = self._merge_top(top, self._predict_batch(pending))
+            explored += len(pending)
+        seconds = time.time() - start
+        return DSEResult(
+            kernel=self.spec.name,
+            top=top,
+            explored=explored,
+            seconds=seconds,
+            exhaustive=True,
+            predictions_per_second=explored / seconds if seconds > 0 else 0.0,
+        )
+
+    # -- ordered heuristic search ----------------------------------------------------------
+
+    def _run_heuristic(self, time_limit_seconds: float) -> DSEResult:
+        start = time.time()
+        ordered = order_pragmas(self.space)
+        seen = set()
+        top: List[DSECandidate] = []
+        explored = 0
+
+        base = self.space.default_point()
+        beam: List[DesignPoint] = [base]
+        out_of_time = False
+        # Repeated ordered sweeps refine the beam until the clock runs out.
+        for sweep in range(8):
+            if out_of_time:
+                break
+            improved = False
+            for knob in ordered:
+                candidates: List[DesignPoint] = []
+                for point in beam:
+                    for mutated in self.space.mutations(point, knob.name) + [point]:
+                        key = point_key(mutated)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        candidates.append(mutated)
+                if not candidates:
+                    continue
+                scored: List[DSECandidate] = []
+                for i in range(0, len(candidates), self.batch_size):
+                    scored.extend(self._predict_batch(candidates[i : i + self.batch_size]))
+                explored += len(candidates)
+                top_before = top[0].predicted_latency if top else float("inf")
+                top = self._merge_top(top, scored)
+                if top and top[0].predicted_latency < top_before:
+                    improved = True
+                # Next beam: best usable candidates (fall back to lowest
+                # predicted latency when nothing usable has appeared yet).
+                usable = [c for c in scored if self._usable(c.prediction)]
+                pool = usable or scored
+                pool.sort(key=lambda c: c.predicted_latency)
+                beam = [c.point for c in pool[: self.beam_width]] or beam
+                if time.time() - start > time_limit_seconds:
+                    out_of_time = True
+                    break
+            if not improved:
+                break
+        seconds = time.time() - start
+        return DSEResult(
+            kernel=self.spec.name,
+            top=top,
+            explored=explored,
+            seconds=seconds,
+            exhaustive=False,
+            predictions_per_second=explored / seconds if seconds > 0 else 0.0,
+        )

@@ -1,0 +1,86 @@
+"""Exception hierarchy for the GNN-DSE reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so
+downstream users can catch one base class.  Sub-hierarchies mirror the
+major subsystems (front-end, IR, design space, HLS simulator, NN stack).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class FrontendError(ReproError):
+    """Base class for C front-end errors."""
+
+
+class LexerError(FrontendError):
+    """Raised when the lexer encounters an unrecognised character.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description.
+    line, column:
+        1-based source position of the offending character.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(FrontendError):
+    """Raised when the parser cannot derive a valid AST."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class SemanticError(FrontendError):
+    """Raised for type errors or undeclared identifiers in the AST."""
+
+
+class PragmaError(FrontendError):
+    """Raised for malformed ``#pragma ACCEL`` directives."""
+
+
+class IRError(ReproError):
+    """Raised for malformed IR construction or verification failures."""
+
+
+class LoweringError(IRError):
+    """Raised when an AST construct cannot be lowered to IR."""
+
+
+class GraphError(ReproError):
+    """Raised for program-graph construction/encoding problems."""
+
+
+class DesignSpaceError(ReproError):
+    """Raised for invalid design points or malformed design spaces."""
+
+
+class HLSError(ReproError):
+    """Raised by the HLS simulator for unrecoverable modelling errors."""
+
+
+class NNError(ReproError):
+    """Raised by the neural-network stack (shape mismatches, etc.)."""
+
+
+class ModelError(ReproError):
+    """Raised by the predictive-model layer (bad configs, untrained use)."""
+
+
+class DatabaseError(ReproError):
+    """Raised by the design database for inconsistent records."""
+
+
+class DSEError(ReproError):
+    """Raised by the design-space-exploration driver."""

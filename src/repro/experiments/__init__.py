@@ -1,0 +1,40 @@
+"""One entry point per paper table/figure (see DESIGN.md's index).
+
+All experiments share an :class:`ExperimentContext` that caches the
+design database and trained predictors on disk; set ``REPRO_SCALE`` /
+``REPRO_EPOCHS`` to trade fidelity for runtime.
+"""
+
+from .context import ExperimentContext, default_context
+from .figures import Fig6Result, format_fig5, format_fig6, run_fig5, run_fig6
+from .fig7 import FIG7_PAPER_AVERAGES, format_fig7, run_fig7
+from .speed import InferenceSpeed, run_inference_speed
+from .table1 import Table1Row, format_table1, run_table1
+from .table2 import TABLE2_PAPER, Table2Row, format_table2, run_table2
+from .table3 import TABLE3_PAPER, Table3Row, format_table3, run_table3
+
+__all__ = [
+    "ExperimentContext",
+    "default_context",
+    "Fig6Result",
+    "format_fig5",
+    "format_fig6",
+    "run_fig5",
+    "run_fig6",
+    "FIG7_PAPER_AVERAGES",
+    "format_fig7",
+    "run_fig7",
+    "InferenceSpeed",
+    "run_inference_speed",
+    "Table1Row",
+    "format_table1",
+    "run_table1",
+    "TABLE2_PAPER",
+    "Table2Row",
+    "format_table2",
+    "run_table2",
+    "TABLE3_PAPER",
+    "Table3Row",
+    "format_table3",
+    "run_table3",
+]

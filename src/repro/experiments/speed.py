@@ -1,0 +1,52 @@
+"""Inference-throughput measurement (Section 5.3's "22 inferences/s")."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..designspace.generator import build_design_space
+from ..kernels import get_kernel
+from .context import ExperimentContext, default_context
+
+__all__ = ["InferenceSpeed", "run_inference_speed"]
+
+
+@dataclass
+class InferenceSpeed:
+    kernel: str
+    num_points: int
+    seconds: float
+    inferences_per_second: float
+    milliseconds_per_inference: float
+
+
+def run_inference_speed(
+    ctx: Optional[ExperimentContext] = None,
+    kernel: str = "gemm-ncubed",
+    num_points: int = 512,
+    batch_size: int = 128,
+) -> InferenceSpeed:
+    """Time batched predictor inference over sampled design points."""
+    import random
+
+    ctx = ctx or default_context()
+    predictor = ctx.predictor("M7")
+    spec = get_kernel(kernel)
+    space = build_design_space(spec)
+    points = space.sample(random.Random(ctx.seed), num_points)
+    # Warm-up (graph encoding cache, CSR plans).
+    predictor.predict_batch(kernel, points[: min(8, num_points)])
+    start = time.time()
+    for i in range(0, num_points, batch_size):
+        predictor.predict_batch(kernel, points[i : i + batch_size])
+    seconds = time.time() - start
+    per_second = num_points / seconds if seconds > 0 else float("inf")
+    return InferenceSpeed(
+        kernel=kernel,
+        num_points=num_points,
+        seconds=seconds,
+        inferences_per_second=per_second,
+        milliseconds_per_inference=1000.0 / per_second if per_second else float("inf"),
+    )

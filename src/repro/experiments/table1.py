@@ -1,0 +1,83 @@
+"""Table 1: design space and database statistics per training kernel."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import List, Optional
+
+from ..designspace.generator import build_design_space
+from ..explorer.database import Database
+from ..kernels import TRAINING_KERNELS, get_kernel
+from .context import ExperimentContext, default_context
+
+__all__ = ["Table1Row", "run_table1", "format_table1"]
+
+
+@dataclass
+class Table1Row:
+    kernel: str
+    num_pragmas: int
+    design_configs: int
+    initial_total: int
+    initial_valid: int
+    final_total: int
+    final_valid: int
+
+
+def run_table1(
+    ctx: Optional[ExperimentContext] = None,
+    final_database: Optional[Database] = None,
+) -> List[Table1Row]:
+    """Regenerate Table 1.
+
+    ``final_database`` (the database after the Fig. 7 augmentation
+    rounds) is optional; without it the final columns equal the initial
+    ones, matching the state before any DSE round has run.
+    """
+    ctx = ctx or default_context()
+    database = ctx.database()
+    rows: List[Table1Row] = []
+    for name in TRAINING_KERNELS:
+        spec = get_kernel(name)
+        space = build_design_space(spec)
+        initial = database.stats(kernel=name, max_round=0)
+        final_db = final_database or database
+        final = final_db.stats(kernel=name)
+        rows.append(
+            Table1Row(
+                kernel=name,
+                num_pragmas=len(spec.pragmas),
+                design_configs=space.size(),
+                initial_total=initial["total"],
+                initial_valid=initial["valid"],
+                final_total=final["total"],
+                final_valid=final["valid"],
+            )
+        )
+    return rows
+
+
+def format_table1(rows: List[Table1Row]) -> str:
+    """Render rows in the paper's layout."""
+    header = (
+        f"{'Kernel':14s} {'#pragmas':>8s} {'#configs':>12s} "
+        f"{'init total/valid':>17s} {'final total/valid':>18s}"
+    )
+    lines = [header, "-" * len(header)]
+    totals = [0, 0, 0, 0, 0]
+    for row in rows:
+        lines.append(
+            f"{row.kernel:14s} {row.num_pragmas:8d} {row.design_configs:12,d} "
+            f"{row.initial_total:8d} / {row.initial_valid:5d} "
+            f"{row.final_total:9d} / {row.final_valid:5d}"
+        )
+        totals[0] += row.design_configs
+        totals[1] += row.initial_total
+        totals[2] += row.initial_valid
+        totals[3] += row.final_total
+        totals[4] += row.final_valid
+    lines.append(
+        f"{'Total':14s} {'-':>8s} {totals[0]:12,d} "
+        f"{totals[1]:8d} / {totals[2]:5d} {totals[3]:9d} / {totals[4]:5d}"
+    )
+    return "\n".join(lines)

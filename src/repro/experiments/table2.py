@@ -1,0 +1,145 @@
+"""Table 2: model comparison M1–M7 on the shared database.
+
+For each model variant, trains the regression stack (latency/DSP/LUT/FF
++ separate BRAM model) on the valid designs and the validity classifier
+on all designs, then reports per-objective RMSE, their sum ("All"), and
+classification accuracy / F1 on the held-out 20% test split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..model.config import MODEL_CONFIGS
+from ..model.predictor import train_predictor
+from ..model.trainer import TrainConfig
+from .context import ExperimentContext, default_context
+
+__all__ = ["Table2Row", "run_table2", "format_table2", "TABLE2_PAPER"]
+
+#: The paper's Table 2 numbers, for side-by-side comparison.
+TABLE2_PAPER: Dict[str, Dict[str, float]] = {
+    "M1": {"latency": 3.2756, "DSP": 0.5857, "LUT": 0.3115, "FF": 0.2483, "BRAM": 0.3356, "all": 4.7567, "accuracy": 0.52, "f1": 0.42},
+    "M2": {"latency": 2.9444, "DSP": 0.4650, "LUT": 0.2401, "FF": 0.1349, "BRAM": 0.1597, "all": 3.9442, "accuracy": 0.78, "f1": 0.40},
+    "M3": {"latency": 1.6825, "DSP": 0.4265, "LUT": 0.1642, "FF": 0.1277, "BRAM": 0.1593, "all": 2.5602, "accuracy": 0.79, "f1": 0.51},
+    "M4": {"latency": 1.1819, "DSP": 0.2557, "LUT": 0.1266, "FF": 0.1009, "BRAM": 0.1178, "all": 1.7829, "accuracy": 0.85, "f1": 0.68},
+    "M5": {"latency": 1.1323, "DSP": 0.2540, "LUT": 0.1245, "FF": 0.0938, "BRAM": 0.1231, "all": 1.7277, "accuracy": 0.85, "f1": 0.76},
+    "M6": {"latency": 1.0846, "DSP": 0.2521, "LUT": 0.1112, "FF": 0.0933, "BRAM": 0.0912, "all": 1.6324, "accuracy": 0.92, "f1": 0.86},
+    "M7": {"latency": 0.5359, "DSP": 0.1253, "LUT": 0.0762, "FF": 0.0632, "BRAM": 0.0515, "all": 0.8521, "accuracy": 0.93, "f1": 0.87},
+}
+
+_METHOD_NAMES = {
+    "M1": "MLP-pragma (as in Kwon et al.)",
+    "M2": "MLP-pragma-program context",
+    "M3": "GNN-DSE - GCN",
+    "M4": "GNN-DSE - GAT",
+    "M5": "GNN-DSE - TransformerConv",
+    "M6": "GNN-DSE - TransformerConv + JKN",
+    "M7": "GNN-DSE (TransformerConv + JKN + node att.)",
+}
+
+
+@dataclass
+class Table2Row:
+    model: str
+    method: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+    paper: Dict[str, float] = field(default_factory=dict)
+    train_seconds: float = 0.0
+
+
+def run_table2(
+    ctx: Optional[ExperimentContext] = None,
+    models: Sequence[str] = ("M1", "M2", "M3", "M4", "M5", "M6", "M7"),
+    epochs: Optional[int] = None,
+    use_cache: bool = True,
+) -> List[Table2Row]:
+    """Train and evaluate the requested model variants.
+
+    Results are cached per (scale, epochs, seed) context so repeated
+    benchmark runs skip the multi-model retraining; pass
+    ``use_cache=False`` to force recomputation.
+    """
+    import time
+
+    ctx = ctx or default_context()
+    database = ctx.database()
+    epochs = epochs if epochs is not None else ctx.epochs
+    cache_name = f"table2_e{epochs}"
+    if use_cache:
+        cached = ctx.load_result(cache_name)
+        if cached and set(cached.get("models", [])) >= set(models):
+            by_model = {r["model"]: r for r in cached["rows"]}
+            return [
+                Table2Row(
+                    model=name,
+                    method=by_model[name]["method"],
+                    metrics=by_model[name]["metrics"],
+                    paper=TABLE2_PAPER.get(name, {}),
+                    train_seconds=by_model[name].get("train_seconds", 0.0),
+                )
+                for name in models
+            ]
+    rows: List[Table2Row] = []
+    for name in models:
+        if name not in MODEL_CONFIGS:
+            raise KeyError(f"unknown model {name!r}")
+        start = time.time()
+        _, metrics = train_predictor(
+            database,
+            config_name=name,
+            train_config=TrainConfig(epochs=epochs, seed=ctx.seed),
+            seed=ctx.seed,
+            return_metrics=True,
+        )
+        rows.append(
+            Table2Row(
+                model=name,
+                method=_METHOD_NAMES[name],
+                metrics={k: round(float(v), 4) for k, v in metrics.items()},
+                paper=TABLE2_PAPER.get(name, {}),
+                train_seconds=time.time() - start,
+            )
+        )
+    if use_cache:
+        ctx.save_result(
+            cache_name,
+            {
+                "models": list(models),
+                "rows": [
+                    {
+                        "model": r.model,
+                        "method": r.method,
+                        "metrics": r.metrics,
+                        "train_seconds": r.train_seconds,
+                    }
+                    for r in rows
+                ],
+            },
+        )
+    return rows
+
+
+def format_table2(rows: List[Table2Row]) -> str:
+    """Render in the paper's column order, with the paper's numbers."""
+    header = (
+        f"{'Model':5s} {'Method':44s} {'Latency':>8s} {'DSP':>7s} {'LUT':>7s} "
+        f"{'FF':>7s} {'BRAM':>7s} {'All':>8s} {'Acc':>6s} {'F1':>6s}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        m = row.metrics
+        lines.append(
+            f"{row.model:5s} {row.method:44s} {m['latency']:8.4f} {m['DSP']:7.4f} "
+            f"{m['LUT']:7.4f} {m['FF']:7.4f} {m['BRAM']:7.4f} {m['all']:8.4f} "
+            f"{m['accuracy']:6.2f} {m['f1']:6.2f}"
+        )
+        p = row.paper
+        if p:
+            lines.append(
+                f"{'':5s} {'(paper)':44s} {p['latency']:8.4f} {p['DSP']:7.4f} "
+                f"{p['LUT']:7.4f} {p['FF']:7.4f} {p['BRAM']:7.4f} {p['all']:8.4f} "
+                f"{p['accuracy']:6.2f} {p['f1']:6.2f}"
+            )
+    return "\n".join(lines)

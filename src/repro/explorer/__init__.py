@@ -1,0 +1,32 @@
+"""Database generation: explorers + shared design database (Section 4.1).
+
+Three explorers populate the training database (Fig. 2): the
+bottleneck-based optimiser (AutoDSE), a hybrid bottleneck+local-search
+explorer, and a random explorer.  :func:`generate_database` runs all
+three over the training kernels.
+"""
+
+from .bottleneck import BottleneckExplorer, ExplorationResult
+from .coverage import CoverageReport, KnobCoverage, measure_coverage
+from .database import Database, DesignRecord, deserialize_point, serialize_point
+from .evaluator import Evaluator
+from .hybrid import HybridExplorer
+from .random_explorer import RandomExplorer
+from .runner import DEFAULT_TARGETS, generate_database
+
+__all__ = [
+    "CoverageReport",
+    "KnobCoverage",
+    "measure_coverage",
+    "BottleneckExplorer",
+    "ExplorationResult",
+    "Database",
+    "DesignRecord",
+    "deserialize_point",
+    "serialize_point",
+    "Evaluator",
+    "HybridExplorer",
+    "RandomExplorer",
+    "DEFAULT_TARGETS",
+    "generate_database",
+]

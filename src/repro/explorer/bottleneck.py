@@ -1,0 +1,203 @@
+"""Bottleneck-based design-space explorer (AutoDSE's core strategy).
+
+AutoDSE iteratively identifies the loop dominating the latency (the
+*bottleneck*), tries progressively more aggressive pragma settings on
+that loop, commits the best improvement, and repeats.  This is both the
+Table 3 baseline and the first of the three database-generation
+explorers of Section 4.1.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..designspace.space import DesignPoint, DesignSpace, Knob, point_key
+from ..frontend.pragmas import PragmaKind
+from ..hls.report import HLSResult, LoopReport
+from ..kernels.base import KernelSpec
+from .evaluator import Evaluator
+
+__all__ = ["BottleneckExplorer", "ExplorationResult"]
+
+#: Knob-kind priority per bottleneck type: what AutoDSE tries first.
+_KIND_PRIORITY = {
+    "memory": (PragmaKind.TILE, PragmaKind.PARALLEL, PragmaKind.PIPELINE),
+    "dependence": (PragmaKind.PIPELINE, PragmaKind.TILE, PragmaKind.PARALLEL),
+    "trip": (PragmaKind.PIPELINE, PragmaKind.PARALLEL, PragmaKind.TILE),
+    "compute": (PragmaKind.PARALLEL, PragmaKind.PIPELINE, PragmaKind.TILE),
+    "": (PragmaKind.PARALLEL, PragmaKind.PIPELINE, PragmaKind.TILE),
+}
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of one explorer run."""
+
+    best_point: Optional[DesignPoint]
+    best_latency: Optional[int]
+    evaluations: int
+    elapsed_hours: float
+    trajectory: List[Tuple[str, int]] = field(default_factory=list)
+
+
+class BottleneckExplorer:
+    """Greedy bottleneck-driven optimisation over one kernel.
+
+    Parameters
+    ----------
+    spec, space, evaluator:
+        Kernel, its design space, and the committing evaluator.
+    fit_threshold:
+        Utilization ceiling for a design to count as an improvement
+        (Eq. 7's T_u).
+    source:
+        Tag recorded on database entries.
+    """
+
+    def __init__(
+        self,
+        spec: KernelSpec,
+        space: DesignSpace,
+        evaluator: Evaluator,
+        fit_threshold: float = 0.8,
+        source: str = "bottleneck",
+        seed: int = 0,
+    ):
+        self.spec = spec
+        self.space = space
+        self.evaluator = evaluator
+        self.fit_threshold = fit_threshold
+        self.source = source
+        self.rng = random.Random(seed)
+        self._seen: Set[str] = set()
+
+    # -- scoring ---------------------------------------------------------------
+
+    def _score(self, result: HLSResult) -> float:
+        if result.valid and result.fits(self.fit_threshold):
+            return float(result.latency)
+        return float("inf")
+
+    def _evaluate(self, point: DesignPoint, round: int) -> HLSResult:
+        """Evaluate a point; already-seen points are served from the tool
+        cache without consuming budget (AutoDSE memoises evaluations)."""
+        key = point_key(point)
+        if key in self._seen:
+            return self.evaluator.tool.synthesize(self.spec, point)
+        self._seen.add(key)
+        return self.evaluator.evaluate(self.spec, point, source=self.source, round=round)
+
+    # -- bottleneck selection ------------------------------------------------------
+
+    @staticmethod
+    def _ordered_bottlenecks(result: HLSResult) -> List[LoopReport]:
+        loops = result.all_loops()
+        return sorted(loops, key=lambda l: l.cycles, reverse=True)
+
+    def _knobs_for_loop(self, report: LoopReport, bottleneck: str) -> List[Knob]:
+        priority = {kind: i for i, kind in enumerate(_KIND_PRIORITY.get(bottleneck, _KIND_PRIORITY[""]))}
+        knobs = [
+            k
+            for k in self.space.knobs
+            if k.loop_label == report.label and k.function == report.function
+        ]
+        return sorted(knobs, key=lambda k: priority.get(k.kind, 9))
+
+    def _more_aggressive(self, point: DesignPoint, knob: Knob) -> List[DesignPoint]:
+        """Mutations of one knob toward more aggressive settings."""
+        current = knob.index_of(point[knob.name])
+        out = []
+        for candidate in knob.candidates[current + 1 :]:
+            mutated = dict(point)
+            mutated[knob.name] = candidate
+            if self.space.rules is not None:
+                mutated = self.space.rules.canonicalize(mutated)
+            out.append(mutated)
+        return out
+
+    # -- improvement hook (overridden by the hybrid explorer) ---------------------------
+
+    def _on_improvement(
+        self, point: DesignPoint, before: float, after: float, round: int
+    ) -> Optional[Tuple[DesignPoint, HLSResult]]:
+        """Called after each committed improvement; may return a better point."""
+        return None
+
+    # -- main loop ------------------------------------------------------------------
+
+    def run(
+        self,
+        max_evals: int = 200,
+        max_hours: Optional[float] = None,
+        round: int = 0,
+        start_point: Optional[DesignPoint] = None,
+    ) -> ExplorationResult:
+        """Explore until the evaluation or simulated-time budget runs out."""
+        start_clock = self.evaluator.elapsed_seconds
+
+        def out_of_budget() -> bool:
+            if len(self._seen) >= max_evals:
+                return True
+            if max_hours is not None:
+                elapsed = (self.evaluator.elapsed_seconds - start_clock) / 3600.0
+                if elapsed >= max_hours:
+                    return True
+            return False
+
+        point = dict(start_point) if start_point else self.space.default_point()
+        result = self._evaluate(point, round)
+        best_point, best_result = point, result
+        best_score = self._score(result) if result else float("inf")
+        trajectory: List[Tuple[str, int]] = []
+        if result is not None:
+            trajectory.append((point_key(point), result.latency))
+
+        improved = True
+        while improved and not out_of_budget():
+            improved = False
+            reference = best_result if best_result is not None else result
+            if reference is None:
+                break
+            for report in self._ordered_bottlenecks(reference):
+                if out_of_budget():
+                    break
+                committed = False
+                for knob in self._knobs_for_loop(report, report.bottleneck):
+                    candidates = self._more_aggressive(best_point, knob)
+                    best_cand: Optional[Tuple[DesignPoint, HLSResult]] = None
+                    for candidate in candidates:
+                        if out_of_budget():
+                            break
+                        res = self._evaluate(candidate, round)
+                        if res is None:
+                            continue
+                        if self._score(res) < best_score and (
+                            best_cand is None or res.latency < best_cand[1].latency
+                        ):
+                            best_cand = (candidate, res)
+                    if best_cand is not None:
+                        before = best_score
+                        best_point, best_result = best_cand
+                        best_score = self._score(best_result)
+                        trajectory.append((point_key(best_point), best_result.latency))
+                        extra = self._on_improvement(best_point, before, best_score, round)
+                        if extra is not None and self._score(extra[1]) < best_score:
+                            best_point, best_result = extra
+                            best_score = self._score(best_result)
+                            trajectory.append((point_key(best_point), best_result.latency))
+                        committed = True
+                        improved = True
+                        break
+                if committed:
+                    break  # re-derive bottlenecks from the new best design
+
+        latency = best_result.latency if (best_result and best_score != float("inf")) else None
+        return ExplorationResult(
+            best_point=best_point if latency is not None else None,
+            best_latency=latency,
+            evaluations=len(self._seen),
+            elapsed_hours=(self.evaluator.elapsed_seconds - start_clock) / 3600.0,
+            trajectory=trajectory,
+        )

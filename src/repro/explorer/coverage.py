@@ -1,0 +1,102 @@
+"""Database coverage metrics.
+
+Section 4.4 argues the DSE "must have good representatives of all the
+design choices in the database".  This module quantifies that: per-knob
+marginal coverage (which candidate options of each knob the database
+has actually evaluated), latency-spread statistics, and a combined
+report the database-generation runner can use to decide whether the
+random explorer should keep sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..designspace.space import DesignSpace
+from .database import Database
+
+__all__ = ["KnobCoverage", "CoverageReport", "measure_coverage"]
+
+
+@dataclass
+class KnobCoverage:
+    """How well one knob's candidate options are represented."""
+
+    knob: str
+    candidates: int
+    seen: int
+    histogram: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def fraction(self) -> float:
+        return self.seen / self.candidates if self.candidates else 1.0
+
+
+@dataclass
+class CoverageReport:
+    kernel: str
+    records: int
+    valid_records: int
+    knobs: List[KnobCoverage] = field(default_factory=list)
+    latency_decades: int = 0  # how many powers of ten the latencies span
+
+    @property
+    def min_knob_fraction(self) -> float:
+        return min((k.fraction for k in self.knobs), default=0.0)
+
+    @property
+    def mean_knob_fraction(self) -> float:
+        if not self.knobs:
+            return 0.0
+        return sum(k.fraction for k in self.knobs) / len(self.knobs)
+
+    def pretty(self) -> str:
+        lines = [
+            f"coverage of {self.kernel}: {self.records} records "
+            f"({self.valid_records} valid), latency spans "
+            f"{self.latency_decades} decades"
+        ]
+        for knob in self.knobs:
+            lines.append(
+                f"  {knob.knob:16s} {knob.seen}/{knob.candidates} options seen "
+                f"({knob.fraction:.0%})"
+            )
+        return "\n".join(lines)
+
+
+def measure_coverage(
+    database: Database, space: DesignSpace, kernel: Optional[str] = None
+) -> CoverageReport:
+    """Measure per-knob and latency coverage of a kernel's records."""
+    kernel = kernel or space.kernel_name
+    records = database.for_kernel(kernel)
+    report = CoverageReport(
+        kernel=kernel,
+        records=len(records),
+        valid_records=sum(1 for r in records if r.valid),
+    )
+    seen_values: Dict[str, Dict[str, int]] = {k.name: {} for k in space.knobs}
+    for record in records:
+        for name, value in record.point.items():
+            if name in seen_values:
+                key = str(value)
+                seen_values[name][key] = seen_values[name].get(key, 0) + 1
+    for knob in space.knobs:
+        histogram = seen_values[knob.name]
+        report.knobs.append(
+            KnobCoverage(
+                knob=knob.name,
+                candidates=len(knob.candidates),
+                seen=len(histogram),
+                histogram=histogram,
+            )
+        )
+    latencies = [r.latency for r in records if r.valid and r.latency > 0]
+    if latencies:
+        report.latency_decades = int(
+            np.floor(np.log10(max(latencies))) - np.floor(np.log10(min(latencies)))
+        )
+    return report

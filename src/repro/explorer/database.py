@@ -1,0 +1,168 @@
+"""The shared design database (Fig. 2's "Training Database").
+
+Stores one :class:`DesignRecord` per (kernel, design point) with the
+HLS outcome, which explorer produced it, and in which DSE round it was
+added (round 0 = initial database, rounds 1+ = Fig. 7 augmentation).
+JSON-serialisable for persistence.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..designspace.space import DesignPoint, point_key
+from ..errors import DatabaseError
+from ..frontend.pragmas import PipelineOption
+from ..hls.report import HLSResult
+
+__all__ = ["DesignRecord", "Database", "serialize_point", "deserialize_point"]
+
+
+def serialize_point(point: DesignPoint) -> Dict[str, object]:
+    """JSON-friendly form of a design point."""
+    out = {}
+    for name, value in point.items():
+        out[name] = value.value if isinstance(value, PipelineOption) else int(value)
+    return out
+
+
+def deserialize_point(raw: Dict[str, object]) -> DesignPoint:
+    """Inverse of :func:`serialize_point`."""
+    out: DesignPoint = {}
+    for name, value in raw.items():
+        if isinstance(value, str):
+            out[name] = PipelineOption(value)
+        else:
+            out[name] = int(value)
+    return out
+
+
+@dataclass
+class DesignRecord:
+    """One evaluated design point."""
+
+    kernel: str
+    point: Dict[str, object]  # serialized form
+    point_key: str
+    valid: bool
+    latency: int
+    utilization: Dict[str, float]
+    synth_seconds: float
+    invalid_reason: Optional[str] = None
+    source: str = ""  # which explorer produced it
+    round: int = 0  # 0 = initial DB; 1+ = DSE augmentation rounds
+
+    @property
+    def design_point(self) -> DesignPoint:
+        return deserialize_point(self.point)
+
+    def objectives(self) -> Dict[str, float]:
+        return {"latency": float(self.latency), **self.utilization}
+
+    @staticmethod
+    def from_result(
+        result: HLSResult, point: DesignPoint, source: str = "", round: int = 0
+    ) -> "DesignRecord":
+        return DesignRecord(
+            kernel=result.kernel,
+            point=serialize_point(point),
+            point_key=result.point_key,
+            valid=result.valid,
+            latency=result.latency,
+            utilization=dict(result.utilization),
+            synth_seconds=result.synth_seconds,
+            invalid_reason=result.invalid_reason,
+            source=source,
+            round=round,
+        )
+
+
+class Database:
+    """Keyed store of design records, shared across applications."""
+
+    def __init__(self):
+        self._records: Dict[Tuple[str, str], DesignRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[DesignRecord]:
+        return iter(self._records.values())
+
+    def __contains__(self, key: Tuple[str, str]) -> bool:
+        return key in self._records
+
+    def has(self, kernel: str, point: DesignPoint) -> bool:
+        return (kernel, point_key(point)) in self._records
+
+    def add(self, record: DesignRecord) -> bool:
+        """Insert a record; returns False when the point was already known."""
+        key = (record.kernel, record.point_key)
+        if key in self._records:
+            return False
+        self._records[key] = record
+        return True
+
+    def get(self, kernel: str, key: str) -> DesignRecord:
+        try:
+            return self._records[(kernel, key)]
+        except KeyError:
+            raise DatabaseError(f"no record for {kernel}/{key}") from None
+
+    def for_kernel(self, kernel: str) -> List[DesignRecord]:
+        return [r for r in self._records.values() if r.kernel == kernel]
+
+    def kernels(self) -> List[str]:
+        return sorted({r.kernel for r in self._records.values()})
+
+    def valid_records(self, kernel: Optional[str] = None) -> List[DesignRecord]:
+        return [
+            r
+            for r in self._records.values()
+            if r.valid and (kernel is None or r.kernel == kernel)
+        ]
+
+    def best_valid(self, kernel: str, fit_threshold: float = 0.8) -> Optional[DesignRecord]:
+        """Lowest-latency valid record that fits the device budget."""
+        candidates = [
+            r
+            for r in self.valid_records(kernel)
+            if all(u < fit_threshold for u in r.utilization.values())
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda r: r.latency)
+
+    def stats(self, kernel: Optional[str] = None, max_round: Optional[int] = None) -> Dict[str, int]:
+        """(total, valid) counts, optionally filtered by kernel/round."""
+        records = [
+            r
+            for r in self._records.values()
+            if (kernel is None or r.kernel == kernel)
+            and (max_round is None or r.round <= max_round)
+        ]
+        return {"total": len(records), "valid": sum(1 for r in records if r.valid)}
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path) -> None:
+        payload = [asdict(r) for r in self._records.values()]
+        Path(path).write_text(json.dumps(payload, indent=1))
+
+    @staticmethod
+    def load(path) -> "Database":
+        db = Database()
+        for raw in json.loads(Path(path).read_text()):
+            db.add(DesignRecord(**raw))
+        return db
+
+    def merge(self, other: "Database") -> int:
+        """Add all records from ``other``; returns how many were new."""
+        added = 0
+        for record in other:
+            if self.add(record):
+                added += 1
+        return added

@@ -1,0 +1,61 @@
+"""Hybrid explorer: bottleneck optimisation + local search.
+
+The second database-generation explorer of Section 4.1: after the
+bottleneck optimiser improves the best design's quality by at least
+``improvement_threshold`` (the paper's X%), it additionally evaluates up
+to ``neighbor_budget`` (the paper's P) one-knob neighbours of the new
+best point — so the model sees the effect of modifying only one pragma.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from ..designspace.space import DesignPoint, DesignSpace
+from ..hls.report import HLSResult
+from ..kernels.base import KernelSpec
+from .bottleneck import BottleneckExplorer
+from .evaluator import Evaluator
+
+__all__ = ["HybridExplorer"]
+
+
+class HybridExplorer(BottleneckExplorer):
+    """Bottleneck optimiser with neighbour sampling on improvements."""
+
+    def __init__(
+        self,
+        spec: KernelSpec,
+        space: DesignSpace,
+        evaluator: Evaluator,
+        fit_threshold: float = 0.8,
+        improvement_threshold: float = 0.10,
+        neighbor_budget: int = 8,
+        seed: int = 1,
+    ):
+        super().__init__(
+            spec, space, evaluator, fit_threshold, source="hybrid", seed=seed
+        )
+        self.improvement_threshold = improvement_threshold
+        self.neighbor_budget = neighbor_budget
+
+    def _on_improvement(
+        self, point: DesignPoint, before: float, after: float, round: int
+    ) -> Optional[Tuple[DesignPoint, HLSResult]]:
+        # Relative quality improvement (scores are latencies; inf = unusable).
+        if before != float("inf"):
+            gain = (before - after) / before
+            if gain < self.improvement_threshold:
+                return None
+        neighbors = self.space.neighbors(point)
+        self.rng.shuffle(neighbors)
+        best: Optional[Tuple[DesignPoint, HLSResult]] = None
+        for neighbor in neighbors[: self.neighbor_budget]:
+            result = self._evaluate(neighbor, round)
+            if result is None:
+                continue
+            score = self._score(result)
+            if score < after and (best is None or result.latency < best[1].latency):
+                best = (neighbor, result)
+        return best

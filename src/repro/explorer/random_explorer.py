@@ -1,0 +1,65 @@
+"""Random explorer: uniform sampling of the (canonical) design space.
+
+The third database-generation explorer of Section 4.1 — it visits
+configurations the directed explorers skip, giving the model the "bad"
+side of the distribution it needs to learn validity and low quality.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..designspace.space import DesignSpace, point_key
+from ..kernels.base import KernelSpec
+from .bottleneck import ExplorationResult
+from .evaluator import Evaluator
+
+__all__ = ["RandomExplorer"]
+
+
+class RandomExplorer:
+    """Seeded random sampler committing every evaluation to the database."""
+
+    def __init__(
+        self,
+        spec: KernelSpec,
+        space: DesignSpace,
+        evaluator: Evaluator,
+        fit_threshold: float = 0.8,
+        seed: int = 2,
+    ):
+        self.spec = spec
+        self.space = space
+        self.evaluator = evaluator
+        self.fit_threshold = fit_threshold
+        self.rng = random.Random(seed)
+
+    def run(
+        self, max_evals: int = 100, max_hours: Optional[float] = None, round: int = 0
+    ) -> ExplorationResult:
+        start_clock = self.evaluator.elapsed_seconds
+        seen = set()
+        best_point, best_latency = None, None
+        attempts = 0
+        while len(seen) < max_evals and attempts < max_evals * 20:
+            attempts += 1
+            if max_hours is not None:
+                elapsed = (self.evaluator.elapsed_seconds - start_clock) / 3600.0
+                if elapsed >= max_hours:
+                    break
+            point = self.space.sample(self.rng, 1)[0]
+            key = point_key(point)
+            if key in seen or self.evaluator.database.has(self.spec.name, point):
+                continue
+            seen.add(key)
+            result = self.evaluator.evaluate(self.spec, point, source="random", round=round)
+            if result.valid and result.fits(self.fit_threshold):
+                if best_latency is None or result.latency < best_latency:
+                    best_point, best_latency = point, result.latency
+        return ExplorationResult(
+            best_point=best_point,
+            best_latency=best_latency,
+            evaluations=len(seen),
+            elapsed_hours=(self.evaluator.elapsed_seconds - start_clock) / 3600.0,
+        )

@@ -1,0 +1,91 @@
+"""Database-generation runner (Fig. 2 end to end).
+
+Builds the initial training database by running the three explorers of
+Section 4.1 on every training kernel.  Per-kernel evaluation targets
+default to (a scaled version of) the paper's Table 1 initial-database
+sizes, split across the explorers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..designspace.generator import build_design_space
+from ..hls.tool import MerlinHLSTool
+from ..kernels import TRAINING_KERNELS, get_kernel
+from .bottleneck import BottleneckExplorer
+from .database import Database
+from .evaluator import Evaluator
+from .hybrid import HybridExplorer
+from .random_explorer import RandomExplorer
+
+__all__ = ["DEFAULT_TARGETS", "generate_database"]
+
+#: Target evaluated-design counts per kernel, from Table 1's initial DB.
+DEFAULT_TARGETS: Dict[str, int] = {
+    "aes": 15,
+    "atax": 605,
+    "gemm-blocked": 616,
+    "gemm-ncubed": 432,
+    "mvt": 571,
+    "spmv-crs": 98,
+    "spmv-ellpack": 114,
+    "stencil": 1066,
+    "nw": 911,
+}
+
+#: Fraction of each kernel's budget given to (bottleneck, hybrid, random).
+_SPLIT = (0.25, 0.30, 0.45)
+
+
+def generate_database(
+    kernels=None,
+    targets: Optional[Dict[str, int]] = None,
+    tool: Optional[MerlinHLSTool] = None,
+    database: Optional[Database] = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    fit_threshold: float = 0.8,
+) -> Database:
+    """Run the three explorers on every kernel; return the shared DB.
+
+    Parameters
+    ----------
+    kernels:
+        Kernel names (defaults to the nine training kernels).
+    targets:
+        Per-kernel evaluation targets (defaults to Table 1 counts).
+    scale:
+        Multiplier on all targets, for fast test/CI runs.
+    """
+    kernels = list(kernels or TRAINING_KERNELS)
+    targets = dict(targets or DEFAULT_TARGETS)
+    tool = tool or MerlinHLSTool()
+    database = database if database is not None else Database()
+
+    for index, name in enumerate(kernels):
+        spec = get_kernel(name)
+        space = build_design_space(spec)
+        evaluator = Evaluator(tool, database)
+        target = max(int(targets.get(name, 200) * scale), 4)
+        space_size = space.product_size()
+        target = min(target, space_size)
+        counts = [max(int(target * f), 1) for f in _SPLIT]
+
+        before = database.stats(kernel=name)["total"]
+        bottleneck = BottleneckExplorer(
+            spec, space, evaluator, fit_threshold, seed=seed + index
+        )
+        bottleneck.run(max_evals=counts[0])
+        hybrid = HybridExplorer(
+            spec, space, evaluator, fit_threshold, seed=seed + index + 100
+        )
+        hybrid._seen = set(bottleneck._seen)  # don't re-pay for known points
+        hybrid.run(max_evals=counts[0] + counts[1])
+        remaining = target - (database.stats(kernel=name)["total"] - before)
+        if remaining > 0:
+            random_explorer = RandomExplorer(
+                spec, space, evaluator, fit_threshold, seed=seed + index + 200
+            )
+            random_explorer.run(max_evals=remaining)
+    return database

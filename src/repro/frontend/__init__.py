@@ -1,0 +1,92 @@
+"""C-subset front-end: lexer, parser, pragma handling, semantic checks.
+
+This package substitutes for the Clang front-end in the original GNN-DSE
+flow (Fig. 3 of the paper): kernel C source in, AST + pragma placeholders
+out.  See :mod:`repro.ir.lowering` for the AST → IR step.
+"""
+
+from .ast_nodes import (
+    ArrayRef,
+    AssignStmt,
+    BinaryOp,
+    Block,
+    Call,
+    Cast,
+    CType,
+    DeclStmt,
+    ExprStmt,
+    FloatLiteral,
+    ForStmt,
+    FunctionDef,
+    IfStmt,
+    IntLiteral,
+    ParamDecl,
+    PragmaDirective,
+    ReturnStmt,
+    TernaryOp,
+    TranslationUnit,
+    UnaryOp,
+    VarRef,
+    WhileStmt,
+    collect_loops,
+    walk_stmts,
+)
+from .interpreter import InterpreterError, run_function, run_kernel
+from .lexer import Lexer, Token, TokenType, tokenize
+from .parser import Parser, parse_source
+from .pragmas import (
+    Pragma,
+    PragmaKind,
+    PipelineOption,
+    annotate_candidates,
+    collect_pragmas,
+    parse_pragma,
+)
+from .semantic import INTRINSICS, Symbol, SymbolTable, analyze, infer_expr_type
+
+__all__ = [
+    "ArrayRef",
+    "AssignStmt",
+    "BinaryOp",
+    "Block",
+    "Call",
+    "Cast",
+    "CType",
+    "DeclStmt",
+    "ExprStmt",
+    "FloatLiteral",
+    "ForStmt",
+    "FunctionDef",
+    "IfStmt",
+    "IntLiteral",
+    "ParamDecl",
+    "PragmaDirective",
+    "ReturnStmt",
+    "TernaryOp",
+    "TranslationUnit",
+    "UnaryOp",
+    "VarRef",
+    "WhileStmt",
+    "collect_loops",
+    "walk_stmts",
+    "InterpreterError",
+    "run_function",
+    "run_kernel",
+    "Lexer",
+    "Token",
+    "TokenType",
+    "tokenize",
+    "Parser",
+    "parse_source",
+    "Pragma",
+    "PragmaKind",
+    "PipelineOption",
+    "annotate_candidates",
+    "collect_pragmas",
+    "parse_pragma",
+    "INTRINSICS",
+    "Symbol",
+    "SymbolTable",
+    "analyze",
+    "infer_expr_type",
+]

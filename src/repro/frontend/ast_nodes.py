@@ -1,0 +1,309 @@
+"""AST node definitions for the C subset front-end.
+
+The AST is deliberately small: it models exactly the constructs found in
+the MachSuite / Polybench style kernels that GNN-DSE evaluates on —
+functions over scalar and array parameters, ``for`` loops (optionally
+annotated with ``#pragma ACCEL`` directives), ``if``/``else``, assignment
+and compound assignment, and side-effect-free arithmetic expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CType",
+    "Node",
+    "Expr",
+    "IntLiteral",
+    "FloatLiteral",
+    "VarRef",
+    "ArrayRef",
+    "UnaryOp",
+    "BinaryOp",
+    "TernaryOp",
+    "Call",
+    "Cast",
+    "Stmt",
+    "DeclStmt",
+    "ExprStmt",
+    "AssignStmt",
+    "IfStmt",
+    "ForStmt",
+    "WhileStmt",
+    "ReturnStmt",
+    "BreakStmt",
+    "ContinueStmt",
+    "Block",
+    "PragmaDirective",
+    "ParamDecl",
+    "FunctionDef",
+    "TranslationUnit",
+]
+
+
+@dataclass(frozen=True)
+class CType:
+    """A (very) simplified C type: base scalar plus array dimensions.
+
+    ``dims`` is a tuple of static extents; an empty tuple means scalar.
+    ``base`` is one of ``void/int/float/double/char/long``.
+    """
+
+    base: str
+    dims: Tuple[int, ...] = ()
+    is_const: bool = False
+
+    @property
+    def is_array(self) -> bool:
+        return bool(self.dims)
+
+    @property
+    def is_float(self) -> bool:
+        return self.base in ("float", "double")
+
+    @property
+    def element_bits(self) -> int:
+        """Bit width of one element, used by the HLS resource model."""
+        return {"void": 0, "char": 8, "short": 16, "int": 32, "long": 64, "float": 32, "double": 64}[self.base]
+
+    def num_elements(self) -> int:
+        total = 1
+        for dim in self.dims:
+            total *= dim
+        return total
+
+    def __str__(self) -> str:
+        suffix = "".join(f"[{d}]" for d in self.dims)
+        return f"{self.base}{suffix}"
+
+
+class Node:
+    """Base class for every AST node (statements and expressions)."""
+
+    line: int = 0
+
+
+class Expr(Node):
+    """Base class for expressions."""
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int
+    line: int = 0
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float
+    line: int = 0
+
+
+@dataclass
+class VarRef(Expr):
+    name: str
+    line: int = 0
+
+
+@dataclass
+class ArrayRef(Expr):
+    """``base[idx0][idx1]...`` — ``base`` is a VarRef (no pointer chains)."""
+
+    base: str
+    indices: List[Expr] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str  # one of: - ! ~ +
+    operand: Expr = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str  # arithmetic, comparison, logical, bitwise, shifts
+    lhs: Expr = None  # type: ignore[assignment]
+    rhs: Expr = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class TernaryOp(Expr):
+    cond: Expr = None  # type: ignore[assignment]
+    then: Expr = None  # type: ignore[assignment]
+    otherwise: Expr = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Cast(Expr):
+    target: CType = None  # type: ignore[assignment]
+    operand: Expr = None  # type: ignore[assignment]
+    line: int = 0
+
+
+class Stmt(Node):
+    """Base class for statements."""
+
+
+@dataclass
+class PragmaDirective(Node):
+    """A raw ``#pragma`` directive attached to the statement that follows.
+
+    ``text`` is everything after ``#pragma`` (e.g. ``ACCEL pipeline
+    auto{__PIPE__L1}``).
+    """
+
+    text: str = ""
+    line: int = 0
+
+
+@dataclass
+class DeclStmt(Stmt):
+    name: str = ""
+    ctype: CType = None  # type: ignore[assignment]
+    init: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class AssignStmt(Stmt):
+    """``target op= value`` where op is '' for plain assignment."""
+
+    target: Expr = None  # type: ignore[assignment]  # VarRef or ArrayRef
+    op: str = ""  # '', '+', '-', '*', '/', '%', '^', '&', '|', '<<', '>>'
+    value: Expr = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    then: Block = None  # type: ignore[assignment]
+    otherwise: Optional[Block] = None
+    line: int = 0
+
+
+@dataclass
+class ForStmt(Stmt):
+    """A canonical counted loop ``for (init; cond; step) body``.
+
+    ``pragmas`` carries the ``#pragma ACCEL`` directives written directly
+    above the loop in source order.  ``label`` is a stable identifier
+    (``L0``, ``L1``...) assigned by the parser in pre-order so pragma
+    placeholders and design-space entries can refer to loops.
+    """
+
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None
+    body: Block = None  # type: ignore[assignment]
+    pragmas: List[PragmaDirective] = field(default_factory=list)
+    label: str = ""
+    line: int = 0
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    body: Block = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class BreakStmt(Stmt):
+    line: int = 0
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    line: int = 0
+
+
+@dataclass
+class ParamDecl(Node):
+    name: str = ""
+    ctype: CType = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class FunctionDef(Node):
+    name: str = ""
+    return_type: CType = None  # type: ignore[assignment]
+    params: List[ParamDecl] = field(default_factory=list)
+    body: Block = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class TranslationUnit(Node):
+    """Top-level container: the functions of one kernel source file."""
+
+    functions: List[FunctionDef] = field(default_factory=list)
+    source_name: str = "<kernel>"
+
+    def function(self, name: str) -> FunctionDef:
+        """Return the function named ``name`` (KeyError if absent)."""
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(f"no function named {name!r}")
+
+    @property
+    def top(self) -> FunctionDef:
+        """The top-level kernel: by convention, the last defined function."""
+        if not self.functions:
+            raise KeyError("translation unit has no functions")
+        return self.functions[-1]
+
+
+def walk_stmts(stmt: Stmt) -> Sequence[Stmt]:
+    """Pre-order traversal of a statement subtree (including ``stmt``)."""
+    out: List[Stmt] = [stmt]
+    if isinstance(stmt, Block):
+        for child in stmt.stmts:
+            out.extend(walk_stmts(child))
+    elif isinstance(stmt, ForStmt):
+        out.extend(walk_stmts(stmt.body))
+    elif isinstance(stmt, WhileStmt):
+        out.extend(walk_stmts(stmt.body))
+    elif isinstance(stmt, IfStmt):
+        out.extend(walk_stmts(stmt.then))
+        if stmt.otherwise is not None:
+            out.extend(walk_stmts(stmt.otherwise))
+    return out
+
+
+def collect_loops(root: Stmt) -> List[ForStmt]:
+    """Return all ``for`` loops under ``root`` in pre-order."""
+    return [s for s in walk_stmts(root) if isinstance(s, ForStmt)]

@@ -1,0 +1,276 @@
+"""Functional interpreter for the C subset.
+
+Executes a parsed kernel on numpy arrays, giving the front-end an
+end-to-end *semantic* test oracle: ``gemm-ncubed`` really multiplies
+matrices, ``nw`` really fills the Needleman-Wunsch table, and so on.
+Used by the test suite with shrunken problem sizes (the lexer lets
+callers override ``#define`` macros).
+
+The interpreter is deliberately straightforward — Python loops over the
+AST — so it stays an obviously-correct reference, not a fast one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import FrontendError
+from . import ast_nodes as ast
+
+__all__ = ["run_function", "run_kernel", "InterpreterError"]
+
+
+class InterpreterError(FrontendError):
+    """Raised on runtime errors while interpreting a kernel."""
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Return(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+_INTRINSICS = {
+    "sqrt": math.sqrt,
+    "sqrtf": math.sqrt,
+    "fabs": abs,
+    "abs": abs,
+    "exp": math.exp,
+    "log": math.log,
+    "sin": math.sin,
+    "cos": math.cos,
+    "pow": math.pow,
+    "min": min,
+    "max": max,
+}
+
+
+class _Interpreter:
+    def __init__(self, unit: ast.TranslationUnit):
+        self._unit = unit
+
+    # -- functions ----------------------------------------------------------
+
+    def call(self, name: str, args: List):
+        fn = self._unit.function(name)
+        if len(args) != len(fn.params):
+            raise InterpreterError(
+                f"{name} expects {len(fn.params)} arguments, got {len(args)}"
+            )
+        env: Dict[str, object] = {}
+        for param, value in zip(fn.params, args):
+            if param.ctype.is_array:
+                array = np.asarray(value)
+                if param.ctype.dims and all(d > 0 for d in param.ctype.dims):
+                    expected = param.ctype.num_elements()
+                    if array.size != expected:
+                        raise InterpreterError(
+                            f"{name}: argument {param.name} has {array.size} "
+                            f"elements, expected {expected}"
+                        )
+                    array = array.reshape(param.ctype.dims)
+                env[param.name] = array
+            else:
+                env[param.name] = float(value) if param.ctype.is_float else int(value)
+        try:
+            self._exec_block(fn.body, env)
+        except _Return as ret:
+            return ret.value
+        return None
+
+    # -- statements ----------------------------------------------------------
+
+    def _exec_block(self, block: ast.Block, env: Dict) -> None:
+        for stmt in block.stmts:
+            self._exec_stmt(stmt, env)
+
+    def _exec_stmt(self, stmt: ast.Stmt, env: Dict) -> None:
+        if isinstance(stmt, ast.DeclStmt):
+            if stmt.ctype.is_array:
+                dtype = np.float64 if stmt.ctype.is_float else np.int64
+                env[stmt.name] = np.zeros(stmt.ctype.dims, dtype=dtype)
+            else:
+                value = self._eval(stmt.init, env) if stmt.init is not None else 0
+                env[stmt.name] = self._coerce(value, stmt.ctype)
+        elif isinstance(stmt, ast.AssignStmt):
+            self._exec_assign(stmt, env)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._eval(stmt.expr, env)
+        elif isinstance(stmt, ast.Block):
+            self._exec_block(stmt, env)
+        elif isinstance(stmt, ast.IfStmt):
+            if self._eval(stmt.cond, env):
+                self._exec_block(stmt.then, env)
+            elif stmt.otherwise is not None:
+                self._exec_block(stmt.otherwise, env)
+        elif isinstance(stmt, ast.ForStmt):
+            self._exec_for(stmt, env)
+        elif isinstance(stmt, ast.WhileStmt):
+            while self._eval(stmt.cond, env):
+                try:
+                    self._exec_block(stmt.body, env)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+        elif isinstance(stmt, ast.ReturnStmt):
+            raise _Return(self._eval(stmt.value, env) if stmt.value else None)
+        elif isinstance(stmt, ast.BreakStmt):
+            raise _Break()
+        elif isinstance(stmt, ast.ContinueStmt):
+            raise _Continue()
+        else:
+            raise InterpreterError(f"cannot execute {type(stmt).__name__}")
+
+    def _exec_for(self, stmt: ast.ForStmt, env: Dict) -> None:
+        if stmt.init is not None:
+            self._exec_stmt(stmt.init, env)
+        while stmt.cond is None or self._eval(stmt.cond, env):
+            try:
+                self._exec_block(stmt.body, env)
+            except _Break:
+                break
+            except _Continue:
+                pass
+            if stmt.step is not None:
+                self._exec_stmt(stmt.step, env)
+
+    def _exec_assign(self, stmt: ast.AssignStmt, env: Dict) -> None:
+        value = self._eval(stmt.value, env)
+        if stmt.op:
+            current = self._eval(stmt.target, env)
+            value = self._binary(stmt.op, current, value)
+        target = stmt.target
+        if isinstance(target, ast.VarRef):
+            previous = env.get(target.name)
+            if isinstance(previous, float):
+                value = float(value)
+            elif isinstance(previous, int) and not isinstance(previous, bool):
+                value = int(value)
+            env[target.name] = value
+        elif isinstance(target, ast.ArrayRef):
+            array = env[target.base]
+            index = tuple(int(self._eval(i, env)) for i in target.indices)
+            try:
+                array[index] = value
+            except IndexError:
+                raise InterpreterError(
+                    f"store out of bounds: {target.base}{list(index)}"
+                ) from None
+        else:
+            raise InterpreterError("bad assignment target")
+
+    # -- expressions -----------------------------------------------------------
+
+    def _eval(self, expr: ast.Expr, env: Dict):
+        if isinstance(expr, ast.IntLiteral):
+            return expr.value
+        if isinstance(expr, ast.FloatLiteral):
+            return expr.value
+        if isinstance(expr, ast.VarRef):
+            try:
+                return env[expr.name]
+            except KeyError:
+                raise InterpreterError(f"undefined variable {expr.name!r}") from None
+        if isinstance(expr, ast.ArrayRef):
+            array = env[expr.base]
+            index = tuple(int(self._eval(i, env)) for i in expr.indices)
+            try:
+                value = array[index]
+            except IndexError:
+                raise InterpreterError(
+                    f"load out of bounds: {expr.base}{list(index)}"
+                ) from None
+            return value.item() if hasattr(value, "item") and value.ndim == 0 else value
+        if isinstance(expr, ast.UnaryOp):
+            value = self._eval(expr.operand, env)
+            if expr.op == "-":
+                return -value
+            if expr.op == "!":
+                return int(not value)
+            if expr.op == "~":
+                return ~int(value)
+            raise InterpreterError(f"unknown unary {expr.op!r}")
+        if isinstance(expr, ast.BinaryOp):
+            if expr.op == "&&":
+                return int(bool(self._eval(expr.lhs, env)) and bool(self._eval(expr.rhs, env)))
+            if expr.op == "||":
+                return int(bool(self._eval(expr.lhs, env)) or bool(self._eval(expr.rhs, env)))
+            return self._binary(expr.op, self._eval(expr.lhs, env), self._eval(expr.rhs, env))
+        if isinstance(expr, ast.TernaryOp):
+            if self._eval(expr.cond, env):
+                return self._eval(expr.then, env)
+            return self._eval(expr.otherwise, env)
+        if isinstance(expr, ast.Cast):
+            value = self._eval(expr.operand, env)
+            if expr.target.is_float:
+                return float(value)
+            return int(value)
+        if isinstance(expr, ast.Call):
+            args = [self._eval(a, env) for a in expr.args]
+            if expr.name in _INTRINSICS:
+                return _INTRINSICS[expr.name](*args)
+            return self.call(expr.name, args)
+        raise InterpreterError(f"cannot evaluate {type(expr).__name__}")
+
+    @staticmethod
+    def _binary(op: str, lhs, rhs):
+        both_int = isinstance(lhs, (int, np.integer)) and isinstance(rhs, (int, np.integer))
+        if op == "+":
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if op == "/":
+            if rhs == 0:
+                raise InterpreterError("division by zero")
+            if both_int:
+                return int(lhs / rhs)  # C truncating division
+            return lhs / rhs
+        if op == "%":
+            if rhs == 0:
+                raise InterpreterError("modulo by zero")
+            return int(math.fmod(lhs, rhs)) if both_int else math.fmod(lhs, rhs)
+        if op in ("<", ">", "<=", ">=", "==", "!="):
+            table = {
+                "<": lhs < rhs, ">": lhs > rhs, "<=": lhs <= rhs,
+                ">=": lhs >= rhs, "==": lhs == rhs, "!=": lhs != rhs,
+            }
+            return int(table[op])
+        if op == "&":
+            return int(lhs) & int(rhs)
+        if op == "|":
+            return int(lhs) | int(rhs)
+        if op == "^":
+            return int(lhs) ^ int(rhs)
+        if op == "<<":
+            return int(lhs) << int(rhs)
+        if op == ">>":
+            return int(lhs) >> int(rhs)
+        raise InterpreterError(f"unknown operator {op!r}")
+
+    @staticmethod
+    def _coerce(value, ctype: ast.CType):
+        return float(value) if ctype.is_float else int(value)
+
+
+def run_function(unit: ast.TranslationUnit, name: str, args: List):
+    """Interpret ``name`` from a parsed unit.  Array arguments are
+    mutated in place (C semantics); the return value is the function's."""
+    return _Interpreter(unit).call(name, args)
+
+
+def run_kernel(unit: ast.TranslationUnit, args: List):
+    """Interpret the unit's top-level kernel function."""
+    return run_function(unit, unit.top.name, args)

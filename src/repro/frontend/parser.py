@@ -1,0 +1,467 @@
+"""Recursive-descent parser for the C subset.
+
+Produces the AST defined in :mod:`repro.frontend.ast_nodes`.  ``#pragma``
+lines are attached to the ``for`` loop that follows them, matching how
+the Merlin compiler associates ``#pragma ACCEL`` directives with loops.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ParseError
+from . import ast_nodes as ast
+from .lexer import Lexer, Token, TokenType
+
+__all__ = ["Parser", "parse_source"]
+
+_TYPE_KEYWORDS = frozenset({"void", "int", "float", "double", "char", "long", "short", "unsigned", "signed"})
+
+# Binary operator precedence (C-like).  Higher binds tighter.
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    ">": 7,
+    "<=": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+_COMPOUND_ASSIGN = {"+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<=", ">>="}
+
+
+class Parser:
+    """Parser over a token stream.
+
+    Parameters
+    ----------
+    tokens:
+        Token list ending with an EOF token (see :func:`repro.frontend.lexer.tokenize`).
+    source_name:
+        Used in the resulting :class:`~repro.frontend.ast_nodes.TranslationUnit`.
+    """
+
+    def __init__(self, tokens: List[Token], source_name: str = "<kernel>"):
+        self._tokens = tokens
+        self._pos = 0
+        self._source_name = source_name
+        self._pending_pragmas: List[ast.PragmaDirective] = []
+        self._loop_counter = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _skip_and_collect_pragmas(self) -> None:
+        while self._peek().type is TokenType.PRAGMA:
+            token = self._advance()
+            self._pending_pragmas.append(ast.PragmaDirective(text=token.text, line=token.line))
+
+    def _take_pragmas(self) -> List[ast.PragmaDirective]:
+        pragmas, self._pending_pragmas = self._pending_pragmas, []
+        return pragmas
+
+    def _expect_punct(self, text: str) -> Token:
+        token = self._peek()
+        if not token.is_punct(text):
+            raise ParseError(f"expected {text!r}, found {token.text!r}", token.line, token.column)
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.IDENT:
+            raise ParseError(f"expected identifier, found {token.text!r}", token.line, token.column)
+        return self._advance()
+
+    # -- grammar: top level --------------------------------------------------
+
+    def parse_translation_unit(self) -> ast.TranslationUnit:
+        """Parse the whole token stream into a translation unit."""
+        unit = ast.TranslationUnit(source_name=self._source_name)
+        self._skip_and_collect_pragmas()
+        while self._peek().type is not TokenType.EOF:
+            unit.functions.append(self._parse_function())
+            self._skip_and_collect_pragmas()
+        return unit
+
+    def _parse_function(self) -> ast.FunctionDef:
+        start = self._peek()
+        return_type = self._parse_type_specifier()
+        name = self._expect_ident().text
+        self._expect_punct("(")
+        params: List[ast.ParamDecl] = []
+        if not self._peek().is_punct(")"):
+            params.append(self._parse_param())
+            while self._peek().is_punct(","):
+                self._advance()
+                params.append(self._parse_param())
+        self._expect_punct(")")
+        self._loop_counter = 0
+        body = self._parse_block()
+        return ast.FunctionDef(
+            name=name, return_type=return_type, params=params, body=body, line=start.line
+        )
+
+    def _parse_param(self) -> ast.ParamDecl:
+        start = self._peek()
+        base = self._parse_type_specifier()
+        name = self._expect_ident().text
+        dims = base.dims + self._parse_array_dims()
+        ctype = ast.CType(base.base, dims, is_const=base.is_const)
+        return ast.ParamDecl(name=name, ctype=ctype, line=start.line)
+
+    def _parse_type_specifier(self) -> ast.CType:
+        token = self._peek()
+        is_const = False
+        base_parts: List[str] = []
+        while token.type is TokenType.KEYWORD and token.text in (_TYPE_KEYWORDS | {"const", "static"}):
+            self._advance()
+            if token.text == "const":
+                is_const = True
+            elif token.text not in ("static", "signed", "unsigned"):
+                base_parts.append(token.text)
+            token = self._peek()
+        if not base_parts:
+            raise ParseError(f"expected type specifier, found {token.text!r}", token.line, token.column)
+        base = base_parts[-1] if base_parts[-1] != "long" or len(base_parts) == 1 else "long"
+        if base_parts == ["long", "long"]:
+            base = "long"
+        # Consume pointer declarators; we model pointer params as 1-D arrays
+        # of unknown extent (extent 0, refined by the kernel metadata).
+        pointer_depth = 0
+        while self._peek().is_punct("*"):
+            self._advance()
+            pointer_depth += 1
+        dims = (0,) * pointer_depth
+        return ast.CType(base, dims, is_const=is_const)
+
+    def _parse_array_dims(self) -> tuple:
+        dims: List[int] = []
+        while self._peek().is_punct("["):
+            self._advance()
+            token = self._peek()
+            if token.is_punct("]"):
+                dims.append(0)  # unsized: extent comes from kernel metadata
+            else:
+                expr = self._parse_expr()
+                value = _const_eval(expr)
+                if value is None or value < 0:
+                    raise ParseError(
+                        "array extents must be non-negative integer constant "
+                        "expressions after macro expansion",
+                        token.line,
+                        token.column,
+                    )
+                dims.append(value)
+            self._expect_punct("]")
+        return tuple(dims)
+
+    # -- grammar: statements -------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        start = self._expect_punct("{")
+        block = ast.Block(line=start.line)
+        self._skip_and_collect_pragmas()
+        while not self._peek().is_punct("}"):
+            block.stmts.append(self._parse_statement())
+            self._skip_and_collect_pragmas()
+        self._expect_punct("}")
+        return block
+
+    def _parse_statement(self) -> ast.Stmt:
+        self._skip_and_collect_pragmas()
+        token = self._peek()
+        if token.is_punct("{"):
+            return self._parse_block()
+        if token.is_keyword("for"):
+            return self._parse_for()
+        if token.is_keyword("while"):
+            return self._parse_while()
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("return"):
+            self._advance()
+            value = None if self._peek().is_punct(";") else self._parse_expr()
+            self._expect_punct(";")
+            return ast.ReturnStmt(value=value, line=token.line)
+        if token.is_keyword("break"):
+            self._advance()
+            self._expect_punct(";")
+            return ast.BreakStmt(line=token.line)
+        if token.is_keyword("continue"):
+            self._advance()
+            self._expect_punct(";")
+            return ast.ContinueStmt(line=token.line)
+        if token.type is TokenType.KEYWORD and token.text in (_TYPE_KEYWORDS | {"const", "static"}):
+            stmt = self._parse_declaration_list()
+            self._expect_punct(";")
+            return stmt
+        stmt = self._parse_expr_or_assign()
+        self._expect_punct(";")
+        return stmt
+
+    def _parse_declaration_list(self) -> ast.Stmt:
+        """Parse ``type d1, d2, ...``; multiple declarators become a Block."""
+        start = self._peek()
+        base = self._parse_type_specifier()
+        decls = [self._parse_declarator(base, start.line)]
+        while self._peek().is_punct(","):
+            self._advance()
+            decls.append(self._parse_declarator(base, start.line))
+        if len(decls) == 1:
+            return decls[0]
+        return ast.Block(stmts=list(decls), line=start.line)
+
+    def _parse_declarator(self, base: ast.CType, line: int) -> ast.DeclStmt:
+        name = self._expect_ident().text
+        dims = base.dims + self._parse_array_dims()
+        init = None
+        if self._peek().is_punct("="):
+            self._advance()
+            init = self._parse_expr()
+        return ast.DeclStmt(
+            name=name, ctype=ast.CType(base.base, dims, base.is_const), init=init, line=line
+        )
+
+    def _parse_declaration(self) -> ast.Stmt:
+        """Single-statement declaration entry point (kept for for-inits)."""
+        return self._parse_declaration_list()
+
+    def _parse_for(self) -> ast.ForStmt:
+        pragmas = self._take_pragmas()
+        start = self._advance()  # 'for'
+        self._expect_punct("(")
+        init: Optional[ast.Stmt] = None
+        if not self._peek().is_punct(";"):
+            token = self._peek()
+            if token.type is TokenType.KEYWORD and token.text in _TYPE_KEYWORDS:
+                init = self._parse_declaration()
+            else:
+                init = self._parse_expr_or_assign()
+        self._expect_punct(";")
+        cond = None if self._peek().is_punct(";") else self._parse_expr()
+        self._expect_punct(";")
+        step: Optional[ast.Stmt] = None
+        if not self._peek().is_punct(")"):
+            step = self._parse_expr_or_assign()
+        self._expect_punct(")")
+        label = f"L{self._loop_counter}"
+        self._loop_counter += 1
+        body = self._parse_statement_as_block()
+        return ast.ForStmt(
+            init=init, cond=cond, step=step, body=body, pragmas=pragmas, label=label, line=start.line
+        )
+
+    def _parse_while(self) -> ast.WhileStmt:
+        start = self._advance()
+        self._expect_punct("(")
+        cond = self._parse_expr()
+        self._expect_punct(")")
+        body = self._parse_statement_as_block()
+        return ast.WhileStmt(cond=cond, body=body, line=start.line)
+
+    def _parse_if(self) -> ast.IfStmt:
+        start = self._advance()
+        self._expect_punct("(")
+        cond = self._parse_expr()
+        self._expect_punct(")")
+        then = self._parse_statement_as_block()
+        otherwise = None
+        if self._peek().is_keyword("else"):
+            self._advance()
+            otherwise = self._parse_statement_as_block()
+        return ast.IfStmt(cond=cond, then=then, otherwise=otherwise, line=start.line)
+
+    def _parse_statement_as_block(self) -> ast.Block:
+        stmt = self._parse_statement()
+        if isinstance(stmt, ast.Block):
+            return stmt
+        return ast.Block(stmts=[stmt], line=stmt.line)
+
+    def _parse_expr_or_assign(self) -> ast.Stmt:
+        start = self._peek()
+        expr = self._parse_expr()
+        token = self._peek()
+        if token.is_punct("="):
+            self._advance()
+            value = self._parse_expr()
+            return ast.AssignStmt(target=expr, op="", value=value, line=start.line)
+        if token.type is TokenType.PUNCT and token.text in _COMPOUND_ASSIGN:
+            self._advance()
+            value = self._parse_expr()
+            return ast.AssignStmt(target=expr, op=token.text[:-1], value=value, line=start.line)
+        if token.is_punct("++") or token.is_punct("--"):
+            self._advance()
+            op = "+" if token.text == "++" else "-"
+            return ast.AssignStmt(
+                target=expr, op=op, value=ast.IntLiteral(1, line=token.line), line=start.line
+            )
+        return ast.ExprStmt(expr=expr, line=start.line)
+
+    # -- grammar: expressions --------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_binary(0)
+        if self._peek().is_punct("?"):
+            start = self._advance()
+            then = self._parse_expr()
+            self._expect_punct(":")
+            otherwise = self._parse_ternary()
+            return ast.TernaryOp(cond=cond, then=then, otherwise=otherwise, line=start.line)
+        return cond
+
+    def _parse_binary(self, min_prec: int) -> ast.Expr:
+        lhs = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.type is not TokenType.PUNCT:
+                return lhs
+            prec = _PRECEDENCE.get(token.text)
+            if prec is None or prec < min_prec:
+                return lhs
+            self._advance()
+            rhs = self._parse_binary(prec + 1)
+            lhs = ast.BinaryOp(op=token.text, lhs=lhs, rhs=rhs, line=token.line)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.type is TokenType.PUNCT and token.text in ("-", "!", "~", "+"):
+            self._advance()
+            operand = self._parse_unary()
+            if token.text == "+":
+                return operand
+            return ast.UnaryOp(op=token.text, operand=operand, line=token.line)
+        if token.is_punct("++") or token.is_punct("--"):
+            raise ParseError("prefix ++/-- is not supported; use i += 1", token.line, token.column)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while self._peek().is_punct("["):
+            if not isinstance(expr, (ast.VarRef, ast.ArrayRef)):
+                token = self._peek()
+                raise ParseError("subscript base must be a named array", token.line, token.column)
+            base = expr.name if isinstance(expr, ast.VarRef) else expr.base
+            indices = list(expr.indices) if isinstance(expr, ast.ArrayRef) else []
+            self._advance()
+            indices.append(self._parse_expr())
+            self._expect_punct("]")
+            expr = ast.ArrayRef(base=base, indices=indices, line=expr.line)
+        return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.is_punct("("):
+            # Either a parenthesised expression or a cast.
+            nxt = self._peek(1)
+            if nxt.type is TokenType.KEYWORD and nxt.text in _TYPE_KEYWORDS:
+                self._advance()
+                target = self._parse_type_specifier()
+                self._expect_punct(")")
+                operand = self._parse_unary()
+                return ast.Cast(target=target, operand=operand, line=token.line)
+            self._advance()
+            expr = self._parse_expr()
+            self._expect_punct(")")
+            return expr
+        if token.type is TokenType.INT_LIT:
+            self._advance()
+            return ast.IntLiteral(_parse_int(token.text), line=token.line)
+        if token.type is TokenType.FLOAT_LIT:
+            self._advance()
+            return ast.FloatLiteral(float(token.text.rstrip("fF")), line=token.line)
+        if token.type is TokenType.CHAR_LIT:
+            self._advance()
+            body = token.text[1:-1]
+            value = ord(body[-1]) if body else 0
+            return ast.IntLiteral(value, line=token.line)
+        if token.type is TokenType.IDENT:
+            self._advance()
+            if self._peek().is_punct("("):
+                self._advance()
+                args: List[ast.Expr] = []
+                if not self._peek().is_punct(")"):
+                    args.append(self._parse_expr())
+                    while self._peek().is_punct(","):
+                        self._advance()
+                        args.append(self._parse_expr())
+                self._expect_punct(")")
+                return ast.Call(name=token.text, args=args, line=token.line)
+            return ast.VarRef(name=token.text, line=token.line)
+        raise ParseError(f"unexpected token {token.text!r}", token.line, token.column)
+
+
+def _parse_int(text: str) -> int:
+    text = text.rstrip("uUlL")
+    return int(text, 16) if text.lower().startswith("0x") else int(text)
+
+
+def _const_eval(expr: ast.Expr) -> Optional[int]:
+    """Fold an integer constant expression (for array extents)."""
+    if isinstance(expr, ast.IntLiteral):
+        return expr.value
+    if isinstance(expr, ast.UnaryOp):
+        inner = _const_eval(expr.operand)
+        if inner is None:
+            return None
+        return {"-": -inner, "~": ~inner, "!": int(not inner)}.get(expr.op)
+    if isinstance(expr, ast.BinaryOp):
+        lhs, rhs = _const_eval(expr.lhs), _const_eval(expr.rhs)
+        if lhs is None or rhs is None:
+            return None
+        try:
+            return {
+                "+": lambda: lhs + rhs,
+                "-": lambda: lhs - rhs,
+                "*": lambda: lhs * rhs,
+                "/": lambda: lhs // rhs if rhs else None,
+                "%": lambda: lhs % rhs if rhs else None,
+                "<<": lambda: lhs << rhs,
+                ">>": lambda: lhs >> rhs,
+            }[expr.op]()
+        except KeyError:
+            return None
+    return None
+
+
+def parse_source(
+    source: str,
+    source_name: str = "<kernel>",
+    predefined=None,
+) -> ast.TranslationUnit:
+    """Lex and parse C source into a :class:`TranslationUnit`.
+
+    Parameters
+    ----------
+    source:
+        Kernel C source text (our C subset).
+    source_name:
+        Name recorded on the translation unit (diagnostics only).
+    predefined:
+        Optional ``{macro: replacement}`` applied before lexing.
+    """
+    tokens = Lexer(source, predefined).tokenize()
+    return Parser(tokens, source_name).parse_translation_unit()

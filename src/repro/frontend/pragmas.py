@@ -1,0 +1,221 @@
+"""Parsing and modelling of ``#pragma ACCEL`` directives.
+
+The Merlin compiler (Section 2.3 of the paper) exposes exactly three
+pragmas, each attached to a ``for`` loop::
+
+    #pragma ACCEL pipeline auto{__PIPE__L0}
+    #pragma ACCEL parallel factor=auto{__PARA__L0}
+    #pragma ACCEL tile factor=auto{__TILE__L0}
+
+``auto{NAME}`` is a *placeholder*: the design-space explorer substitutes a
+concrete option for ``NAME`` in every design point.  A directive may also
+carry a fixed value (e.g. ``factor=4``), in which case it is not a tunable
+knob.  Pipeline options are ``off`` / ``cg`` / ``fg`` (coarse-/fine-grained);
+parallel and tile options are positive integer factors.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Union
+
+from ..errors import PragmaError
+from . import ast_nodes as ast
+
+__all__ = [
+    "PragmaKind",
+    "PipelineOption",
+    "Pragma",
+    "parse_pragma",
+    "collect_pragmas",
+    "annotate_candidates",
+    "AUTO_RE",
+]
+
+AUTO_RE = re.compile(r"auto\{([A-Za-z_][A-Za-z0-9_]*)\}")
+
+
+class PragmaKind(Enum):
+    """The three Merlin pragma kinds, ordered by their graph `position`.
+
+    The integer values match the ``position`` edge attribute of
+    Section 4.2: tile=0, pipeline=1, parallel=2.
+    """
+
+    TILE = 0
+    PIPELINE = 1
+    PARALLEL = 2
+
+    @property
+    def keyword(self) -> str:
+        return self.name.lower()
+
+
+class PipelineOption(str, Enum):
+    """Options for the pipeline pragma: off, coarse-grained, fine-grained."""
+
+    OFF = "off"
+    COARSE = "cg"
+    FINE = "fg"
+
+
+#: A concrete pragma value: a PipelineOption for pipeline, an int factor
+#: for parallel/tile.
+PragmaValue = Union[PipelineOption, int]
+
+
+@dataclass
+class Pragma:
+    """One ``#pragma ACCEL`` directive attached to a loop.
+
+    Attributes
+    ----------
+    kind:
+        pipeline / parallel / tile.
+    placeholder:
+        The ``auto{NAME}`` placeholder name, or None when the value is fixed.
+    fixed_value:
+        Concrete value when the directive is not tunable, else None.
+    loop_label:
+        Label of the ``for`` loop this pragma is attached to (``L0``...),
+        filled in by :func:`collect_pragmas`.
+    function:
+        Name of the enclosing function.
+    """
+
+    kind: PragmaKind
+    placeholder: Optional[str] = None
+    fixed_value: Optional[PragmaValue] = None
+    loop_label: str = ""
+    function: str = ""
+
+    @property
+    def is_tunable(self) -> bool:
+        return self.placeholder is not None
+
+    @property
+    def name(self) -> str:
+        """Stable identifier of this knob (placeholder name when tunable)."""
+        if self.placeholder:
+            return self.placeholder
+        return f"__{self.kind.keyword.upper()}__{self.function}__{self.loop_label}"
+
+    def render(self, value: Optional[PragmaValue] = None) -> str:
+        """Render the directive text with ``value`` substituted.
+
+        When ``value`` is None the placeholder form is rendered back.
+        """
+        if value is None and self.fixed_value is not None:
+            value = self.fixed_value
+        if value is None:
+            option = f"auto{{{self.placeholder}}}"
+        elif isinstance(value, PipelineOption):
+            option = value.value
+        else:
+            option = str(int(value))
+        if self.kind is PragmaKind.PIPELINE:
+            return f"ACCEL pipeline {option}"
+        return f"ACCEL {self.kind.keyword} factor={option}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Pragma({self.kind.keyword}, {self.name}, loop={self.function}/{self.loop_label})"
+
+
+_PIPELINE_RE = re.compile(r"^ACCEL\s+pipeline\s*(?:\b(off|cg|fg|flatten)\b)?\s*(.*)$", re.IGNORECASE)
+_FACTOR_RE = re.compile(r"^ACCEL\s+(parallel|tile)\s*(?:factor\s*=\s*(\S+))?\s*$", re.IGNORECASE)
+
+
+def parse_pragma(text: str) -> Optional[Pragma]:
+    """Parse one directive body (the text after ``#pragma``).
+
+    Returns None for non-ACCEL pragmas (e.g. ``HLS`` pragmas the kernels
+    might carry), raises :class:`PragmaError` for malformed ACCEL ones.
+    """
+    stripped = text.strip()
+    if not stripped.upper().startswith("ACCEL"):
+        return None
+    m = _PIPELINE_RE.match(stripped)
+    if m and "pipeline" in stripped.lower():
+        option_kw, rest = m.group(1), m.group(2).strip()
+        auto = AUTO_RE.search(rest or "") or AUTO_RE.search(stripped)
+        if auto:
+            return Pragma(PragmaKind.PIPELINE, placeholder=auto.group(1))
+        if option_kw:
+            kw = option_kw.lower()
+            if kw == "flatten":
+                kw = "fg"
+            return Pragma(PragmaKind.PIPELINE, fixed_value=PipelineOption(kw))
+        # Bare "ACCEL pipeline" means pipeline unconditionally (cg).
+        return Pragma(PragmaKind.PIPELINE, fixed_value=PipelineOption.COARSE)
+    m = _FACTOR_RE.match(stripped)
+    if m:
+        kind = PragmaKind.PARALLEL if m.group(1).lower() == "parallel" else PragmaKind.TILE
+        option = m.group(2)
+        if option is None:
+            raise PragmaError(f"missing factor= in {text!r}")
+        auto = AUTO_RE.match(option)
+        if auto:
+            return Pragma(kind, placeholder=auto.group(1))
+        try:
+            return Pragma(kind, fixed_value=int(option))
+        except ValueError as exc:
+            raise PragmaError(f"bad factor {option!r} in {text!r}") from exc
+    raise PragmaError(f"unrecognised ACCEL pragma: {text!r}")
+
+
+def collect_pragmas(unit: ast.TranslationUnit) -> List[Pragma]:
+    """Collect every ACCEL pragma of a translation unit, loop-resolved.
+
+    Pragmas are returned in source order; each carries the label of the
+    loop it annotates and the enclosing function name.  Duplicate
+    placeholder names raise :class:`PragmaError` (each knob must be
+    uniquely addressable).
+    """
+    pragmas: List[Pragma] = []
+    seen: Dict[str, str] = {}
+    for fn in unit.functions:
+        for loop in ast.collect_loops(fn.body):
+            for directive in loop.pragmas:
+                pragma = parse_pragma(directive.text)
+                if pragma is None:
+                    continue
+                pragma.loop_label = loop.label
+                pragma.function = fn.name
+                if pragma.is_tunable:
+                    where = f"{fn.name}/{loop.label}"
+                    if pragma.placeholder in seen:
+                        raise PragmaError(
+                            f"placeholder {pragma.placeholder!r} used at both "
+                            f"{seen[pragma.placeholder]} and {where}"
+                        )
+                    seen[pragma.placeholder] = where
+                pragmas.append(pragma)
+    return pragmas
+
+
+def annotate_candidates(unit: ast.TranslationUnit) -> List[Pragma]:
+    """Insert candidate pragma placeholders on every un-annotated loop.
+
+    This implements the "Candidate Pragma Generator" of Fig. 3: each
+    ``for`` loop can take up to three pragmas (pipeline, parallel, tile).
+    Loops that already carry ACCEL pragmas are left untouched.  Tile
+    pragmas are only proposed for loops that contain a nested loop, as
+    tiling an innermost loop has no cache to exploit.
+
+    Returns the full pragma list of the (mutated) unit.
+    """
+    for fn in unit.functions:
+        for loop in ast.collect_loops(fn.body):
+            if any(parse_pragma(p.text) for p in loop.pragmas):
+                continue
+            suffix = f"__{fn.name}__{loop.label}"
+            has_subloop = bool(ast.collect_loops(loop.body))
+            directives = []
+            if has_subloop:
+                directives.append(f"ACCEL tile factor=auto{{__TILE{suffix}}}")
+            directives.append(f"ACCEL pipeline auto{{__PIPE{suffix}}}")
+            directives.append(f"ACCEL parallel factor=auto{{__PARA{suffix}}}")
+            loop.pragmas = [ast.PragmaDirective(text=t, line=loop.line) for t in directives]
+    return collect_pragmas(unit)

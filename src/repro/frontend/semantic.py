@@ -1,0 +1,261 @@
+"""Semantic analysis: symbol resolution and light type checking.
+
+This pass validates the AST before IR lowering:
+
+* every identifier is declared (parameter, local, or loop variable);
+* called functions are defined in the unit or are known intrinsics;
+* subscript depth does not exceed the declared array rank;
+* assignment targets are variables or array elements.
+
+It produces per-function :class:`SymbolTable` objects that the lowering
+pass reuses, so name resolution logic lives in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..errors import SemanticError
+from . import ast_nodes as ast
+
+__all__ = ["Symbol", "SymbolTable", "analyze", "INTRINSICS"]
+
+#: Functions treated as known math intrinsics (lowered to single IR calls).
+INTRINSICS: Dict[str, ast.CType] = {
+    "sqrt": ast.CType("double"),
+    "sqrtf": ast.CType("float"),
+    "fabs": ast.CType("double"),
+    "abs": ast.CType("int"),
+    "exp": ast.CType("double"),
+    "log": ast.CType("double"),
+    "sin": ast.CType("double"),
+    "cos": ast.CType("double"),
+    "pow": ast.CType("double"),
+    "min": ast.CType("int"),
+    "max": ast.CType("int"),
+}
+
+
+@dataclass
+class Symbol:
+    """A named program entity (parameter or local)."""
+
+    name: str
+    ctype: ast.CType
+    is_param: bool = False
+
+    @property
+    def is_array(self) -> bool:
+        return self.ctype.is_array
+
+
+@dataclass
+class SymbolTable:
+    """Flat per-function symbol table (C block scoping approximated).
+
+    Kernel code in our subset never shadows names across blocks, so a
+    flat table per function is faithful and keeps lookups trivial.
+    """
+
+    function: str
+    symbols: Dict[str, Symbol] = field(default_factory=dict)
+
+    def declare(self, name: str, ctype: ast.CType, is_param: bool = False) -> Symbol:
+        if name in self.symbols:
+            # Re-declaration with identical type occurs for loop variables
+            # reused across loops (e.g. two `for (int i = ...)`); accept it.
+            existing = self.symbols[name]
+            if existing.ctype != ctype:
+                raise SemanticError(
+                    f"{self.function}: conflicting declarations of {name!r}: "
+                    f"{existing.ctype} vs {ctype}"
+                )
+            return existing
+        symbol = Symbol(name, ctype, is_param)
+        self.symbols[name] = symbol
+        return symbol
+
+    def lookup(self, name: str) -> Symbol:
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise SemanticError(f"{self.function}: use of undeclared identifier {name!r}") from None
+
+    def arrays(self) -> List[Symbol]:
+        return [s for s in self.symbols.values() if s.is_array]
+
+
+class _Checker:
+    def __init__(self, unit: ast.TranslationUnit):
+        self._unit = unit
+        self._functions: Set[str] = {fn.name for fn in unit.functions}
+
+    def run(self) -> Dict[str, SymbolTable]:
+        tables: Dict[str, SymbolTable] = {}
+        for fn in self._unit.functions:
+            tables[fn.name] = self._check_function(fn)
+        return tables
+
+    def _check_function(self, fn: ast.FunctionDef) -> SymbolTable:
+        table = SymbolTable(fn.name)
+        for param in fn.params:
+            table.declare(param.name, param.ctype, is_param=True)
+        self._check_block(fn.body, table)
+        return table
+
+    def _check_block(self, block: ast.Block, table: SymbolTable) -> None:
+        for stmt in block.stmts:
+            self._check_stmt(stmt, table)
+
+    def _check_stmt(self, stmt: ast.Stmt, table: SymbolTable) -> None:
+        if isinstance(stmt, ast.DeclStmt):
+            table.declare(stmt.name, stmt.ctype)
+            if stmt.init is not None:
+                if stmt.ctype.is_array:
+                    raise SemanticError(
+                        f"{table.function}: array initialisers are not supported ({stmt.name})"
+                    )
+                self._check_expr(stmt.init, table)
+        elif isinstance(stmt, ast.AssignStmt):
+            self._check_assign_target(stmt.target, table)
+            self._check_expr(stmt.value, table)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr, table)
+        elif isinstance(stmt, ast.Block):
+            self._check_block(stmt, table)
+        elif isinstance(stmt, ast.IfStmt):
+            self._check_expr(stmt.cond, table)
+            self._check_block(stmt.then, table)
+            if stmt.otherwise is not None:
+                self._check_block(stmt.otherwise, table)
+        elif isinstance(stmt, ast.ForStmt):
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, table)
+            if stmt.cond is not None:
+                self._check_expr(stmt.cond, table)
+            if stmt.step is not None:
+                self._check_stmt(stmt.step, table)
+            self._check_block(stmt.body, table)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._check_expr(stmt.cond, table)
+            self._check_block(stmt.body, table)
+        elif isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is not None:
+                self._check_expr(stmt.value, table)
+        elif isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
+            pass
+        else:
+            raise SemanticError(f"{table.function}: unsupported statement {type(stmt).__name__}")
+
+    def _check_assign_target(self, target: ast.Expr, table: SymbolTable) -> None:
+        if isinstance(target, ast.VarRef):
+            symbol = table.lookup(target.name)
+            if symbol.is_array:
+                raise SemanticError(
+                    f"{table.function}: cannot assign whole array {target.name!r}"
+                )
+        elif isinstance(target, ast.ArrayRef):
+            self._check_array_ref(target, table)
+        else:
+            raise SemanticError(
+                f"{table.function}: assignment target must be a variable or array element"
+            )
+
+    def _check_array_ref(self, ref: ast.ArrayRef, table: SymbolTable) -> None:
+        symbol = table.lookup(ref.base)
+        if not symbol.is_array:
+            raise SemanticError(f"{table.function}: {ref.base!r} subscripted but not an array")
+        if len(ref.indices) > len(symbol.ctype.dims):
+            raise SemanticError(
+                f"{table.function}: {ref.base!r} has rank {len(symbol.ctype.dims)} "
+                f"but is subscripted {len(ref.indices)} times"
+            )
+        for index in ref.indices:
+            self._check_expr(index, table)
+
+    def _check_expr(self, expr: ast.Expr, table: SymbolTable) -> None:
+        if isinstance(expr, (ast.IntLiteral, ast.FloatLiteral)):
+            return
+        if isinstance(expr, ast.VarRef):
+            table.lookup(expr.name)
+            return
+        if isinstance(expr, ast.ArrayRef):
+            self._check_array_ref(expr, table)
+            return
+        if isinstance(expr, ast.UnaryOp):
+            self._check_expr(expr.operand, table)
+            return
+        if isinstance(expr, ast.BinaryOp):
+            self._check_expr(expr.lhs, table)
+            self._check_expr(expr.rhs, table)
+            return
+        if isinstance(expr, ast.TernaryOp):
+            self._check_expr(expr.cond, table)
+            self._check_expr(expr.then, table)
+            self._check_expr(expr.otherwise, table)
+            return
+        if isinstance(expr, ast.Cast):
+            self._check_expr(expr.operand, table)
+            return
+        if isinstance(expr, ast.Call):
+            if expr.name not in self._functions and expr.name not in INTRINSICS:
+                raise SemanticError(
+                    f"{table.function}: call to unknown function {expr.name!r}"
+                )
+            for arg in expr.args:
+                self._check_expr(arg, table)
+            return
+        raise SemanticError(f"{table.function}: unsupported expression {type(expr).__name__}")
+
+
+def analyze(unit: ast.TranslationUnit) -> Dict[str, SymbolTable]:
+    """Run semantic analysis, returning a symbol table per function.
+
+    Raises :class:`~repro.errors.SemanticError` on the first violation.
+    """
+    return _Checker(unit).run()
+
+
+def infer_expr_type(expr: ast.Expr, table: SymbolTable) -> ast.CType:
+    """Best-effort static type of ``expr`` (int/float/double).
+
+    Follows C's usual arithmetic conversions in spirit: any double operand
+    makes the result double, else any float makes it float, else int.
+    """
+    if isinstance(expr, ast.IntLiteral):
+        return ast.CType("int")
+    if isinstance(expr, ast.FloatLiteral):
+        return ast.CType("double")
+    if isinstance(expr, ast.VarRef):
+        ctype = table.lookup(expr.name).ctype
+        return ast.CType(ctype.base)
+    if isinstance(expr, ast.ArrayRef):
+        ctype = table.lookup(expr.base).ctype
+        if len(expr.indices) < len(ctype.dims):
+            return ast.CType(ctype.base, ctype.dims[len(expr.indices):])
+        return ast.CType(ctype.base)
+    if isinstance(expr, ast.UnaryOp):
+        return infer_expr_type(expr.operand, table)
+    if isinstance(expr, ast.BinaryOp):
+        if expr.op in ("<", ">", "<=", ">=", "==", "!=", "&&", "||"):
+            return ast.CType("int")
+        lhs = infer_expr_type(expr.lhs, table)
+        rhs = infer_expr_type(expr.rhs, table)
+        return _combine(lhs, rhs)
+    if isinstance(expr, ast.TernaryOp):
+        return _combine(infer_expr_type(expr.then, table), infer_expr_type(expr.otherwise, table))
+    if isinstance(expr, ast.Cast):
+        return ast.CType(expr.target.base)
+    if isinstance(expr, ast.Call):
+        if expr.name in INTRINSICS:
+            return INTRINSICS[expr.name]
+        return ast.CType("int")
+    return ast.CType("int")
+
+
+def _combine(lhs: ast.CType, rhs: ast.CType) -> ast.CType:
+    for base in ("double", "float", "long"):
+        if lhs.base == base or rhs.base == base:
+            return ast.CType(base)
+    return ast.CType("int")

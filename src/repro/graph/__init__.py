@@ -1,0 +1,68 @@
+"""Pragma-extended ProGraML-style program graphs and feature encoding.
+
+Implements Section 4.2 of the paper: build the graph once per kernel
+(:func:`build_program_graph`), encode it (:class:`GraphEncoder`), then
+patch pragma-node features per design point (:meth:`EncodedGraph.fill`).
+
+The convenience helper :func:`encode_kernel` runs the whole front-end →
+IR → graph → features pipeline for a registered kernel.
+"""
+
+from __future__ import annotations
+
+from .encoding import EDGE_DIM, NODE_DIM, EncodedGraph, GraphEncoder
+from .programl import (
+    FLOW_CALL,
+    FLOW_CONTROL,
+    FLOW_DATA,
+    FLOW_PRAGMA,
+    NTYPE_CONSTANT,
+    NTYPE_INSTRUCTION,
+    NTYPE_PRAGMA,
+    NTYPE_VARIABLE,
+    GraphEdge,
+    GraphNode,
+    ProgramGraph,
+    build_program_graph,
+)
+from .vocab import NODE_TEXT_VOCAB, node_text_index, vocab_size
+
+__all__ = [
+    "EDGE_DIM",
+    "NODE_DIM",
+    "EncodedGraph",
+    "GraphEncoder",
+    "FLOW_CALL",
+    "FLOW_CONTROL",
+    "FLOW_DATA",
+    "FLOW_PRAGMA",
+    "NTYPE_CONSTANT",
+    "NTYPE_INSTRUCTION",
+    "NTYPE_PRAGMA",
+    "NTYPE_VARIABLE",
+    "GraphEdge",
+    "GraphNode",
+    "ProgramGraph",
+    "build_program_graph",
+    "NODE_TEXT_VOCAB",
+    "node_text_index",
+    "vocab_size",
+    "encode_kernel",
+    "kernel_graph",
+]
+
+
+def kernel_graph(spec) -> ProgramGraph:
+    """Build the program graph of a :class:`~repro.kernels.KernelSpec`."""
+    trip_counts = {}
+    for fn in spec.analysis.functions.values():
+        for loop in fn.all_loops():
+            trip_counts[f"{fn.name}/{loop.label}"] = loop.trip_count
+    return build_program_graph(
+        spec.module, spec.analysis.pragmas, name=spec.name, trip_counts=trip_counts
+    )
+
+
+def encode_kernel(spec) -> EncodedGraph:
+    """Front-end → IR → graph → encoded features for a kernel spec."""
+    return GraphEncoder().encode(kernel_graph(spec))

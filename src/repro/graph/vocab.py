@@ -1,0 +1,124 @@
+"""Fixed node/edge vocabularies for graph feature encoding.
+
+The vocabulary is *global and closed* (not fit per dataset) so that
+kernels never seen during training still encode into the same feature
+space — this is what makes the learned model transferable across
+applications (Section 5.4).  Unknown texts map to an UNK slot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = [
+    "NODE_TEXT_VOCAB",
+    "NODE_TYPES",
+    "EDGE_FLOWS",
+    "node_text_index",
+    "UNK_INDEX",
+]
+
+#: Node type codes from Section 4.2 of the paper.
+NODE_TYPES = ("instruction", "variable", "constant", "pragma")
+
+#: Edge flow codes from Section 4.2.
+EDGE_FLOWS = ("control", "data", "call", "pragma")
+
+#: Closed key_text vocabulary: instruction opcodes (with compare
+#: predicates split out), value type strings, and pragma keywords.
+NODE_TEXT_VOCAB: List[str] = [
+    # terminators / control
+    "br",
+    "condbr",
+    "ret",
+    # memory
+    "alloca",
+    "load",
+    "store",
+    "getelementptr",
+    # integer arithmetic
+    "add",
+    "sub",
+    "mul",
+    "sdiv",
+    "srem",
+    # float arithmetic
+    "fadd",
+    "fsub",
+    "fmul",
+    "fdiv",
+    # bitwise
+    "and",
+    "or",
+    "xor",
+    "shl",
+    "lshr",
+    "ashr",
+    # compares (predicate-qualified, like ProGraML's text field)
+    "icmp.eq",
+    "icmp.ne",
+    "icmp.slt",
+    "icmp.sgt",
+    "icmp.sle",
+    "icmp.sge",
+    "fcmp.oeq",
+    "fcmp.one",
+    "fcmp.olt",
+    "fcmp.ogt",
+    "fcmp.ole",
+    "fcmp.oge",
+    # casts
+    "sext",
+    "zext",
+    "trunc",
+    "sitofp",
+    "fptosi",
+    "fpext",
+    "fptrunc",
+    "bitcast",
+    # misc
+    "phi",
+    "call",
+    "select",
+    # value/constant type strings (variable + constant nodes)
+    "i1",
+    "i8",
+    "i16",
+    "i32",
+    "i64",
+    "float",
+    "double",
+    "i32*",
+    "i64*",
+    "float*",
+    "double*",
+    "array*",
+    # pragma keywords (pragma nodes)
+    "PIPELINE",
+    "PARALLEL",
+    "TILE",
+]
+
+_INDEX: Dict[str, int] = {text: i for i, text in enumerate(NODE_TEXT_VOCAB)}
+
+#: Index used for any text outside the closed vocabulary.
+UNK_INDEX = len(NODE_TEXT_VOCAB)
+
+
+def node_text_index(text: str) -> int:
+    """Map a node key_text to its vocabulary index (UNK when absent).
+
+    Pointer-to-array types collapse onto the ``array*`` slot so that
+    arrays of any shape share one symbol; their element type is carried
+    separately by the graph builder.
+    """
+    if text in _INDEX:
+        return _INDEX[text]
+    if text.endswith("*") and "[" in text:
+        return _INDEX["array*"]
+    return UNK_INDEX
+
+
+def vocab_size() -> int:
+    """Vocabulary cardinality including the UNK slot."""
+    return len(NODE_TEXT_VOCAB) + 1

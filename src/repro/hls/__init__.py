@@ -1,0 +1,47 @@
+"""Simulated Merlin-compiler + HLS evaluator (the paper's tool H).
+
+The original flow calls Xilinx's Merlin compiler and Vitis HLS, which
+take minutes to hours per design point.  This package substitutes an
+analytical-but-heuristic model that preserves the qualitative structure
+of HLS QoR (see DESIGN.md for the substitution argument):
+
+- :class:`MerlinHLSTool` — synthesize (kernel, design point) pairs;
+- :class:`HLSResult` — latency, resources, validity, modeled runtime;
+- :mod:`repro.hls.estimator` — the scheduling/area model itself.
+"""
+
+from .config import MAX_PARTITION, ConfiguredKernel, ConfiguredLoop, configure
+from .device import OP_COSTS, VCU1525, OpCost, ResourcePool
+from .estimator import Estimate, Estimator
+from .sweep import KnobSweep, SweepResult, sweep_kernel
+from .report import (
+    INVALID_PARTITION,
+    INVALID_RESOURCE,
+    INVALID_TIMEOUT,
+    HLSResult,
+    LoopReport,
+)
+from .tool import SYNTH_TIMEOUT_SECONDS, MerlinHLSTool
+
+__all__ = [
+    "MAX_PARTITION",
+    "ConfiguredKernel",
+    "ConfiguredLoop",
+    "configure",
+    "OP_COSTS",
+    "VCU1525",
+    "OpCost",
+    "ResourcePool",
+    "Estimate",
+    "Estimator",
+    "INVALID_PARTITION",
+    "INVALID_RESOURCE",
+    "INVALID_TIMEOUT",
+    "HLSResult",
+    "LoopReport",
+    "SYNTH_TIMEOUT_SECONDS",
+    "MerlinHLSTool",
+    "KnobSweep",
+    "SweepResult",
+    "sweep_kernel",
+]

@@ -1,0 +1,190 @@
+"""Design-point application: from knob values to a configured loop tree.
+
+Applies the Merlin compiler's semantics to a raw design point:
+
+* fine-grained (``fg``) pipelining of a loop fully unrolls every nested
+  loop, so their own pragma settings are discarded;
+* a parallel factor at or above the trip count is a full unroll and the
+  loop's pipeline setting becomes irrelevant;
+* fixed (non-tunable) pragmas always apply.
+
+The resulting :class:`ConfiguredLoop` tree plus per-array partition
+factors feed the scheduler and resource estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..frontend.pragmas import Pragma, PragmaKind, PipelineOption
+from ..ir.analysis import FunctionAnalysis, KernelAnalysis, LoopInfo
+
+__all__ = ["ConfiguredLoop", "ConfiguredKernel", "configure"]
+
+#: Maximum banks Merlin/HLS will partition one array into.
+MAX_PARTITION = 128
+
+
+@dataclass
+class ConfiguredLoop:
+    """One loop with its effective pragma settings for a design point."""
+
+    loop: LoopInfo
+    pipeline: PipelineOption = PipelineOption.OFF
+    parallel: int = 1
+    tile: int = 1
+    absorbed: bool = False  # an ancestor's fg pipelining swallowed this loop
+    children: List["ConfiguredLoop"] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        return self.loop.label
+
+    @property
+    def trip_count(self) -> int:
+        return self.loop.trip_count
+
+    @property
+    def is_fg(self) -> bool:
+        return self.pipeline is PipelineOption.FINE and bool(self.children)
+
+    @property
+    def is_pipelined(self) -> bool:
+        return self.pipeline is not PipelineOption.OFF
+
+    def subtree(self) -> List["ConfiguredLoop"]:
+        out: List[ConfiguredLoop] = [self]
+        for child in self.children:
+            out.extend(child.subtree())
+        return out
+
+
+@dataclass
+class ConfiguredKernel:
+    """Loop configuration for every function, plus array partitioning."""
+
+    analysis: KernelAnalysis
+    functions: Dict[str, List[ConfiguredLoop]] = field(default_factory=dict)
+    #: array name -> uncapped bank product (regular accesses only)
+    partition_raw: Dict[str, int] = field(default_factory=dict)
+    #: array name -> True when any access to it is irregular/indirect
+    irregular: Dict[str, bool] = field(default_factory=dict)
+    #: array name -> footprint scale in (0, 1] from tiling
+    footprint_scale: Dict[str, float] = field(default_factory=dict)
+    #: array name -> overlapped transfer (tile + coarse pipeline)
+    overlapped: Dict[str, bool] = field(default_factory=dict)
+
+    def banks(self, array: str) -> int:
+        """Effective bank count (1 for irregular arrays, capped)."""
+        if self.irregular.get(array, False):
+            return 1
+        return min(self.partition_raw.get(array, 1), MAX_PARTITION)
+
+    def all_loops(self) -> List[ConfiguredLoop]:
+        out: List[ConfiguredLoop] = []
+        for loops in self.functions.values():
+            for top in loops:
+                out.extend(top.subtree())
+        return out
+
+
+def _knob_value(point, pragma: Pragma):
+    if pragma.fixed_value is not None:
+        return pragma.fixed_value
+    value = point.get(pragma.placeholder)
+    if value is None:
+        return PipelineOption.OFF if pragma.kind is PragmaKind.PIPELINE else 1
+    return value
+
+
+def _configure_loop(loop: LoopInfo, point, absorbed: bool) -> ConfiguredLoop:
+    cfg = ConfiguredLoop(loop=loop, absorbed=absorbed)
+    if not absorbed:
+        for pragma in loop.pragmas:
+            value = _knob_value(point, pragma)
+            if pragma.kind is PragmaKind.PIPELINE:
+                cfg.pipeline = value if isinstance(value, PipelineOption) else PipelineOption(value)
+            elif pragma.kind is PragmaKind.PARALLEL:
+                cfg.parallel = min(int(value), loop.trip_count)
+            else:
+                cfg.tile = min(int(value), loop.trip_count)
+        if cfg.parallel >= loop.trip_count and loop.trip_count > 1:
+            # Full unroll: nothing left to pipeline at this level.
+            cfg.parallel = loop.trip_count
+            cfg.pipeline = PipelineOption.OFF
+    swallow = absorbed or cfg.pipeline is PipelineOption.FINE
+    for child in loop.children:
+        cfg.children.append(_configure_loop(child, point, swallow))
+    return cfg
+
+
+def _collect_partitioning(kernel: ConfiguredKernel, fa: FunctionAnalysis, cfg: ConfiguredLoop):
+    """Accumulate per-array bank products and irregularity flags."""
+    # The unroll factor this loop contributes: explicit parallel factor,
+    # or the full trip count when an ancestor's fg pipelining absorbed it.
+    factor = cfg.trip_count if cfg.absorbed else cfg.parallel
+    for access in cfg.loop.accesses:
+        name = access.array
+        kernel.partition_raw.setdefault(name, 1)
+        kernel.irregular.setdefault(name, False)
+        if access.is_irregular:
+            kernel.irregular[name] = True
+    if factor > 1:
+        var = cfg.loop.induction_var
+        # Any access in the subtree that varies with this loop's variable
+        # demands partitioned banks on its array.
+        affected = set()
+        for sub in cfg.subtree():
+            for access in sub.loop.accesses:
+                if access.depends_on(var) and not access.is_irregular:
+                    affected.add(access.array)
+        for name in affected:
+            kernel.partition_raw[name] = kernel.partition_raw.get(name, 1) * factor
+    for child in cfg.children:
+        _collect_partitioning(kernel, fa, child)
+
+
+def _collect_tiling(kernel: ConfiguredKernel, cfg: ConfiguredLoop):
+    """Record footprint reduction and transfer overlap from tiling."""
+    if cfg.tile > 1 and cfg.trip_count > cfg.tile:
+        var = cfg.loop.induction_var
+        scale = cfg.tile / float(cfg.trip_count)
+        overlapping = cfg.pipeline is PipelineOption.COARSE
+        for sub in cfg.subtree():
+            for access in sub.loop.accesses:
+                if access.is_irregular or not access.depends_on(var):
+                    continue
+                name = access.array
+                current = kernel.footprint_scale.get(name, 1.0)
+                kernel.footprint_scale[name] = min(current, scale)
+                if overlapping:
+                    kernel.overlapped[name] = True
+    for child in cfg.children:
+        _collect_tiling(kernel, child)
+
+
+def configure(analysis: KernelAnalysis, point) -> ConfiguredKernel:
+    """Apply a design point to a kernel analysis.
+
+    Parameters
+    ----------
+    analysis:
+        The kernel's loop-nest analysis.
+    point:
+        Mapping of knob placeholder name to option.  Missing knobs
+        default to neutral.
+    """
+    kernel = ConfiguredKernel(analysis=analysis)
+    for name, fa in analysis.functions.items():
+        tops = [_configure_loop(loop, point, absorbed=False) for loop in fa.top_loops]
+        kernel.functions[name] = tops
+        for top in tops:
+            _collect_partitioning(kernel, fa, top)
+            _collect_tiling(kernel, top)
+    for name, fa in analysis.functions.items():
+        for array in fa.arrays:
+            kernel.partition_raw.setdefault(array, 1)
+            kernel.irregular.setdefault(array, False)
+            kernel.footprint_scale.setdefault(array, 1.0)
+    return kernel

@@ -1,0 +1,83 @@
+"""Target device and operator cost models.
+
+The paper targets a Xilinx Virtex UltraScale+ VCU1525 (XCVU9P part).
+Resource pools below are the real part's; operator latency/area costs
+are representative of Vitis HLS's default floating-point and integer
+operator libraries at ~250 MHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["ResourcePool", "OpCost", "VCU1525", "OP_COSTS", "MEM_READ_LATENCY", "BRAM_BITS"]
+
+#: Capacity of one BRAM18K block in bits.
+BRAM_BITS = 18 * 1024
+
+#: Cycles to read from an on-chip BRAM (registered output).
+MEM_READ_LATENCY = 2
+
+
+@dataclass(frozen=True)
+class ResourcePool:
+    """On-chip resource capacities of an FPGA part."""
+
+    name: str
+    dsp: int
+    bram: int  # BRAM18K blocks
+    lut: int
+    ff: int
+
+    def utilization(self, usage: Dict[str, float]) -> Dict[str, float]:
+        """Normalise absolute usage numbers by the pool capacities."""
+        return {
+            "DSP": usage.get("DSP", 0.0) / self.dsp,
+            "BRAM": usage.get("BRAM", 0.0) / self.bram,
+            "LUT": usage.get("LUT", 0.0) / self.lut,
+            "FF": usage.get("FF", 0.0) / self.ff,
+        }
+
+
+#: Xilinx VCU1525 (XCVU9P): the paper's target board.
+VCU1525 = ResourcePool(name="xcvu9p", dsp=6840, bram=4320, lut=1_182_240, ff=2_364_480)
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Latency (cycles) and area of one operator instance."""
+
+    latency: int
+    dsp: int = 0
+    lut: int = 0
+    ff: int = 0
+
+
+#: Operator library.  Float entries use double-precision costs since the
+#: Polybench-style kernels compute in double.
+OP_COSTS: Dict[str, OpCost] = {
+    "fadd": OpCost(latency=5, dsp=3, lut=400, ff=500),
+    "fmul": OpCost(latency=4, dsp=11, lut=300, ff=500),
+    "fdiv": OpCost(latency=30, dsp=0, lut=3200, ff=3200),
+    "iadd": OpCost(latency=1, dsp=0, lut=32, ff=32),
+    "imul": OpCost(latency=3, dsp=3, lut=30, ff=60),
+    "idiv": OpCost(latency=34, dsp=0, lut=1100, ff=1200),
+    "cmp": OpCost(latency=1, dsp=0, lut=24, ff=8),
+    "bitop": OpCost(latency=1, dsp=0, lut=16, ff=8),
+    "shift": OpCost(latency=1, dsp=0, lut=24, ff=8),
+    "select": OpCost(latency=1, dsp=0, lut=16, ff=8),
+    "special": OpCost(latency=28, dsp=8, lut=3000, ff=3000),
+}
+
+#: Per-loop controller overhead (FSM + counters), scaled by replication.
+LOOP_CTRL_LUT = 120
+LOOP_CTRL_FF = 90
+
+#: Base design overhead (AXI interfaces, control registers).
+BASE_LUT = 9000
+BASE_FF = 12000
+BASE_BRAM = 8
+
+#: Off-chip interface width in bits per cycle (one 512-bit AXI port).
+AXI_BITS_PER_CYCLE = 512

@@ -1,0 +1,439 @@
+"""Cycle and resource estimation for a configured kernel.
+
+This module is the core of the HLS-tool substitute.  It walks the
+configured loop tree and reproduces the qualitative mechanisms that make
+real HLS QoR a hard, non-linear function of the pragmas:
+
+* **pipelining**: an innermost pipelined loop costs ``depth + II*(n-1)``;
+  the initiation interval II is the max of the memory-port pressure and
+  the loop-carried-dependence recurrence;
+* **memory ports**: unrolling multiplies concurrent accesses; Merlin's
+  automatic array partitioning multiplies banks to match — except for
+  irregular (indirect) accesses, which stay on one bank and serialise;
+* **reductions**: a scalar accumulation pins II to the adder latency
+  (Merlin's tree reduction keeps it from growing with the unroll factor
+  but deepens the pipeline); a cross-element array recurrence (nw-style
+  wavefront) makes pipelining useless;
+* **coarse-grained pipelining** overlaps the stages (sub-loops) of a
+  non-innermost loop, unless a recurrence forbids the overlap;
+* **fine-grained pipelining** fully unrolls the sub-nest: massive
+  parallelism, massive resources — great for tiny nests, fatal for big
+  ones;
+* **tiling** shrinks on-chip buffers and (with cg pipelining) overlaps
+  off-chip transfers with compute, at a small flush overhead per tile;
+* **operator sharing**: HLS binds ``ceil(count/II)`` operator instances,
+  coupling aggressive pipelining to area.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..frontend.pragmas import PipelineOption
+from ..ir.analysis import ArrayAccess, LoopInfo, OpCensus, Reduction
+from .config import ConfiguredKernel, ConfiguredLoop, MAX_PARTITION
+from .device import (
+    BASE_BRAM,
+    BASE_FF,
+    BASE_LUT,
+    AXI_BITS_PER_CYCLE,
+    BRAM_BITS,
+    LOOP_CTRL_FF,
+    LOOP_CTRL_LUT,
+    MEM_READ_LATENCY,
+    OP_COSTS,
+    ResourcePool,
+)
+from .report import LoopReport
+
+__all__ = ["Estimate", "Estimator"]
+
+#: Operator kinds in OpCensus, paired with their OP_COSTS key.
+_OP_KINDS = (
+    ("fadd", "fadd"),
+    ("fmul", "fmul"),
+    ("fdiv", "fdiv"),
+    ("iadd", "iadd"),
+    ("imul", "imul"),
+    ("idiv", "idiv"),
+    ("cmp", "cmp"),
+    ("bitop", "bitop"),
+    ("shift", "shift"),
+    ("select", "select"),
+    ("special", "special"),
+)
+
+#: Loop setup/flush overhead cycles.
+_LOOP_OVERHEAD = 4
+
+#: Per-tile boundary flush cycles.
+_TILE_FLUSH = 8
+
+
+@dataclass
+class Estimate:
+    """Raw output of the estimator, before validity policy is applied."""
+
+    cycles: int
+    usage: Dict[str, float]
+    loops: List[LoopReport]
+    effort: float  # instantiated-operator count, drives synth time
+    max_banks: int
+    transfer_cycles: int
+
+
+@dataclass
+class _BodyMetrics:
+    census: OpCensus
+    accesses: List[ArrayAccess]
+    reductions: List[Reduction]
+    unrolled: int = 1  # inner iterations absorbed by fg pipelining
+
+
+class Estimator:
+    """Estimates cycles/resources of one configured design point."""
+
+    def __init__(self, configured: ConfiguredKernel, device: ResourcePool):
+        self._cfg = configured
+        self._device = device
+        self._fn_cycles: Dict[str, int] = {}
+        self._usage = {"DSP": 0.0, "BRAM": 0.0, "LUT": 0.0, "FF": 0.0}
+        self._effort = 0.0
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self) -> Estimate:
+        analysis = self._cfg.analysis
+        reports: List[LoopReport] = []
+        for fn_name, fa in analysis.functions.items():
+            cycles, fn_reports = self._schedule_function(fn_name)
+            self._fn_cycles[fn_name] = cycles
+            if fn_name == analysis.top_function:
+                reports = fn_reports
+        self._account_memory()
+        self._usage["LUT"] += BASE_LUT
+        self._usage["FF"] += BASE_FF
+        self._usage["BRAM"] += BASE_BRAM
+        transfer = self._transfer_cycles()
+        total = self._fn_cycles[analysis.top_function] + transfer
+        return Estimate(
+            cycles=int(total),
+            usage=dict(self._usage),
+            loops=reports,
+            effort=self._effort,
+            max_banks=max(
+                (self._cfg.partition_raw.get(a, 1) for a in self._cfg.partition_raw),
+                default=1,
+            ),
+            transfer_cycles=int(transfer),
+        )
+
+    # -- function / loop scheduling -------------------------------------------
+
+    def _schedule_function(self, fn_name: str) -> Tuple[int, List[LoopReport]]:
+        fa = self._cfg.analysis.functions[fn_name]
+        cycles = self._body_depth(fa.preamble_ops, unroll=1, reduction_lat=0)
+        cycles += self._call_cycles(fa.preamble_ops)
+        self._charge_ops(fa.preamble_ops, replication=1, share=2)
+        reports: List[LoopReport] = []
+        for top in self._cfg.functions[fn_name]:
+            loop_cycles, report = self._schedule_loop(top, fn_name, enclosing={})
+            cycles += loop_cycles
+            reports.append(report)
+        return int(cycles), reports
+
+    def _schedule_loop(
+        self, cfg: ConfiguredLoop, fn_name: str, enclosing: Dict[str, int]
+    ) -> Tuple[int, LoopReport]:
+        """Return (cycles, report) for one configured loop.
+
+        ``enclosing`` maps enclosing induction variables to the unroll
+        factor replicating this loop's hardware (parallel factors plus
+        fg-absorbed trip counts).
+        """
+        if cfg.is_fg:
+            return self._schedule_fg(cfg, fn_name, enclosing)
+        if cfg.children:
+            return self._schedule_outer(cfg, fn_name, enclosing)
+        return self._schedule_innermost(cfg, fn_name, enclosing)
+
+    # .. innermost ..............................................................
+
+    def _schedule_innermost(
+        self,
+        cfg: ConfiguredLoop,
+        fn_name: str,
+        enclosing: Dict[str, int],
+        metrics: Optional[_BodyMetrics] = None,
+        report_ii_only: bool = False,
+    ) -> Tuple[int, LoopReport]:
+        loop = cfg.loop
+        if metrics is None:
+            metrics = _BodyMetrics(
+                census=loop.body_ops,
+                accesses=list(loop.accesses),
+                reductions=list(loop.reductions),
+            )
+        factor = max(cfg.parallel, 1)
+        iters = math.ceil(loop.trip_count / factor)
+        inner = dict(enclosing)
+        inner[loop.induction_var] = factor
+
+        dep_ii, dep_lat, has_recurrence = self._dependence_ii(metrics, loop, inner)
+        total_unroll = factor * metrics.unrolled
+        depth = self._body_depth(metrics.census, total_unroll, dep_lat)
+        depth += self._call_cycles(metrics.census)
+        mem_ii = self._memory_ii(metrics.accesses, inner)
+        if has_recurrence:
+            dep_ii = depth  # wavefront recurrence: next iteration waits
+        ii = max(1, mem_ii, dep_ii)
+
+        pipelined = cfg.is_pipelined
+        if pipelined:
+            cycles = depth + ii * max(iters - 1, 0) + _LOOP_OVERHEAD
+            share = max(ii, 1)
+        else:
+            per_iter = depth + 1 + (dep_lat if dep_ii > 1 else 0)
+            cycles = iters * per_iter + _LOOP_OVERHEAD
+            share = 3  # sequential execution lets HLS share operators
+            ii = 0
+
+        replication = self._replication(enclosing) * factor * metrics.unrolled
+        self._charge_ops(metrics.census, replication, share=max(share, 1))
+        self._charge_loop_ctrl(self._replication(enclosing))
+
+        bottleneck = "trip"
+        if pipelined:
+            if mem_ii >= dep_ii and mem_ii > 1:
+                bottleneck = "memory"
+            elif dep_ii > 1:
+                bottleneck = "dependence"
+        elif metrics.census.total() > 4:
+            bottleneck = "compute"
+        report = LoopReport(
+            function=fn_name,
+            label=loop.label,
+            cycles=int(cycles),
+            trip_count=loop.trip_count,
+            ii=int(ii),
+            depth=int(depth),
+            bottleneck=bottleneck,
+        )
+        return int(cycles), report
+
+    # .. fg: aggregate the whole sub-nest .........................................
+
+    def _schedule_fg(
+        self, cfg: ConfiguredLoop, fn_name: str, enclosing: Dict[str, int]
+    ) -> Tuple[int, LoopReport]:
+        metrics = self._aggregate(cfg)
+        cycles, report = self._schedule_innermost(cfg, fn_name, enclosing, metrics=metrics)
+        report.bottleneck = report.bottleneck or "compute"
+        return cycles, report
+
+    def _aggregate(self, cfg: ConfiguredLoop) -> _BodyMetrics:
+        """Sum ops/accesses of the fully-unrolled sub-nest of an fg loop."""
+        census = OpCensus()
+        census.merge(cfg.loop.body_ops)
+        accesses = list(cfg.loop.accesses)
+        reductions = list(cfg.loop.reductions)
+        unrolled = 1
+
+        def visit(child: ConfiguredLoop, multiplier: int):
+            nonlocal unrolled
+            m = multiplier * child.trip_count
+            unrolled = max(unrolled, m)
+            body = child.loop.body_ops
+            for name in (
+                "fadd", "fmul", "fdiv", "iadd", "imul", "idiv",
+                "cmp", "bitop", "shift", "select", "special", "calls",
+            ):
+                setattr(census, name, getattr(census, name) + getattr(body, name) * m)
+            census.callees.extend(body.callees * m)
+            for access in child.loop.accesses:
+                accesses.extend([access] * m)
+            reductions.extend(child.loop.reductions)
+            for grandchild in child.children:
+                visit(grandchild, m)
+
+        for child in cfg.children:
+            visit(child, 1)
+        return _BodyMetrics(
+            census=census, accesses=accesses, reductions=reductions, unrolled=unrolled
+        )
+
+    # .. outer loops ................................................................
+
+    def _schedule_outer(
+        self, cfg: ConfiguredLoop, fn_name: str, enclosing: Dict[str, int]
+    ) -> Tuple[int, LoopReport]:
+        loop = cfg.loop
+        factor = max(cfg.parallel, 1)
+        iters = math.ceil(loop.trip_count / factor)
+        inner_env = dict(enclosing)
+        inner_env[loop.induction_var] = factor
+
+        stages: List[int] = []
+        child_reports: List[LoopReport] = []
+        for child in cfg.children:
+            child_cycles, child_report = self._schedule_loop(child, fn_name, inner_env)
+            stages.append(child_cycles)
+            child_reports.append(child_report)
+        own_depth = 0
+        if loop.body_ops.total() > 0:
+            own_depth = self._body_depth(loop.body_ops, factor, 0)
+            own_depth += self._call_cycles(loop.body_ops)
+            stages.append(own_depth)
+            self._charge_ops(loop.body_ops, self._replication(inner_env), share=2)
+        self._charge_loop_ctrl(self._replication(enclosing))
+
+        body_cycles = sum(stages) + 2
+        recurrence = self._has_recurrence(cfg, loop)
+        tile_overhead = 0
+        if cfg.tile > 1:
+            tile_overhead = (loop.trip_count // cfg.tile) * _TILE_FLUSH
+
+        if cfg.pipeline is PipelineOption.COARSE and not recurrence:
+            stage_max = max(stages) if stages else 2
+            cycles = body_cycles + stage_max * max(iters - 1, 0) + _LOOP_OVERHEAD
+            ii = stage_max
+            bottleneck = "memory" if stage_max == max(stages or [0]) else "trip"
+        else:
+            cycles = iters * (body_cycles + 2) + _LOOP_OVERHEAD
+            ii = 0
+            bottleneck = "dependence" if recurrence else "trip"
+        cycles += tile_overhead
+
+        report = LoopReport(
+            function=fn_name,
+            label=loop.label,
+            cycles=int(cycles),
+            trip_count=loop.trip_count,
+            ii=int(ii),
+            depth=int(body_cycles),
+            bottleneck=bottleneck,
+            children=child_reports,
+        )
+        return int(cycles), report
+
+    def _has_recurrence(self, cfg: ConfiguredLoop, loop: LoopInfo) -> bool:
+        """True when a subtree recurrence is carried by this loop."""
+        for sub in cfg.subtree():
+            for red in sub.loop.reductions:
+                if not red.free_vars and loop.induction_var not in red.free_vars:
+                    # Only array recurrences serialise an outer loop;
+                    # scalar accumulators are handled by reduction trees.
+                    arrays = self._cfg.analysis.functions[loop.function].arrays
+                    if red.target in arrays:
+                        return True
+        return False
+
+    # -- II components ---------------------------------------------------------------
+
+    def _memory_ii(self, accesses: List[ArrayAccess], env: Dict[str, int]) -> int:
+        demand: Dict[str, float] = {}
+        for access in accesses:
+            multiplier = 1
+            for var, factor in env.items():
+                if factor > 1 and access.depends_on(var):
+                    multiplier *= factor
+            demand[access.array] = demand.get(access.array, 0.0) + multiplier
+        worst = 1
+        for array, total in demand.items():
+            ports = 2.0 * self._cfg.banks(array)
+            worst = max(worst, math.ceil(total / ports))
+        return worst
+
+    def _dependence_ii(
+        self, metrics: _BodyMetrics, loop: LoopInfo, env: Dict[str, int]
+    ) -> Tuple[int, int, bool]:
+        """Return (dep_ii, reduction_op_latency, has_array_recurrence)."""
+        dep_ii = 1
+        red_lat = 0
+        recurrence = False
+        arrays = self._cfg.analysis.functions[loop.function].arrays
+        for red in metrics.reductions:
+            if loop.induction_var in red.free_vars:
+                continue  # dependence not carried by this loop
+            lat = OP_COSTS["fadd"].latency if red.is_float else OP_COSTS["iadd"].latency
+            if not red.free_vars and red.target in arrays:
+                recurrence = True
+            dep_ii = max(dep_ii, lat)
+            red_lat = max(red_lat, lat)
+        return dep_ii, red_lat, recurrence
+
+    def _body_depth(self, census: OpCensus, unroll: int, reduction_lat: int) -> int:
+        """Critical-path estimate of one (possibly unrolled) body."""
+        depth = MEM_READ_LATENCY
+        for field_name, cost_key in _OP_KINDS:
+            if getattr(census, field_name) > 0:
+                depth += OP_COSTS[cost_key].latency
+        if reduction_lat and unroll > 1:
+            # Merlin's reduction tree: log2(unroll) extra adder levels.
+            depth += int(math.ceil(math.log2(unroll))) * reduction_lat
+        return depth + 1  # final store/writeback
+
+    def _call_cycles(self, census: OpCensus) -> int:
+        total = 0
+        for callee in census.callees:
+            total += self._fn_cycles.get(callee, 0)
+        return total
+
+    # -- resource accounting ------------------------------------------------------------
+
+    def _replication(self, env: Dict[str, int]) -> int:
+        repl = 1
+        for factor in env.values():
+            repl *= max(factor, 1)
+        return repl
+
+    def _charge_ops(self, census: OpCensus, replication: int, share: int) -> None:
+        for field_name, cost_key in _OP_KINDS:
+            count = getattr(census, field_name)
+            if not count:
+                continue
+            cost = OP_COSTS[cost_key]
+            instances = math.ceil(count * replication / max(share, 1))
+            self._usage["DSP"] += instances * cost.dsp
+            self._usage["LUT"] += instances * cost.lut
+            self._usage["FF"] += instances * cost.ff
+            self._effort += instances
+
+    def _charge_loop_ctrl(self, replication: int) -> None:
+        self._usage["LUT"] += LOOP_CTRL_LUT * replication
+        self._usage["FF"] += LOOP_CTRL_FF * replication
+        self._effort += replication
+
+    def _account_memory(self) -> None:
+        """BRAM for on-chip buffers plus banking mux logic."""
+        seen = set()
+        for fa in self._cfg.analysis.functions.values():
+            for array in fa.arrays.values():
+                if array.name in seen:
+                    continue
+                seen.add(array.name)
+                banks = self._cfg.banks(array.name)
+                scale = self._cfg.footprint_scale.get(array.name, 1.0)
+                footprint_bits = array.total_bits() * scale
+                per_bank = footprint_bits / max(banks, 1)
+                brams = banks * max(1, math.ceil(per_bank / BRAM_BITS))
+                if self._cfg.overlapped.get(array.name, False):
+                    brams *= 2  # double buffering
+                self._usage["BRAM"] += brams
+                self._usage["LUT"] += banks * 24  # banking crossbar/mux
+                self._effort += banks
+
+    def _transfer_cycles(self) -> int:
+        """Off-chip transfer cost for top-function parameter arrays."""
+        total = 0.0
+        top = self._cfg.analysis.top
+        for array in top.arrays.values():
+            if not array.is_param:
+                continue
+            cycles = array.total_bits() / AXI_BITS_PER_CYCLE
+            if self._cfg.overlapped.get(array.name, False):
+                cycles *= 0.15  # double-buffered: mostly hidden
+            total += cycles
+        return int(total)

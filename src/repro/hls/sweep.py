@@ -1,0 +1,101 @@
+"""Per-knob sensitivity sweeps over the HLS simulator.
+
+Answers "what does each pragma *do* to this kernel?" — for every tunable
+knob, sweep its candidates while holding the rest of the design at a
+base point, and record latency/resources/validity.  Useful both for
+understanding the simulator's behaviour and as a cheap feature-
+importance baseline to compare the GNN's attention against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..designspace.space import DesignPoint, DesignSpace
+from ..kernels.base import KernelSpec
+from .tool import MerlinHLSTool
+
+__all__ = ["KnobSweep", "SweepResult", "sweep_kernel"]
+
+
+@dataclass
+class KnobSweep:
+    """One knob's sweep: candidate option -> outcome."""
+
+    knob: str
+    kind: str
+    loop: str
+    options: List[str] = field(default_factory=list)
+    latencies: List[Optional[int]] = field(default_factory=list)  # None = invalid
+    dsp: List[float] = field(default_factory=list)
+
+    @property
+    def sensitivity(self) -> float:
+        """Max/min valid-latency ratio (1.0 = the knob does nothing)."""
+        valid = [l for l in self.latencies if l]
+        if len(valid) < 2:
+            return 1.0
+        return max(valid) / min(valid)
+
+    def best_option(self) -> Optional[str]:
+        best = None
+        for option, latency in zip(self.options, self.latencies):
+            if latency is not None and (best is None or latency < best[1]):
+                best = (option, latency)
+        return best[0] if best else None
+
+
+@dataclass
+class SweepResult:
+    kernel: str
+    base_latency: Optional[int]
+    knobs: List[KnobSweep] = field(default_factory=list)
+
+    def ranked(self) -> List[KnobSweep]:
+        """Knobs ordered by decreasing latency sensitivity."""
+        return sorted(self.knobs, key=lambda k: k.sensitivity, reverse=True)
+
+    def pretty(self) -> str:
+        base = f"{self.base_latency:,}" if self.base_latency else "invalid"
+        lines = [f"sensitivity sweep of {self.kernel} (base latency {base})"]
+        lines.append(f"{'knob':16s} {'loop':6s} {'sensitivity':>11s} {'best option':>12s}")
+        for knob in self.ranked():
+            best = knob.best_option() or "-"
+            lines.append(
+                f"{knob.knob:16s} {knob.loop:6s} {knob.sensitivity:11.1f} {best:>12s}"
+            )
+        return "\n".join(lines)
+
+
+def sweep_kernel(
+    spec: KernelSpec,
+    space: DesignSpace,
+    tool: Optional[MerlinHLSTool] = None,
+    base_point: Optional[DesignPoint] = None,
+) -> SweepResult:
+    """Sweep every knob one-at-a-time around ``base_point``."""
+    tool = tool or MerlinHLSTool()
+    base = dict(base_point) if base_point else space.default_point()
+    base_result = tool.synthesize(spec, base)
+    result = SweepResult(
+        kernel=spec.name,
+        base_latency=base_result.latency if base_result.valid else None,
+    )
+    for knob in space.knobs:
+        sweep = KnobSweep(
+            knob=knob.name, kind=knob.kind.keyword, loop=knob.loop_label
+        )
+        for candidate in knob.candidates:
+            point = dict(base)
+            point[knob.name] = candidate
+            if space.rules is not None:
+                point = space.rules.canonicalize(point)
+            outcome = tool.synthesize(spec, point)
+            sweep.options.append(
+                candidate.value if hasattr(candidate, "value") else str(candidate)
+            )
+            sweep.latencies.append(outcome.latency if outcome.valid else None)
+            sweep.dsp.append(outcome.utilization["DSP"])
+        result.knobs.append(sweep)
+    return result

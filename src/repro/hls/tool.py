@@ -1,0 +1,122 @@
+"""The HLS-tool façade: synthesize a (kernel, design point) pair.
+
+:class:`MerlinHLSTool` plays the role of "Merlin Compiler + Vitis HLS"
+in the GNN-DSE flow (the *Evaluator* box of Fig. 2).  It returns an
+:class:`~repro.hls.report.HLSResult` with
+
+* validity — designs time out (modeled synthesis > 4 h), get refused
+  (partitioning beyond the tool's bank limit), or blow past any
+  plausible device (Section 4.3.2's invalidity sources);
+* latency in cycles and DSP/BRAM/LUT/FF usage + utilization;
+* ``synth_seconds``, a deterministic model of the real tool's runtime
+  used for every "X hours of DSE" comparison in the evaluation.
+
+Results are memoised per (kernel, point) since explorers revisit points.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from ..designspace.space import DesignPoint, point_key
+from ..ir.analysis import KernelAnalysis
+from ..kernels.base import KernelSpec
+from .config import MAX_PARTITION, configure
+from .device import VCU1525, ResourcePool
+from .estimator import Estimator
+from .report import (
+    INVALID_PARTITION,
+    INVALID_RESOURCE,
+    INVALID_TIMEOUT,
+    HLSResult,
+)
+
+__all__ = ["MerlinHLSTool", "SYNTH_TIMEOUT_SECONDS"]
+
+#: The paper's synthesis wall-clock limit: 4 hours.
+SYNTH_TIMEOUT_SECONDS = 4 * 3600.0
+
+#: Instantiated-operator count beyond which modeled synthesis exceeds 4 h.
+_EFFORT_TIMEOUT = 12_000.0
+
+#: Any utilization beyond this is a design the tool refuses outright.
+_UTIL_REFUSE = 5.0
+
+
+class MerlinHLSTool:
+    """Simulated Merlin + HLS evaluator.
+
+    Parameters
+    ----------
+    device:
+        Target FPGA resource pool (defaults to the paper's VCU1525).
+    cache:
+        Memoise results per (kernel, point) — on by default.
+    """
+
+    def __init__(self, device: ResourcePool = VCU1525, cache: bool = True):
+        self.device = device
+        self._cache: Optional[Dict[str, HLSResult]] = {} if cache else None
+        self.invocations = 0
+
+    def synthesize(self, spec: KernelSpec, point: DesignPoint) -> HLSResult:
+        """Run the modeled Merlin+HLS flow on one design point."""
+        key = f"{spec.name}::{point_key(point)}"
+        if self._cache is not None and key in self._cache:
+            return self._cache[key]
+        result = self._synthesize_uncached(spec.name, spec.analysis, point)
+        self.invocations += 1
+        if self._cache is not None:
+            self._cache[key] = result
+        return result
+
+    def baseline(self, spec: KernelSpec) -> HLSResult:
+        """Synthesize the all-neutral design (no optimisation applied)."""
+        return self.synthesize(spec, {})
+
+    # -- internals ---------------------------------------------------------------
+
+    def _synthesize_uncached(
+        self, name: str, analysis: KernelAnalysis, point: DesignPoint
+    ) -> HLSResult:
+        configured = configure(analysis, point)
+        estimate = Estimator(configured, self.device).run()
+        utilization = self.device.utilization(estimate.usage)
+        synth_seconds = self._synth_seconds(estimate.effort, estimate.max_banks)
+
+        invalid_reason: Optional[str] = None
+        if estimate.max_banks > MAX_PARTITION:
+            invalid_reason = INVALID_PARTITION
+        elif estimate.effort > _EFFORT_TIMEOUT or synth_seconds >= SYNTH_TIMEOUT_SECONDS:
+            invalid_reason = INVALID_TIMEOUT
+            synth_seconds = SYNTH_TIMEOUT_SECONDS
+        elif max(utilization.values()) > _UTIL_REFUSE:
+            invalid_reason = INVALID_RESOURCE
+
+        return HLSResult(
+            kernel=name,
+            point_key=point_key(point),
+            valid=invalid_reason is None,
+            latency=estimate.cycles,
+            usage=estimate.usage,
+            utilization=utilization,
+            synth_seconds=synth_seconds,
+            invalid_reason=invalid_reason,
+            loops=estimate.loops,
+            transfer_cycles=estimate.transfer_cycles,
+        )
+
+    @staticmethod
+    def _synth_seconds(effort: float, max_banks: int) -> float:
+        """Deterministic synthesis-runtime model.
+
+        Grows with instantiated logic and banking complexity; the
+        offset reflects the flow's fixed overhead (Merlin source-to-
+        source + HLS elaboration).  Calibrated so typical points take
+        minutes and aggressive ones approach the 4-hour ceiling —
+        matching the "minutes to hours" characterisation in Section 1.
+        """
+        base = 150.0
+        seconds = base + 2.2 * effort + 30.0 * math.log2(1 + max_banks) * math.sqrt(effort + 1)
+        return min(seconds, SYNTH_TIMEOUT_SECONDS)

@@ -1,0 +1,235 @@
+"""IRBuilder: convenience layer for emitting instructions.
+
+Keeps an insertion point (a basic block) and provides one method per
+opcode family, handling result naming and type bookkeeping.  Mirrors
+``llvm::IRBuilder`` in spirit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import IRError
+from .function import BasicBlock, Function
+from .types import ArrayType, F32, F64, FloatType, I1, I32, IntType, IRType, PointerType, VOID
+from .values import Instruction, Value
+
+__all__ = ["IRBuilder"]
+
+
+class IRBuilder:
+    """Instruction factory bound to a function.
+
+    Parameters
+    ----------
+    function:
+        The function to emit into.  Use :meth:`set_insert_point` to pick
+        the active block.
+    """
+
+    def __init__(self, function: Function):
+        self.function = function
+        self._block: Optional[BasicBlock] = None
+        self._name_counter = 0
+        self._const_cache: Dict[Tuple[IRType, object], Value] = {}
+
+    # -- insertion point ----------------------------------------------------
+
+    def set_insert_point(self, block: BasicBlock) -> None:
+        if block.parent is not self.function:
+            raise IRError("insertion point belongs to another function")
+        self._block = block
+
+    @property
+    def block(self) -> BasicBlock:
+        if self._block is None:
+            raise IRError("no insertion point set")
+        return self._block
+
+    def new_block(self, name: str) -> BasicBlock:
+        return self.function.add_block(name)
+
+    def _fresh_name(self, hint: str = "") -> str:
+        self._name_counter += 1
+        return f"{hint or 't'}{self._name_counter}"
+
+    def _emit(
+        self,
+        opcode: str,
+        type_: IRType,
+        operands: Sequence[Value] = (),
+        name_hint: str = "",
+        **attrs,
+    ) -> Instruction:
+        name = self._fresh_name(name_hint) if type_ is not VOID else ""
+        inst = Instruction(opcode, type_, operands, name=name, attrs=attrs)
+        self.block.append(inst)
+        return inst
+
+    # -- constants ----------------------------------------------------------
+
+    def const_int(self, value: int, type_: IntType = I32) -> Value:
+        return self._const(type_, int(value))
+
+    def const_float(self, value: float, type_: FloatType = F64) -> Value:
+        return self._const(type_, float(value))
+
+    def _const(self, type_: IRType, value) -> Value:
+        from .values import Constant
+
+        key = (type_, value)
+        if key not in self._const_cache:
+            self._const_cache[key] = Constant(type_, value)
+        return self._const_cache[key]
+
+    # -- memory ---------------------------------------------------------------
+
+    def alloca(self, type_: IRType, name: str) -> Instruction:
+        return self._emit("alloca", PointerType(type_), (), name_hint=f"{name}.addr", var=name)
+
+    def load(self, pointer: Value, name_hint: str = "ld") -> Instruction:
+        if not isinstance(pointer.type, PointerType):
+            raise IRError(f"load from non-pointer {pointer!r}")
+        pointee = pointer.type.pointee
+        result_type = pointee.element if isinstance(pointee, ArrayType) else pointee
+        return self._emit("load", result_type, (pointer,), name_hint=name_hint)
+
+    def store(self, value: Value, pointer: Value) -> Instruction:
+        if not isinstance(pointer.type, PointerType):
+            raise IRError(f"store to non-pointer {pointer!r}")
+        return self._emit("store", VOID, (value, pointer))
+
+    def gep(self, base: Value, indices: Sequence[Value], array: str = "") -> Instruction:
+        """getelementptr: compute the address of an array element."""
+        if not isinstance(base.type, PointerType):
+            raise IRError(f"gep base must be a pointer, got {base.type}")
+        pointee = base.type.pointee
+        element: IRType
+        if isinstance(pointee, ArrayType):
+            remaining = pointee.dims[len(indices):]
+            element = ArrayType(pointee.element, remaining) if remaining else pointee.element
+        else:
+            element = pointee
+        return self._emit(
+            "getelementptr",
+            PointerType(element),
+            [base, *indices],
+            name_hint="arrayidx",
+            array=array,
+        )
+
+    # -- arithmetic -------------------------------------------------------------
+
+    _INT_OPS = {"+": "add", "-": "sub", "*": "mul", "/": "sdiv", "%": "srem"}
+    _FLOAT_OPS = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+    _BIT_OPS = {"&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "ashr"}
+    _CMP_PREDICATES = {"<": "lt", ">": "gt", "<=": "le", ">=": "ge", "==": "eq", "!=": "ne"}
+
+    def binary(self, op: str, lhs: Value, rhs: Value) -> Instruction:
+        """Emit a typed arithmetic/bitwise op, inserting numeric casts."""
+        lhs, rhs = self._unify(lhs, rhs)
+        if lhs.type.is_float:
+            if op in self._FLOAT_OPS:
+                return self._emit(self._FLOAT_OPS[op], lhs.type, (lhs, rhs))
+            raise IRError(f"operator {op!r} undefined on floats")
+        if op in self._INT_OPS:
+            return self._emit(self._INT_OPS[op], lhs.type, (lhs, rhs))
+        if op in self._BIT_OPS:
+            return self._emit(self._BIT_OPS[op], lhs.type, (lhs, rhs))
+        raise IRError(f"unknown binary operator {op!r}")
+
+    def compare(self, op: str, lhs: Value, rhs: Value, loop_label: str = "") -> Instruction:
+        lhs, rhs = self._unify(lhs, rhs)
+        predicate = self._CMP_PREDICATES[op]
+        if lhs.type.is_float:
+            return self._emit("fcmp", I1, (lhs, rhs), name_hint="cmp", predicate=f"o{predicate}")
+        prefix = "s" if predicate in ("lt", "gt", "le", "ge") else ""
+        attrs = {"predicate": prefix + predicate}
+        if loop_label:
+            attrs["loop"] = loop_label
+        return self._emit("icmp", I1, (lhs, rhs), name_hint="cmp", **attrs)
+
+    def logical(self, op: str, lhs: Value, rhs: Value) -> Instruction:
+        lhs = self.to_bool(lhs)
+        rhs = self.to_bool(rhs)
+        opcode = "and" if op == "&&" else "or"
+        return self._emit(opcode, I1, (lhs, rhs))
+
+    def logical_not(self, value: Value) -> Instruction:
+        value = self.to_bool(value)
+        return self._emit("xor", I1, (value, self.const_int(1, I1)))
+
+    def neg(self, value: Value) -> Instruction:
+        if value.type.is_float:
+            zero = self.const_float(0.0, value.type)
+            return self._emit("fsub", value.type, (zero, value))
+        zero = self.const_int(0, value.type)
+        return self._emit("sub", value.type, (zero, value))
+
+    def bit_not(self, value: Value) -> Instruction:
+        return self._emit("xor", value.type, (value, self.const_int(-1, value.type)))
+
+    def select(self, cond: Value, then: Value, otherwise: Value) -> Instruction:
+        then, otherwise = self._unify(then, otherwise)
+        return self._emit("select", then.type, (self.to_bool(cond), then, otherwise))
+
+    # -- casts ---------------------------------------------------------------
+
+    def to_bool(self, value: Value) -> Value:
+        if value.type == I1:
+            return value
+        if value.type.is_float:
+            zero = self.const_float(0.0, value.type)
+            return self._emit("fcmp", I1, (value, zero), name_hint="tobool", predicate="one")
+        zero = self.const_int(0, value.type)
+        return self._emit("icmp", I1, (value, zero), name_hint="tobool", predicate="ne")
+
+    def cast(self, value: Value, target: IRType) -> Value:
+        """Numeric conversion from ``value.type`` to ``target``."""
+        src = value.type
+        if src == target:
+            return value
+        if src.is_int and target.is_int:
+            opcode = "sext" if target.bits > src.bits else "trunc"
+            if target.bits == src.bits:
+                return value
+            return self._emit(opcode, target, (value,), name_hint="conv")
+        if src.is_int and target.is_float:
+            return self._emit("sitofp", target, (value,), name_hint="conv")
+        if src.is_float and target.is_int:
+            return self._emit("fptosi", target, (value,), name_hint="conv")
+        if src.is_float and target.is_float:
+            opcode = "fpext" if target.bits > src.bits else "fptrunc"
+            return self._emit(opcode, target, (value,), name_hint="conv")
+        raise IRError(f"cannot cast {src} to {target}")
+
+    def _unify(self, lhs: Value, rhs: Value) -> Tuple[Value, Value]:
+        """Apply usual arithmetic conversions to a pair of operands."""
+        if lhs.type == rhs.type:
+            return lhs, rhs
+        if lhs.type.is_float or rhs.type.is_float:
+            target = F64 if F64 in (lhs.type, rhs.type) else F32
+            return self.cast(lhs, target), self.cast(rhs, target)
+        width = max(lhs.type.bits, rhs.type.bits, 32)
+        target = IntType(width)
+        return self.cast(lhs, target), self.cast(rhs, target)
+
+    # -- control flow ------------------------------------------------------------
+
+    def br(self, target: BasicBlock, loop_label: str = "", backedge: bool = False) -> Instruction:
+        attrs = {"target": target}
+        if loop_label:
+            attrs["loop"] = loop_label
+            attrs["backedge"] = backedge
+        return self._emit("br", VOID, (), **attrs)
+
+    def condbr(self, cond: Value, if_true: BasicBlock, if_false: BasicBlock) -> Instruction:
+        return self._emit("condbr", VOID, (self.to_bool(cond),), if_true=if_true, if_false=if_false)
+
+    def ret(self, value: Optional[Value] = None) -> Instruction:
+        operands: List[Value] = [value] if value is not None else []
+        return self._emit("ret", VOID, operands)
+
+    def call(self, callee: str, args: Sequence[Value], return_type: IRType) -> Instruction:
+        hint = "call" if return_type is not VOID else ""
+        return self._emit("call", return_type, list(args), name_hint=hint, callee=callee)

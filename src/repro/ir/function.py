@@ -1,0 +1,160 @@
+"""Basic blocks, functions, and modules.
+
+Mirrors LLVM's containment hierarchy: a :class:`Module` owns
+:class:`Function` objects, each of which owns ordered
+:class:`BasicBlock` objects, each of which owns ordered
+:class:`~repro.ir.values.Instruction` objects.  Basic-block integer IDs
+are exposed because Section 4.2 of the paper encodes "the LLVM block ID
+of the for loop" into every node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import IRError
+from .types import IRType, VOID
+from .values import Argument, Instruction
+
+__all__ = ["BasicBlock", "Function", "Module"]
+
+
+class BasicBlock:
+    """A straight-line instruction sequence ending in a terminator."""
+
+    def __init__(self, name: str, parent: "Function"):
+        self.name = name
+        self.parent = parent
+        self.instructions: List[Instruction] = []
+        self.block_id: int = -1  # assigned by Function.add_block
+
+    def append(self, inst: Instruction) -> Instruction:
+        if self.is_terminated:
+            raise IRError(f"block {self.name} already has a terminator")
+        inst.block = self
+        self.instructions.append(inst)
+        return inst
+
+    @property
+    def is_terminated(self) -> bool:
+        return bool(self.instructions) and self.instructions[-1].is_terminator
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.is_terminated:
+            return self.instructions[-1]
+        return None
+
+    def successors(self) -> List["BasicBlock"]:
+        term = self.terminator
+        if term is None:
+            return []
+        if term.opcode == "br":
+            return [term.attrs["target"]]
+        if term.opcode == "condbr":
+            return [term.attrs["if_true"], term.attrs["if_false"]]
+        return []
+
+    def __repr__(self) -> str:
+        return f"BasicBlock({self.name}, id={self.block_id}, {len(self.instructions)} insts)"
+
+
+class Function:
+    """An IR function: arguments plus an ordered list of basic blocks."""
+
+    def __init__(self, name: str, return_type: IRType, module: "Module"):
+        self.name = name
+        self.return_type = return_type
+        self.module = module
+        self.args: List[Argument] = []
+        self.blocks: List[BasicBlock] = []
+        self._block_names: Dict[str, int] = {}
+        #: loop label -> the icmp Instruction guarding that loop.  Pragma
+        #: nodes attach to these (Section 4.2).
+        self.loop_icmp: Dict[str, Instruction] = {}
+
+    def add_arg(self, type_: IRType, name: str) -> Argument:
+        arg = Argument(type_, name, len(self.args))
+        self.args.append(arg)
+        return arg
+
+    def add_block(self, name: str) -> BasicBlock:
+        count = self._block_names.get(name, 0)
+        self._block_names[name] = count + 1
+        if count:
+            name = f"{name}.{count}"
+        block = BasicBlock(name, self)
+        block.block_id = len(self.blocks)
+        self.blocks.append(block)
+        return block
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise IRError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    def first_instruction(self) -> Instruction:
+        for inst in self.instructions():
+            return inst
+        raise IRError(f"function {self.name} is empty")
+
+    def num_instructions(self) -> int:
+        return sum(len(b.instructions) for b in self.blocks)
+
+    def verify(self) -> None:
+        """Check structural invariants; raise :class:`IRError` on failure."""
+        for block in self.blocks:
+            if not block.is_terminated:
+                raise IRError(f"{self.name}:{block.name} lacks a terminator")
+            for inst in block.instructions[:-1]:
+                if inst.is_terminator:
+                    raise IRError(f"{self.name}:{block.name} has a mid-block terminator")
+            for succ in block.successors():
+                if succ.parent is not self:
+                    raise IRError(f"{self.name}:{block.name} branches across functions")
+
+    def __repr__(self) -> str:
+        return f"Function({self.name}, {len(self.blocks)} blocks)"
+
+
+class Module:
+    """Top-level IR container for one kernel translation unit."""
+
+    def __init__(self, name: str = "<kernel>"):
+        self.name = name
+        self.functions: List[Function] = []
+
+    def add_function(self, name: str, return_type: IRType = VOID) -> Function:
+        if any(fn.name == name for fn in self.functions):
+            raise IRError(f"duplicate function {name!r}")
+        fn = Function(name, return_type, self)
+        self.functions.append(fn)
+        return fn
+
+    def function(self, name: str) -> Function:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise IRError(f"no function named {name!r}")
+
+    @property
+    def top(self) -> Function:
+        """The top-level kernel function (by convention, defined last)."""
+        if not self.functions:
+            raise IRError("module has no functions")
+        return self.functions[-1]
+
+    def verify(self) -> None:
+        for fn in self.functions:
+            fn.verify()
+
+    def num_instructions(self) -> int:
+        return sum(fn.num_instructions() for fn in self.functions)
+
+    def __repr__(self) -> str:
+        return f"Module({self.name}, {len(self.functions)} functions)"

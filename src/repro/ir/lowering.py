@@ -1,0 +1,312 @@
+"""AST → IR lowering (the "Clang" step of the graph-generator pipeline).
+
+The style follows ``clang -O0``: every scalar local (including loop
+induction variables) lives in an ``alloca`` slot accessed through
+``load``/``store``.  This is deliberate — ProGraML-style graphs built
+from unoptimised IR expose one variable node per program variable, which
+is exactly the granularity the paper's graphs show (Fig. 1(b)).
+
+Loops lower to the canonical four-block shape::
+
+    for.init -> for.cond -> for.body -> for.inc -> for.cond (backedge)
+                      \\-> for.end
+
+The ``icmp`` in ``for.cond`` is registered in
+``Function.loop_icmp[label]`` so pragma nodes can attach to it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import LoweringError
+from ..frontend import ast_nodes as ast
+from ..frontend.semantic import INTRINSICS, SymbolTable, analyze
+from .builder import IRBuilder
+from .function import Function, Module
+from .types import F64, I32, IRType, PointerType, VOID, from_ctype
+from .values import Value
+
+__all__ = ["lower_unit", "Lowering"]
+
+
+class Lowering:
+    """Lowers one translation unit into a fresh :class:`Module`."""
+
+    def __init__(self, unit: ast.TranslationUnit):
+        self._unit = unit
+        self._tables: Dict[str, SymbolTable] = analyze(unit)
+        self._module = Module(unit.source_name)
+        self._signatures: Dict[str, IRType] = {
+            fn.name: from_ctype(fn.return_type) for fn in unit.functions
+        }
+
+    def run(self) -> Module:
+        for fn in self._unit.functions:
+            self._lower_function(fn)
+        self._module.verify()
+        return self._module
+
+    # -- function scaffolding --------------------------------------------------
+
+    def _lower_function(self, fn: ast.FunctionDef) -> Function:
+        ir_fn = self._module.add_function(fn.name, from_ctype(fn.return_type))
+        builder = IRBuilder(ir_fn)
+        entry = builder.new_block("entry")
+        builder.set_insert_point(entry)
+        table = self._tables[fn.name]
+        slots: Dict[str, Value] = {}
+
+        for param in fn.params:
+            ir_type = from_ctype(param.ctype)
+            if param.ctype.is_array:
+                # Array parameters decay to pointers; use the argument itself.
+                arg = ir_fn.add_arg(PointerType(ir_type), param.name)
+                slots[param.name] = arg
+            else:
+                arg = ir_fn.add_arg(ir_type, param.name)
+                slot = builder.alloca(ir_type, param.name)
+                builder.store(arg, slot)
+                slots[param.name] = slot
+
+        ctx = _FunctionContext(builder, table, slots, self._signatures)
+        ctx.lower_block(fn.body)
+        if not builder.block.is_terminated:
+            builder.ret(None if ir_fn.return_type is VOID else builder.const_int(0))
+        # Terminate any dead blocks produced by early returns.
+        for block in ir_fn.blocks:
+            if not block.is_terminated:
+                builder.set_insert_point(block)
+                builder.ret(None if ir_fn.return_type is VOID else builder.const_int(0))
+        return ir_fn
+
+
+class _FunctionContext:
+    """Per-function lowering state: slots, loop stack, builder."""
+
+    def __init__(
+        self,
+        builder: IRBuilder,
+        table: SymbolTable,
+        slots: Dict[str, Value],
+        signatures: Dict[str, IRType],
+    ):
+        self.builder = builder
+        self.table = table
+        self.slots = slots
+        self.signatures = signatures
+        #: stack of (break target, continue target) for nested loops
+        self.loop_stack: List[Tuple] = []
+
+    # -- statements -------------------------------------------------------------
+
+    def lower_block(self, block: ast.Block) -> None:
+        for stmt in block.stmts:
+            self._ensure_open()
+            self.lower_stmt(stmt)
+
+    def _ensure_open(self) -> None:
+        if self.builder.block.is_terminated:
+            dead = self.builder.new_block("dead")
+            self.builder.set_insert_point(dead)
+
+    def lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.DeclStmt):
+            self._lower_decl(stmt)
+        elif isinstance(stmt, ast.AssignStmt):
+            self._lower_assign(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.lower_expr(stmt.expr)
+        elif isinstance(stmt, ast.Block):
+            self.lower_block(stmt)
+        elif isinstance(stmt, ast.IfStmt):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.ForStmt):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.ReturnStmt):
+            value = self.lower_expr(stmt.value) if stmt.value is not None else None
+            self.builder.ret(value)
+        elif isinstance(stmt, ast.BreakStmt):
+            if not self.loop_stack:
+                raise LoweringError("break outside of a loop")
+            self.builder.br(self.loop_stack[-1][0])
+        elif isinstance(stmt, ast.ContinueStmt):
+            if not self.loop_stack:
+                raise LoweringError("continue outside of a loop")
+            self.builder.br(self.loop_stack[-1][1])
+        else:
+            raise LoweringError(f"cannot lower {type(stmt).__name__}")
+
+    def _lower_decl(self, stmt: ast.DeclStmt) -> None:
+        ir_type = from_ctype(stmt.ctype)
+        slot = self.builder.alloca(ir_type, stmt.name)
+        self.slots[stmt.name] = slot
+        if stmt.init is not None:
+            value = self.lower_expr(stmt.init)
+            self.builder.store(self.builder.cast(value, ir_type), slot)
+
+    def _lower_assign(self, stmt: ast.AssignStmt) -> None:
+        pointer = self.lower_lvalue(stmt.target)
+        target_type = pointer.type.pointee  # type: ignore[union-attr]
+        if stmt.op:
+            current = self.builder.load(pointer)
+            value = self.lower_expr(stmt.value)
+            if stmt.op in ("&&", "||"):
+                result = self.builder.logical(stmt.op, current, value)
+            else:
+                result = self.builder.binary(stmt.op, current, value)
+        else:
+            result = self.lower_expr(stmt.value)
+        self.builder.store(self.builder.cast(result, target_type), pointer)
+
+    def _lower_if(self, stmt: ast.IfStmt) -> None:
+        cond = self.lower_expr(stmt.cond)
+        then_block = self.builder.new_block("if.then")
+        end_block = self.builder.new_block("if.end")
+        else_block = self.builder.new_block("if.else") if stmt.otherwise else end_block
+        self.builder.condbr(cond, then_block, else_block)
+        self.builder.set_insert_point(then_block)
+        self.lower_block(stmt.then)
+        if not self.builder.block.is_terminated:
+            self.builder.br(end_block)
+        if stmt.otherwise:
+            self.builder.set_insert_point(else_block)
+            self.lower_block(stmt.otherwise)
+            if not self.builder.block.is_terminated:
+                self.builder.br(end_block)
+        self.builder.set_insert_point(end_block)
+
+    def _lower_for(self, stmt: ast.ForStmt) -> None:
+        label = stmt.label or "L?"
+        if stmt.init is not None:
+            self.lower_stmt(stmt.init)
+        cond_block = self.builder.new_block(f"for.cond.{label}")
+        body_block = self.builder.new_block(f"for.body.{label}")
+        inc_block = self.builder.new_block(f"for.inc.{label}")
+        end_block = self.builder.new_block(f"for.end.{label}")
+        self.builder.br(cond_block)
+
+        self.builder.set_insert_point(cond_block)
+        if stmt.cond is None:
+            self.builder.br(body_block)
+        else:
+            cond = self._lower_loop_cond(stmt.cond, label)
+            self.builder.condbr(cond, body_block, end_block)
+
+        self.builder.set_insert_point(body_block)
+        self.loop_stack.append((end_block, inc_block))
+        self.lower_block(stmt.body)
+        self.loop_stack.pop()
+        if not self.builder.block.is_terminated:
+            self.builder.br(inc_block)
+
+        self.builder.set_insert_point(inc_block)
+        if stmt.step is not None:
+            self.lower_stmt(stmt.step)
+        self.builder.br(cond_block, loop_label=label, backedge=True)
+        self.builder.set_insert_point(end_block)
+
+    def _lower_loop_cond(self, cond: ast.Expr, label: str) -> Value:
+        """Lower a loop condition, tagging its compare with the loop label."""
+        if isinstance(cond, ast.BinaryOp) and cond.op in ("<", ">", "<=", ">=", "==", "!="):
+            lhs = self.lower_expr(cond.lhs)
+            rhs = self.lower_expr(cond.rhs)
+            icmp = self.builder.compare(cond.op, lhs, rhs, loop_label=label)
+            self.builder.function.loop_icmp[label] = icmp
+            return icmp
+        value = self.lower_expr(cond)
+        as_bool = self.builder.to_bool(value)
+        self.builder.function.loop_icmp.setdefault(label, as_bool)  # type: ignore[arg-type]
+        return as_bool
+
+    def _lower_while(self, stmt: ast.WhileStmt) -> None:
+        cond_block = self.builder.new_block("while.cond")
+        body_block = self.builder.new_block("while.body")
+        end_block = self.builder.new_block("while.end")
+        self.builder.br(cond_block)
+        self.builder.set_insert_point(cond_block)
+        cond = self.lower_expr(stmt.cond)
+        self.builder.condbr(cond, body_block, end_block)
+        self.builder.set_insert_point(body_block)
+        self.loop_stack.append((end_block, cond_block))
+        self.lower_block(stmt.body)
+        self.loop_stack.pop()
+        if not self.builder.block.is_terminated:
+            self.builder.br(cond_block, backedge=True)
+        self.builder.set_insert_point(end_block)
+
+    # -- expressions -------------------------------------------------------------
+
+    def lower_lvalue(self, expr: ast.Expr) -> Value:
+        """Lower an expression in address position; returns a pointer."""
+        if isinstance(expr, ast.VarRef):
+            try:
+                return self.slots[expr.name]
+            except KeyError:
+                raise LoweringError(f"no storage for {expr.name!r}") from None
+        if isinstance(expr, ast.ArrayRef):
+            base = self.slots[expr.base]
+            indices = [self.builder.cast(self.lower_expr(i), I32) for i in expr.indices]
+            return self.builder.gep(base, indices, array=expr.base)
+        raise LoweringError(f"{type(expr).__name__} is not an lvalue")
+
+    def lower_expr(self, expr: ast.Expr) -> Value:
+        if isinstance(expr, ast.IntLiteral):
+            return self.builder.const_int(expr.value)
+        if isinstance(expr, ast.FloatLiteral):
+            return self.builder.const_float(expr.value, F64)
+        if isinstance(expr, ast.VarRef):
+            slot = self.slots.get(expr.name)
+            if slot is None:
+                raise LoweringError(f"no storage for {expr.name!r}")
+            if self.table.lookup(expr.name).is_array:
+                return slot  # arrays decay to pointers in rvalue position
+            return self.builder.load(slot, name_hint=expr.name)
+        if isinstance(expr, ast.ArrayRef):
+            symbol = self.table.lookup(expr.base)
+            pointer = self.lower_lvalue(expr)
+            if len(expr.indices) < len(symbol.ctype.dims):
+                return pointer  # partial subscript: still an array pointer
+            return self.builder.load(pointer)
+        if isinstance(expr, ast.UnaryOp):
+            operand = self.lower_expr(expr.operand)
+            if expr.op == "-":
+                return self.builder.neg(operand)
+            if expr.op == "!":
+                return self.builder.logical_not(operand)
+            if expr.op == "~":
+                return self.builder.bit_not(operand)
+            raise LoweringError(f"unknown unary operator {expr.op!r}")
+        if isinstance(expr, ast.BinaryOp):
+            if expr.op in ("&&", "||"):
+                lhs = self.lower_expr(expr.lhs)
+                rhs = self.lower_expr(expr.rhs)
+                return self.builder.logical(expr.op, lhs, rhs)
+            lhs = self.lower_expr(expr.lhs)
+            rhs = self.lower_expr(expr.rhs)
+            if expr.op in ("<", ">", "<=", ">=", "==", "!="):
+                return self.builder.compare(expr.op, lhs, rhs)
+            return self.builder.binary(expr.op, lhs, rhs)
+        if isinstance(expr, ast.TernaryOp):
+            cond = self.lower_expr(expr.cond)
+            then = self.lower_expr(expr.then)
+            otherwise = self.lower_expr(expr.otherwise)
+            return self.builder.select(cond, then, otherwise)
+        if isinstance(expr, ast.Cast):
+            value = self.lower_expr(expr.operand)
+            return self.builder.cast(value, from_ctype(ast.CType(expr.target.base)))
+        if isinstance(expr, ast.Call):
+            args = [self.lower_expr(a) for a in expr.args]
+            if expr.name in self.signatures:
+                return_type = self.signatures[expr.name]
+            else:
+                return_type = from_ctype(INTRINSICS[expr.name])
+            return self.builder.call(expr.name, args, return_type)
+        raise LoweringError(f"cannot lower expression {type(expr).__name__}")
+
+
+def lower_unit(unit: ast.TranslationUnit) -> Module:
+    """Lower a parsed translation unit to IR and verify the result."""
+    return Lowering(unit).run()

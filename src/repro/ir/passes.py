@@ -1,0 +1,173 @@
+"""IR optimization passes: constant folding and dead-code elimination.
+
+The default GNN-DSE pipeline feeds *unoptimised* IR to the graph
+builder (clang -O0 style, matching ProGraML's granularity), so these
+passes are opt-in utilities: they shrink graphs for experimentation
+(e.g. studying the model's sensitivity to IR canonicalisation) and give
+the compiler layer a realistic mid-end.
+
+Both passes preserve the verifier's invariants and the use lists
+maintained by :class:`~repro.ir.values.Value`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .function import Function, Module
+from .types import F32, F64, I1, IntType
+from .values import Constant, Instruction
+
+__all__ = ["PassStats", "fold_constants", "eliminate_dead_code", "optimize_module"]
+
+_INT_FOLDS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "sdiv": lambda a, b: int(a / b) if b else None,
+    "srem": lambda a, b: int(a - int(a / b) * b) if b else None,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << b if 0 <= b < 64 else None,
+    "ashr": lambda a, b: a >> b if 0 <= b < 64 else None,
+    "lshr": lambda a, b: (a % (1 << 64)) >> b if 0 <= b < 64 else None,
+}
+
+_FLOAT_FOLDS = {
+    "fadd": lambda a, b: a + b,
+    "fsub": lambda a, b: a - b,
+    "fmul": lambda a, b: a * b,
+    "fdiv": lambda a, b: a / b if b else None,
+}
+
+_CMP_PREDICATES = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "slt": lambda a, b: a < b,
+    "sgt": lambda a, b: a > b,
+    "sle": lambda a, b: a <= b,
+    "sge": lambda a, b: a >= b,
+    "oeq": lambda a, b: a == b,
+    "one": lambda a, b: a != b,
+    "olt": lambda a, b: a < b,
+    "ogt": lambda a, b: a > b,
+    "ole": lambda a, b: a <= b,
+    "oge": lambda a, b: a >= b,
+}
+
+#: Opcodes whose results are safe to delete when unused.
+_PURE_OPCODES = frozenset(
+    {
+        "add", "sub", "mul", "sdiv", "srem",
+        "fadd", "fsub", "fmul", "fdiv",
+        "and", "or", "xor", "shl", "lshr", "ashr",
+        "icmp", "fcmp", "select",
+        "sext", "zext", "trunc", "sitofp", "fptosi", "fpext", "fptrunc", "bitcast",
+        "getelementptr",
+    }
+)
+
+
+@dataclass
+class PassStats:
+    """Counts of rewrites performed by the pass pipeline."""
+
+    folded: int = 0
+    removed: int = 0
+
+    def merge(self, other: "PassStats") -> None:
+        self.folded += other.folded
+        self.removed += other.removed
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.folded or self.removed)
+
+
+def _fold_instruction(inst: Instruction) -> Optional[Constant]:
+    """Return the folded constant for ``inst`` when all operands are
+    constants, else None."""
+    if not inst.operands or not all(isinstance(op, Constant) for op in inst.operands):
+        return None
+    values = [op.value for op in inst.operands]
+    opcode = inst.opcode
+    if opcode in _INT_FOLDS and len(values) == 2:
+        result = _INT_FOLDS[opcode](int(values[0]), int(values[1]))
+        if result is None:
+            return None
+        if isinstance(inst.type, IntType):
+            bits = inst.type.width
+            result = ((result + (1 << (bits - 1))) % (1 << bits)) - (1 << (bits - 1)) if bits < 64 else result
+        return Constant(inst.type, int(result))
+    if opcode in _FLOAT_FOLDS and len(values) == 2:
+        result = _FLOAT_FOLDS[opcode](float(values[0]), float(values[1]))
+        if result is None:
+            return None
+        return Constant(inst.type, float(result))
+    if opcode in ("icmp", "fcmp") and len(values) == 2:
+        predicate = inst.attrs.get("predicate", "eq")
+        fn = _CMP_PREDICATES.get(predicate)
+        if fn is None:
+            return None
+        return Constant(I1, int(bool(fn(values[0], values[1]))))
+    if opcode in ("sext", "zext", "trunc", "fptosi"):
+        target = inst.type
+        return Constant(target, int(values[0]))
+    if opcode in ("sitofp", "fpext", "fptrunc"):
+        return Constant(inst.type, float(values[0]))
+    return None
+
+
+def fold_constants(fn: Function) -> PassStats:
+    """Fold constant expressions; returns the rewrite counts."""
+    stats = PassStats()
+    for block in fn.blocks:
+        for inst in list(block.instructions):
+            folded = _fold_instruction(inst)
+            if folded is None:
+                continue
+            for user in list(inst.uses):
+                user.replace_operand(inst, folded)
+            if not inst.uses:
+                block.instructions.remove(inst)
+                for operand in inst.operands:
+                    operand.uses = [u for u in operand.uses if u is not inst]
+                stats.folded += 1
+    return stats
+
+
+def eliminate_dead_code(fn: Function) -> PassStats:
+    """Remove pure instructions whose results are never used."""
+    stats = PassStats()
+    changed = True
+    while changed:
+        changed = False
+        for block in fn.blocks:
+            for inst in list(block.instructions):
+                if inst.opcode not in _PURE_OPCODES:
+                    continue
+                if inst.uses:
+                    continue
+                block.instructions.remove(inst)
+                for operand in inst.operands:
+                    operand.uses = [u for u in operand.uses if u is not inst]
+                stats.removed += 1
+                changed = True
+    return stats
+
+
+def optimize_module(module: Module, max_iterations: int = 8) -> PassStats:
+    """Run fold + DCE to a fixed point over every function."""
+    total = PassStats()
+    for _ in range(max_iterations):
+        round_stats = PassStats()
+        for fn in module.functions:
+            round_stats.merge(fold_constants(fn))
+            round_stats.merge(eliminate_dead_code(fn))
+        total.merge(round_stats)
+        if not round_stats.changed:
+            break
+    module.verify()
+    return total

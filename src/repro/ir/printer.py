@@ -1,0 +1,72 @@
+"""Textual IR printer (LLVM-flavoured, for debugging and golden tests)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .function import BasicBlock, Function, Module
+from .types import VOID
+from .values import Constant, Instruction, Value
+
+__all__ = ["print_module", "print_function", "print_instruction"]
+
+
+def _operand_str(value: Value) -> str:
+    if isinstance(value, Constant):
+        return f"{value.type} {value.value}"
+    return f"{value.type} %{value.name or value.uid}"
+
+
+def print_instruction(inst: Instruction) -> str:
+    """Render one instruction as a single line of LLVM-ish text."""
+    parts: List[str] = []
+    if inst.produces_value and inst.name:
+        parts.append(f"%{inst.name} =")
+    parts.append(inst.opcode)
+    if inst.opcode in ("icmp", "fcmp"):
+        parts.append(inst.attrs.get("predicate", ""))
+    if inst.opcode == "call":
+        parts.append(f"@{inst.attrs.get('callee', '?')}")
+    if inst.opcode == "br":
+        parts.append(f"label %{inst.attrs['target'].name}")
+        if inst.attrs.get("backedge"):
+            parts.append(f"; loop {inst.attrs.get('loop', '?')} backedge")
+        return "  " + " ".join(parts)
+    if inst.opcode == "condbr":
+        cond = _operand_str(inst.operands[0])
+        parts.append(
+            f"{cond}, label %{inst.attrs['if_true'].name}, label %{inst.attrs['if_false'].name}"
+        )
+        return "  " + " ".join(parts)
+    operand_text = ", ".join(_operand_str(op) for op in inst.operands)
+    if operand_text:
+        parts.append(operand_text)
+    if inst.opcode == "alloca":
+        parts.append(f"; var {inst.attrs.get('var', '?')}")
+    if inst.opcode == "getelementptr" and inst.attrs.get("array"):
+        parts.append(f"; array {inst.attrs['array']}")
+    return "  " + " ".join(parts)
+
+
+def _print_block(block: BasicBlock) -> List[str]:
+    lines = [f"{block.name}:  ; block id {block.block_id}"]
+    lines.extend(print_instruction(inst) for inst in block.instructions)
+    return lines
+
+
+def print_function(fn: Function) -> str:
+    """Render a function with its blocks."""
+    args = ", ".join(f"{a.type} %{a.name}" for a in fn.args)
+    header = f"define {fn.return_type} @{fn.name}({args}) {{"
+    lines = [header]
+    for block in fn.blocks:
+        lines.extend(_print_block(block))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    """Render a whole module."""
+    chunks = [f"; module {module.name}"]
+    chunks.extend(print_function(fn) for fn in module.functions)
+    return "\n\n".join(chunks)

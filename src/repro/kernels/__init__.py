@@ -1,0 +1,75 @@
+"""Benchmark kernel registry.
+
+Nine training kernels (MachSuite/Polybench mix, Table 1) plus four
+unseen Polybench kernels (Table 3).  Use :func:`get_kernel` /
+:func:`list_kernels` for lookup, :data:`TRAINING_KERNELS` /
+:data:`UNSEEN_KERNELS` for the experiment splits, and
+:func:`toy_kernel` for the paper's Code 1 example.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import KernelSpec
+from .extra import EXTRA_KERNELS
+from .machsuite import MACHSUITE_KERNELS
+from .polybench import POLYBENCH_KERNELS
+
+__all__ = [
+    "KernelSpec",
+    "KERNELS",
+    "TRAINING_KERNELS",
+    "UNSEEN_KERNELS",
+    "EXTRA_KERNEL_NAMES",
+    "get_kernel",
+    "list_kernels",
+    "toy_kernel",
+]
+
+KERNELS: Dict[str, KernelSpec] = {
+    spec.name: spec
+    for spec in (*MACHSUITE_KERNELS, *POLYBENCH_KERNELS, *EXTRA_KERNELS)
+}
+
+#: The paper's experiment splits (extras take part in neither).
+TRAINING_KERNELS: List[str] = [s.name for s in MACHSUITE_KERNELS]
+UNSEEN_KERNELS: List[str] = [s.name for s in POLYBENCH_KERNELS]
+EXTRA_KERNEL_NAMES: List[str] = [s.name for s in EXTRA_KERNELS]
+
+_TOY_SRC = """
+#define N 64
+void foo(int input[64]) {
+#pragma ACCEL pipeline auto{_PIPE_L1}
+#pragma ACCEL parallel factor=auto{_PARA_L1}
+  for (int i = 0; i < N; i++) {
+    input[i] += 1;
+  }
+}
+"""
+
+
+def get_kernel(name: str) -> KernelSpec:
+    """Return the registered kernel ``name`` (raises KeyError if absent)."""
+    try:
+        return KERNELS[name]
+    except KeyError:
+        known = ", ".join(sorted(KERNELS))
+        raise KeyError(f"unknown kernel {name!r}; known kernels: {known}") from None
+
+
+def list_kernels(unseen: bool = None) -> List[str]:
+    """List kernel names; filter by the ``unseen`` flag when given."""
+    if unseen is None:
+        return sorted(KERNELS)
+    return sorted(name for name, spec in KERNELS.items() if spec.unseen == unseen)
+
+
+def toy_kernel() -> KernelSpec:
+    """Code 1 of the paper: a one-loop toy kernel with two pragmas."""
+    return KernelSpec(
+        name="toy",
+        suite="toy",
+        source=_TOY_SRC,
+        description="Code 1 toy example from the paper",
+    )

@@ -1,0 +1,98 @@
+"""Kernel specification and lazy per-kernel artifact cache.
+
+A :class:`KernelSpec` bundles a kernel's C source with the metadata the
+pipeline needs (scalar bindings for problem sizes, trip-count hints for
+data-dependent loops).  Parsed AST, IR, analysis, and graph artifacts are
+derived lazily and cached, since every design point of a kernel shares
+them (only pragma node attributes differ across design points —
+Section 4.2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["KernelSpec"]
+
+
+@dataclass
+class KernelSpec:
+    """One benchmark kernel.
+
+    Attributes
+    ----------
+    name:
+        Registry key (e.g. ``"atax"``).
+    suite:
+        ``"machsuite"`` or ``"polybench"``.
+    source:
+        C source text in the supported subset, with ``auto{...}`` pragma
+        placeholders.
+    description:
+        One-line summary of the computation.
+    bindings:
+        Integer values for scalar parameters / macros used to resolve
+        loop bounds.
+    trip_hints:
+        Assumed trip counts for data-dependent loops (``"fn/Lk"`` keys).
+    unseen:
+        True for the four kernels held out of the training database
+        (Section 5.4).
+    """
+
+    name: str
+    suite: str
+    source: str
+    description: str = ""
+    bindings: Dict[str, int] = field(default_factory=dict)
+    trip_hints: Dict[str, int] = field(default_factory=dict)
+    unseen: bool = False
+
+    def __post_init__(self):
+        self._unit = None
+        self._analysis = None
+        self._module = None
+
+    # -- lazy derived artifacts -------------------------------------------------
+
+    @property
+    def unit(self):
+        """Parsed translation unit (cached)."""
+        if self._unit is None:
+            from ..frontend.parser import parse_source
+
+            self._unit = parse_source(self.source, self.name)
+        return self._unit
+
+    @property
+    def analysis(self):
+        """Loop-nest analysis (cached)."""
+        if self._analysis is None:
+            from ..ir.analysis import analyze_kernel
+
+            self._analysis = analyze_kernel(self.unit, self.bindings, self.trip_hints)
+        return self._analysis
+
+    @property
+    def module(self):
+        """Lowered IR module (cached)."""
+        if self._module is None:
+            from ..ir.lowering import lower_unit
+
+            self._module = lower_unit(self.unit)
+        return self._module
+
+    @property
+    def pragmas(self):
+        """Tunable pragma knobs of this kernel, in source order."""
+        return [p for p in self.analysis.pragmas if p.is_tunable]
+
+    def invalidate(self) -> None:
+        """Drop cached artifacts (after mutating ``source``)."""
+        self._unit = None
+        self._analysis = None
+        self._module = None
+
+    def __repr__(self) -> str:
+        return f"KernelSpec({self.name!r}, suite={self.suite!r}, unseen={self.unseen})"

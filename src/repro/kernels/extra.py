@@ -1,0 +1,116 @@
+"""Extra kernels beyond the paper's evaluation set.
+
+These are not part of any paper experiment (neither training nor the
+unseen split); they exist so downstream users have more domains to
+play with — a streaming FIR filter, a molecular-dynamics force kernel
+with an indirect neighbour list (MachSuite ``md/knn`` style), and a
+symmetric rank-k update (BLAS ``syrk``).  They exercise the same
+front-end/graph/HLS pipeline and are covered by the kernel-wide tests.
+"""
+
+from .base import KernelSpec
+
+__all__ = ["EXTRA_KERNELS"]
+
+_FIR_SRC = """
+#define NTAPS 32
+#define NSAMPLES 256
+void fir(double input[NSAMPLES], double coeff[NTAPS], double output[NSAMPLES]) {
+  int n;
+  int t;
+#pragma ACCEL pipeline auto{__PIPE__L0}
+#pragma ACCEL parallel factor=auto{__PARA__L0}
+  for (n = 0; n < NSAMPLES; n++) {
+    double acc = 0.0;
+#pragma ACCEL parallel factor=auto{__PARA__L1}
+    for (t = 0; t < NTAPS; t++) {
+      if (n - t >= 0) {
+        acc += coeff[t] * input[n - t];
+      }
+    }
+    output[n] = acc;
+  }
+}
+"""
+
+_MD_KNN_SRC = """
+#define NATOMS 64
+#define NNEIGH 8
+void md_knn(double px[NATOMS], double py[NATOMS], double pz[NATOMS], int nlist[NATOMS * NNEIGH],
+            double fx[NATOMS], double fy[NATOMS], double fz[NATOMS]) {
+  int i;
+  int j;
+#pragma ACCEL pipeline auto{__PIPE__L0}
+#pragma ACCEL parallel factor=auto{__PARA__L0}
+  for (i = 0; i < NATOMS; i++) {
+    double fxi = 0.0;
+    double fyi = 0.0;
+    double fzi = 0.0;
+#pragma ACCEL pipeline auto{__PIPE__L1}
+#pragma ACCEL parallel factor=auto{__PARA__L1}
+    for (j = 0; j < NNEIGH; j++) {
+      int idx = nlist[i * NNEIGH + j];
+      double dx = px[idx] - px[i];
+      double dy = py[idx] - py[i];
+      double dz = pz[idx] - pz[i];
+      double r2 = dx * dx + dy * dy + dz * dz + 0.0001;
+      double r2inv = 1.0 / r2;
+      double r6inv = r2inv * r2inv * r2inv;
+      double force = r2inv * r6inv * (r6inv - 0.5);
+      fxi += force * dx;
+      fyi += force * dy;
+      fzi += force * dz;
+    }
+    fx[i] = fxi;
+    fy[i] = fyi;
+    fz[i] = fzi;
+  }
+}
+"""
+
+_SYRK_SRC = """
+#define N 48
+#define M 56
+void syrk(double A[N][M], double C[N][N]) {
+  int i;
+  int j;
+  int k;
+#pragma ACCEL tile factor=auto{__TILE__L0}
+#pragma ACCEL pipeline auto{__PIPE__L0}
+#pragma ACCEL parallel factor=auto{__PARA__L0}
+  for (i = 0; i < N; i++) {
+#pragma ACCEL pipeline auto{__PIPE__L1}
+#pragma ACCEL parallel factor=auto{__PARA__L1}
+    for (j = 0; j < N; j++) {
+      double sum = 0.0;
+#pragma ACCEL pipeline auto{__PIPE__L2}
+#pragma ACCEL parallel factor=auto{__PARA__L2}
+      for (k = 0; k < M; k++) {
+        sum += A[i][k] * A[j][k];
+      }
+      C[i][j] = 1.2 * C[i][j] + 1.5 * sum;
+    }
+  }
+}
+"""
+
+EXTRA_KERNELS = [
+    KernelSpec(
+        name="fir",
+        suite="extra",
+        source=_FIR_SRC,
+        description="32-tap FIR filter over a 256-sample stream",
+    ),
+    KernelSpec(
+        name="md-knn",
+        suite="extra",
+        source=_MD_KNN_SRC,
+        description="Lennard-Jones force accumulation over k-nearest neighbours",
+    ),
+    KernelSpec(
+        name="syrk",
+        suite="extra",
+        source=_SYRK_SRC,
+        description="Symmetric rank-k update: C = beta*C + alpha*A*A^T",
+    ),
+]

@@ -1,0 +1,311 @@
+"""MachSuite-derived training kernels (Section 5.1 of the paper).
+
+Sources are written in the C subset accepted by :mod:`repro.frontend`
+and carry the same ``auto{...}`` pragma placeholders the Merlin flow
+uses.  Problem sizes are scaled down from MachSuite defaults so the full
+experiment battery runs on one machine; the computational *patterns*
+(dense MV/MM, blocked MM, sparse MV with indirect accesses, 2-D stencil,
+dynamic-programming recurrence, table-lookup encryption) are preserved.
+The per-kernel pragma counts match Table 1 of the paper.
+"""
+
+from .base import KernelSpec
+
+__all__ = ["MACHSUITE_KERNELS"]
+
+_AES_SRC = """
+#define NB 16
+#define NROUNDS 14
+void aes256_encrypt_ecb(int key[NROUNDS * NB], int sbox[256], int buf[NB]) {
+  int round;
+  int i;
+#pragma ACCEL pipeline auto{__PIPE__L0}
+  for (round = 0; round < NROUNDS; round++) {
+#pragma ACCEL pipeline auto{__PIPE__L1}
+#pragma ACCEL parallel factor=auto{__PARA__L1}
+    for (i = 0; i < NB; i++) {
+      int t = buf[i] ^ key[round * NB + i];
+      buf[i] = sbox[t & 255];
+    }
+  }
+}
+"""
+
+_ATAX_SRC = """
+#define M 96
+#define N 80
+void atax(double A[M][N], double x[N], double y[N], double tmp[M]) {
+  int i;
+  int j;
+#pragma ACCEL parallel factor=auto{__PARA__L0}
+  for (i = 0; i < N; i++) {
+    y[i] = 0.0;
+  }
+#pragma ACCEL pipeline auto{__PIPE__L1}
+#pragma ACCEL parallel factor=auto{__PARA__L1}
+  for (i = 0; i < M; i++) {
+    tmp[i] = 0.0;
+#pragma ACCEL parallel factor=auto{__PARA__L2}
+    for (j = 0; j < N; j++) {
+      tmp[i] += A[i][j] * x[j];
+    }
+#pragma ACCEL parallel factor=auto{__PARA__L3}
+    for (j = 0; j < N; j++) {
+      y[j] += A[i][j] * tmp[i];
+    }
+  }
+}
+"""
+
+_GEMM_BLOCKED_SRC = """
+#define NSIZE 64
+#define BSIZE 8
+void gemm_blocked(double m1[NSIZE][NSIZE], double m2[NSIZE][NSIZE], double prod[NSIZE][NSIZE]) {
+  int jj;
+  int kk;
+  int i;
+  int k;
+  int j;
+#pragma ACCEL pipeline auto{__PIPE__L0}
+#pragma ACCEL tile factor=auto{__TILE__L0}
+  for (jj = 0; jj < NSIZE; jj += BSIZE) {
+#pragma ACCEL pipeline auto{__PIPE__L1}
+#pragma ACCEL tile factor=auto{__TILE__L1}
+    for (kk = 0; kk < NSIZE; kk += BSIZE) {
+#pragma ACCEL pipeline auto{__PIPE__L2}
+#pragma ACCEL parallel factor=auto{__PARA__L2}
+      for (i = 0; i < NSIZE; i++) {
+#pragma ACCEL pipeline auto{__PIPE__L3}
+#pragma ACCEL parallel factor=auto{__PARA__L3}
+        for (k = 0; k < BSIZE; k++) {
+          double temp_x = m1[i][kk + k];
+#pragma ACCEL parallel factor=auto{__PARA__L4}
+          for (j = 0; j < BSIZE; j++) {
+            prod[i][jj + j] += temp_x * m2[kk + k][jj + j];
+          }
+        }
+      }
+    }
+  }
+}
+"""
+
+_GEMM_NCUBED_SRC = """
+#define NSIZE 64
+void gemm_ncubed(double m1[NSIZE][NSIZE], double m2[NSIZE][NSIZE], double prod[NSIZE][NSIZE]) {
+  int i;
+  int j;
+  int k;
+#pragma ACCEL tile factor=auto{__TILE__L0}
+#pragma ACCEL pipeline auto{__PIPE__L0}
+#pragma ACCEL parallel factor=auto{__PARA__L0}
+  for (i = 0; i < NSIZE; i++) {
+#pragma ACCEL pipeline auto{__PIPE__L1}
+#pragma ACCEL parallel factor=auto{__PARA__L1}
+    for (j = 0; j < NSIZE; j++) {
+      double sum = 0.0;
+#pragma ACCEL pipeline auto{__PIPE__L2}
+#pragma ACCEL parallel factor=auto{__PARA__L2}
+      for (k = 0; k < NSIZE; k++) {
+        sum += m1[i][k] * m2[k][j];
+      }
+      prod[i][j] = sum;
+    }
+  }
+}
+"""
+
+_MVT_SRC = """
+#define N 100
+void mvt(double a[N][N], double x1[N], double x2[N], double y1[N], double y2[N]) {
+  int i;
+  int j;
+#pragma ACCEL pipeline auto{__PIPE__L0}
+#pragma ACCEL parallel factor=auto{__PARA__L0}
+  for (i = 0; i < N; i++) {
+#pragma ACCEL pipeline auto{__PIPE__L1}
+#pragma ACCEL parallel factor=auto{__PARA__L1}
+    for (j = 0; j < N; j++) {
+      x1[i] += a[i][j] * y1[j];
+    }
+  }
+#pragma ACCEL pipeline auto{__PIPE__L2}
+#pragma ACCEL parallel factor=auto{__PARA__L2}
+  for (i = 0; i < N; i++) {
+#pragma ACCEL pipeline auto{__PIPE__L3}
+#pragma ACCEL parallel factor=auto{__PARA__L3}
+    for (j = 0; j < N; j++) {
+      x2[i] += a[j][i] * y2[j];
+    }
+  }
+}
+"""
+
+_SPMV_CRS_SRC = """
+#define NNZ 2048
+#define NR 128
+void spmv_crs(double val[NNZ], int cols[NNZ], int rowDelimiters[NR + 1], double vec[NR], double out[NR]) {
+  int i;
+  int j;
+#pragma ACCEL pipeline auto{__PIPE__L0}
+  for (i = 0; i < NR; i++) {
+    double sum = 0.0;
+    int rs = rowDelimiters[i];
+    int re = rowDelimiters[i + 1];
+#pragma ACCEL pipeline auto{__PIPE__L1}
+#pragma ACCEL parallel factor=auto{__PARA__L1}
+    for (j = rs; j < re; j++) {
+      sum += val[j] * vec[cols[j]];
+    }
+    out[i] = sum;
+  }
+}
+"""
+
+_SPMV_ELLPACK_SRC = """
+#define NR 96
+#define L 12
+void spmv_ellpack(double nzval[NR * L], int cols[NR * L], double vec[NR], double out[NR]) {
+  int i;
+  int j;
+#pragma ACCEL pipeline auto{__PIPE__L0}
+#pragma ACCEL parallel factor=auto{__PARA__L0}
+  for (i = 0; i < NR; i++) {
+    double sum = 0.0;
+#pragma ACCEL parallel factor=auto{__PARA__L1}
+    for (j = 0; j < L; j++) {
+      sum += nzval[j + i * L] * vec[cols[j + i * L]];
+    }
+    out[i] = sum;
+  }
+}
+"""
+
+_STENCIL_SRC = """
+#define ROWS 32
+#define COLS 32
+void stencil2d(double orig[ROWS * COLS], double sol[ROWS * COLS], double filter[9]) {
+  int r;
+  int c;
+  int k1;
+  int k2;
+#pragma ACCEL tile factor=auto{__TILE__L0}
+#pragma ACCEL pipeline auto{__PIPE__L0}
+#pragma ACCEL parallel factor=auto{__PARA__L0}
+  for (r = 0; r < ROWS - 2; r++) {
+#pragma ACCEL pipeline auto{__PIPE__L1}
+#pragma ACCEL parallel factor=auto{__PARA__L1}
+    for (c = 0; c < COLS - 2; c++) {
+      double temp = 0.0;
+#pragma ACCEL parallel factor=auto{__PARA__L2}
+      for (k1 = 0; k1 < 3; k1++) {
+#pragma ACCEL parallel factor=auto{__PARA__L3}
+        for (k2 = 0; k2 < 3; k2++) {
+          temp += filter[k1 * 3 + k2] * orig[(r + k1) * COLS + c + k2];
+        }
+      }
+      sol[r * COLS + c] = temp;
+    }
+  }
+}
+"""
+
+_NW_SRC = """
+#define ALEN 64
+#define BLEN 64
+void needwun(int seqA[ALEN], int seqB[BLEN], int M[(ALEN + 1) * (BLEN + 1)]) {
+  int i;
+  int j;
+#pragma ACCEL parallel factor=auto{__PARA__L0}
+  for (i = 0; i <= ALEN; i++) {
+    M[i * (BLEN + 1)] = 0 - i;
+  }
+#pragma ACCEL parallel factor=auto{__PARA__L1}
+  for (j = 0; j <= BLEN; j++) {
+    M[j] = 0 - j;
+  }
+#pragma ACCEL pipeline auto{__PIPE__L2}
+#pragma ACCEL tile factor=auto{__TILE__L2}
+  for (i = 1; i <= ALEN; i++) {
+#pragma ACCEL pipeline auto{__PIPE__L3}
+#pragma ACCEL parallel factor=auto{__PARA__L3}
+    for (j = 1; j <= BLEN; j++) {
+      int score;
+      if (seqA[i - 1] == seqB[j - 1]) {
+        score = 1;
+      } else {
+        score = -1;
+      }
+      int up_left = M[(i - 1) * (BLEN + 1) + j - 1] + score;
+      int up = M[(i - 1) * (BLEN + 1) + j] - 1;
+      int left = M[i * (BLEN + 1) + j - 1] - 1;
+      int best = up_left;
+      if (up > best) {
+        best = up;
+      }
+      if (left > best) {
+        best = left;
+      }
+      M[i * (BLEN + 1) + j] = best;
+    }
+  }
+}
+"""
+
+MACHSUITE_KERNELS = [
+    KernelSpec(
+        name="aes",
+        suite="machsuite",
+        source=_AES_SRC,
+        description="AES-256 ECB encryption round loop with S-box lookups",
+    ),
+    KernelSpec(
+        name="atax",
+        suite="machsuite",
+        source=_ATAX_SRC,
+        description="y = A^T (A x): fused matrix-vector products",
+    ),
+    KernelSpec(
+        name="gemm-blocked",
+        suite="machsuite",
+        source=_GEMM_BLOCKED_SRC,
+        description="Blocked dense matrix-matrix multiply",
+    ),
+    KernelSpec(
+        name="gemm-ncubed",
+        suite="machsuite",
+        source=_GEMM_NCUBED_SRC,
+        description="Naive O(n^3) dense matrix-matrix multiply",
+    ),
+    KernelSpec(
+        name="mvt",
+        suite="machsuite",
+        source=_MVT_SRC,
+        description="Two matrix-vector products (A y1 and A^T y2)",
+    ),
+    KernelSpec(
+        name="spmv-crs",
+        suite="machsuite",
+        source=_SPMV_CRS_SRC,
+        description="Sparse matrix-vector multiply, compressed row storage",
+        trip_hints={"spmv_crs/L1": 16},
+    ),
+    KernelSpec(
+        name="spmv-ellpack",
+        suite="machsuite",
+        source=_SPMV_ELLPACK_SRC,
+        description="Sparse matrix-vector multiply, ELLPACK format",
+    ),
+    KernelSpec(
+        name="stencil",
+        suite="machsuite",
+        source=_STENCIL_SRC,
+        description="2-D 3x3 stencil convolution",
+    ),
+    KernelSpec(
+        name="nw",
+        suite="machsuite",
+        source=_NW_SRC,
+        description="Needleman-Wunsch dynamic-programming alignment",
+    ),
+]

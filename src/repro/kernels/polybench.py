@@ -1,0 +1,159 @@
+"""Polybench-derived kernels.
+
+The four *unseen* kernels of Section 5.4 (bicg, doitgen, gesummv, 2mm)
+are held out of the training database and used to test generalisation.
+Pragma counts match Table 3 of the paper.
+"""
+
+from .base import KernelSpec
+
+__all__ = ["POLYBENCH_KERNELS"]
+
+_BICG_SRC = """
+#define NX 112
+#define NY 56
+void bicg(double A[NX][NY], double s[NY], double q[NX], double p[NY], double r[NX]) {
+  int i;
+  int j;
+#pragma ACCEL parallel factor=auto{__PARA__L0}
+  for (i = 0; i < NY; i++) {
+    s[i] = 0.0;
+  }
+#pragma ACCEL pipeline auto{__PIPE__L1}
+#pragma ACCEL parallel factor=auto{__PARA__L1}
+  for (i = 0; i < NX; i++) {
+    q[i] = 0.0;
+#pragma ACCEL pipeline auto{__PIPE__L2}
+#pragma ACCEL parallel factor=auto{__PARA__L2}
+    for (j = 0; j < NY; j++) {
+      s[j] += r[i] * A[i][j];
+      q[i] += A[i][j] * p[j];
+    }
+  }
+}
+"""
+
+_DOITGEN_SRC = """
+#define NR 8
+#define NQ 8
+#define NP 16
+void doitgen(double A[NR][NQ][NP], double C4[NP][NP], double sum[NP]) {
+  int r;
+  int q;
+  int p;
+  int s;
+#pragma ACCEL pipeline auto{__PIPE__L0}
+#pragma ACCEL parallel factor=auto{__PARA__L0}
+  for (r = 0; r < NR; r++) {
+#pragma ACCEL pipeline auto{__PIPE__L1}
+#pragma ACCEL parallel factor=auto{__PARA__L1}
+    for (q = 0; q < NQ; q++) {
+      for (p = 0; p < NP; p++) {
+        sum[p] = 0.0;
+#pragma ACCEL parallel factor=auto{__PARA__L3}
+        for (s = 0; s < NP; s++) {
+          sum[p] += A[r][q][s] * C4[s][p];
+        }
+      }
+#pragma ACCEL parallel factor=auto{__PARA__L4}
+      for (p = 0; p < NP; p++) {
+        A[r][q][p] = sum[p];
+      }
+    }
+  }
+}
+"""
+
+_GESUMMV_SRC = """
+#define N 72
+void gesummv(double A[N][N], double B[N][N], double tmp[N], double x[N], double y[N]) {
+  int i;
+  int j;
+#pragma ACCEL pipeline auto{__PIPE__L0}
+#pragma ACCEL parallel factor=auto{__PARA__L0}
+  for (i = 0; i < N; i++) {
+    tmp[i] = 0.0;
+    y[i] = 0.0;
+#pragma ACCEL pipeline auto{__PIPE__L1}
+#pragma ACCEL parallel factor=auto{__PARA__L1}
+    for (j = 0; j < N; j++) {
+      tmp[i] += A[i][j] * x[j];
+      y[i] += B[i][j] * x[j];
+    }
+    y[i] = 1.5 * tmp[i] + 1.2 * y[i];
+  }
+}
+"""
+
+_2MM_SRC = """
+#define NI 32
+#define NJ 32
+#define NK 32
+#define NL 32
+void kernel_2mm(double tmp[NI][NJ], double A[NI][NK], double B[NK][NJ], double C[NJ][NL], double D[NI][NL]) {
+  int i;
+  int j;
+  int k;
+#pragma ACCEL tile factor=auto{__TILE__L0}
+#pragma ACCEL pipeline auto{__PIPE__L0}
+#pragma ACCEL parallel factor=auto{__PARA__L0}
+  for (i = 0; i < NI; i++) {
+#pragma ACCEL pipeline auto{__PIPE__L1}
+#pragma ACCEL parallel factor=auto{__PARA__L1}
+    for (j = 0; j < NJ; j++) {
+      tmp[i][j] = 0.0;
+#pragma ACCEL pipeline auto{__PIPE__L2}
+#pragma ACCEL parallel factor=auto{__PARA__L2}
+      for (k = 0; k < NK; k++) {
+        tmp[i][j] += 1.5 * A[i][k] * B[k][j];
+      }
+    }
+  }
+#pragma ACCEL tile factor=auto{__TILE__L3}
+#pragma ACCEL pipeline auto{__PIPE__L3}
+#pragma ACCEL parallel factor=auto{__PARA__L3}
+  for (i = 0; i < NI; i++) {
+#pragma ACCEL pipeline auto{__PIPE__L4}
+#pragma ACCEL parallel factor=auto{__PARA__L4}
+    for (j = 0; j < NL; j++) {
+      D[i][j] = D[i][j] * 1.2;
+#pragma ACCEL pipeline auto{__PIPE__L5}
+#pragma ACCEL parallel factor=auto{__PARA__L5}
+      for (k = 0; k < NJ; k++) {
+        D[i][j] += tmp[i][k] * C[k][j];
+      }
+    }
+  }
+}
+"""
+
+POLYBENCH_KERNELS = [
+    KernelSpec(
+        name="bicg",
+        suite="polybench",
+        source=_BICG_SRC,
+        description="BiCG sub-kernel: s = A^T r and q = A p",
+        unseen=True,
+    ),
+    KernelSpec(
+        name="doitgen",
+        suite="polybench",
+        source=_DOITGEN_SRC,
+        description="Multi-resolution analysis: 3-D tensor times matrix",
+        unseen=True,
+    ),
+    KernelSpec(
+        name="gesummv",
+        suite="polybench",
+        source=_GESUMMV_SRC,
+        description="Scalar, vector and matrix multiplication: y = aAx + bBx",
+        unseen=True,
+    ),
+    KernelSpec(
+        name="2mm",
+        suite="polybench",
+        source=_2MM_SRC,
+        description="Two chained matrix multiplications: D = aABC + bD",
+        unseen=True,
+    ),
+]

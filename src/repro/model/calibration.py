@@ -1,0 +1,163 @@
+"""Predictor calibration analysis.
+
+A surrogate that screens thousands of designs needs *trustworthy*
+confidence: the DSE throws away anything the classifier calls invalid
+and ranks the rest by predicted latency.  This module quantifies both:
+
+* classifier reliability — bin validity probabilities and compare each
+  bin's mean predicted probability with its empirical valid rate
+  (expected calibration error, ECE);
+* regression error profile — per-kernel latency-prediction error
+  quantiles and rank correlation (what the DSE's top-M ordering
+  actually depends on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..nn.data import DataLoader
+from ..nn.tensor import no_grad
+
+__all__ = [
+    "ClassifierCalibration",
+    "RegressionProfile",
+    "calibrate_classifier",
+    "profile_regression",
+    "spearman",
+]
+
+
+def spearman(a: np.ndarray, b: np.ndarray) -> float:
+    """Spearman rank correlation (ties broken by position)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.size < 2:
+        return 0.0
+    ra = np.argsort(np.argsort(a)).astype(np.float64)
+    rb = np.argsort(np.argsort(b)).astype(np.float64)
+    ra -= ra.mean()
+    rb -= rb.mean()
+    denom = np.sqrt((ra**2).sum() * (rb**2).sum())
+    return float((ra * rb).sum() / denom) if denom else 0.0
+
+
+@dataclass
+class ClassifierCalibration:
+    """Reliability summary of the validity classifier."""
+
+    bin_edges: np.ndarray
+    bin_confidence: np.ndarray  # mean predicted P(valid) per bin
+    bin_accuracy: np.ndarray  # empirical valid rate per bin
+    bin_counts: np.ndarray
+    ece: float  # expected calibration error
+
+    def pretty(self) -> str:
+        lines = [f"classifier calibration (ECE = {self.ece:.3f})"]
+        lines.append(f"{'bin':>12s} {'n':>6s} {'mean p':>8s} {'valid%':>8s}")
+        for i in range(len(self.bin_counts)):
+            if self.bin_counts[i] == 0:
+                continue
+            lines.append(
+                f"{self.bin_edges[i]:>5.2f}-{self.bin_edges[i + 1]:<5.2f} "
+                f"{int(self.bin_counts[i]):6d} {self.bin_confidence[i]:8.3f} "
+                f"{self.bin_accuracy[i]:8.3f}"
+            )
+        return "\n".join(lines)
+
+
+def calibrate_classifier(
+    classifier, samples: Sequence, bins: int = 10, batch_size: int = 128
+) -> ClassifierCalibration:
+    """Measure the classifier's probability calibration on ``samples``."""
+    probs: List[np.ndarray] = []
+    labels: List[np.ndarray] = []
+    classifier.eval()
+    loader = DataLoader(samples, batch_size=batch_size, shuffle=False)
+    with no_grad():
+        for batch in loader:
+            logits = classifier(batch).data
+            exp = np.exp(logits - logits.max(axis=1, keepdims=True))
+            probs.append(exp[:, 1] / exp.sum(axis=1))
+            labels.append(batch.labels())
+    p = np.concatenate(probs)
+    y = np.concatenate(labels).astype(np.float64)
+    edges = np.linspace(0.0, 1.0, bins + 1)
+    confidence = np.zeros(bins)
+    accuracy = np.zeros(bins)
+    counts = np.zeros(bins)
+    for i in range(bins):
+        mask = (p >= edges[i]) & (p < edges[i + 1] if i < bins - 1 else p <= edges[i + 1])
+        counts[i] = mask.sum()
+        if counts[i]:
+            confidence[i] = float(p[mask].mean())
+            accuracy[i] = float(y[mask].mean())
+    total = counts.sum() or 1.0
+    ece = float(np.sum(counts / total * np.abs(confidence - accuracy)))
+    return ClassifierCalibration(
+        bin_edges=edges,
+        bin_confidence=confidence,
+        bin_accuracy=accuracy,
+        bin_counts=counts,
+        ece=ece,
+    )
+
+
+@dataclass
+class RegressionProfile:
+    """Per-kernel latency-prediction quality."""
+
+    per_kernel: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def pretty(self) -> str:
+        lines = ["regression profile (normalised-latency errors)"]
+        lines.append(
+            f"{'kernel':14s} {'n':>5s} {'mae':>8s} {'p90 err':>8s} {'spearman':>9s}"
+        )
+        for kernel in sorted(self.per_kernel):
+            row = self.per_kernel[kernel]
+            lines.append(
+                f"{kernel:14s} {int(row['count']):5d} {row['mae']:8.3f} "
+                f"{row['p90']:8.3f} {row['spearman']:9.3f}"
+            )
+        return "\n".join(lines)
+
+
+def profile_regression(
+    regressor, samples: Sequence, batch_size: int = 128
+) -> RegressionProfile:
+    """Latency error quantiles + rank correlation, per kernel.
+
+    Rank correlation is what the DSE's top-M selection depends on: a
+    model can have biased absolute predictions and still rank designs
+    perfectly.
+    """
+    regressor.eval()
+    predictions: List[float] = []
+    targets: List[float] = []
+    kernels: List[str] = []
+    loader = DataLoader(samples, batch_size=batch_size, shuffle=False)
+    objective_index = list(regressor.config.objectives).index("latency")
+    with no_grad():
+        for batch in loader:
+            out = regressor(batch).data
+            predictions.extend(out[:, objective_index].tolist())
+            targets.extend(g.y["latency"] for g in batch.graphs)
+            kernels.extend(g.kernel for g in batch.graphs)
+    predictions_arr = np.array(predictions)
+    targets_arr = np.array(targets)
+    kernels_arr = np.array(kernels)
+    profile = RegressionProfile()
+    for kernel in sorted(set(kernels)):
+        mask = kernels_arr == kernel
+        err = np.abs(predictions_arr[mask] - targets_arr[mask])
+        profile.per_kernel[kernel] = {
+            "count": float(mask.sum()),
+            "mae": float(err.mean()) if err.size else 0.0,
+            "p90": float(np.quantile(err, 0.9)) if err.size else 0.0,
+            "spearman": spearman(predictions_arr[mask], targets_arr[mask]),
+        }
+    return profile

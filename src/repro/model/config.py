@@ -1,0 +1,84 @@
+"""Model configurations M1–M7 (Table 2 of the paper).
+
+=====  =========================================================
+M1     MLP on pragma settings only (Kwon et al. [7] re-impl.)
+M2     MLP on pragma settings + summed initial node embeddings
+M3     GNN-DSE with GCN layers, sum pooling
+M4     GNN-DSE with GAT layers, sum pooling
+M5     GNN-DSE with TransformerConv layers, sum pooling
+M6     M5 + Jumping Knowledge Network
+M7     M6 + node-attention graph readout  (the full GNN-DSE model)
+=====  =========================================================
+
+Architecture hyper-parameters follow Section 5.1: 6 GNN layers with 64
+features, followed by 4 MLP prediction layers per objective; separate
+models for classification and regression; BRAM regressed by its own
+model because it correlates weakly with the other objectives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from ..errors import ModelError
+
+__all__ = [
+    "ModelConfig",
+    "MODEL_CONFIGS",
+    "REGRESSION_OBJECTIVES",
+    "BRAM_OBJECTIVE",
+    "ALL_OBJECTIVES",
+]
+
+#: Objectives predicted by the main regression model.
+REGRESSION_OBJECTIVES: Tuple[str, ...] = ("latency", "DSP", "LUT", "FF")
+
+#: The weakly-correlated objective given its own model (Section 5.2.1).
+BRAM_OBJECTIVE: Tuple[str, ...] = ("BRAM",)
+
+ALL_OBJECTIVES: Tuple[str, ...] = ("latency", "DSP", "LUT", "FF", "BRAM")
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Hyper-parameters of one predictive model variant."""
+
+    name: str
+    kind: str  # "mlp-pragma" | "mlp-context" | "gnn"
+    conv: str = "transformer"  # "gcn" | "gat" | "transformer"
+    use_jkn: bool = False
+    jkn_mode: str = "max"
+    pooling: str = "sum"  # "sum" | "attention"
+    num_layers: int = 6
+    hidden: int = 64
+    heads: int = 4
+    mlp_layers: int = 4
+    use_edge_attr: bool = True
+    task: str = "regression"  # "regression" | "classification"
+    objectives: Tuple[str, ...] = REGRESSION_OBJECTIVES
+
+    def for_task(self, task: str, objectives: Tuple[str, ...] = None) -> "ModelConfig":
+        """Clone this config for another task / objective set."""
+        if task not in ("regression", "classification"):
+            raise ModelError(f"unknown task {task!r}")
+        return replace(
+            self, task=task, objectives=tuple(objectives or self.objectives)
+        )
+
+
+MODEL_CONFIGS: Dict[str, ModelConfig] = {
+    "M1": ModelConfig(name="M1", kind="mlp-pragma"),
+    "M2": ModelConfig(name="M2", kind="mlp-context"),
+    "M3": ModelConfig(name="M3", kind="gnn", conv="gcn", use_jkn=False, pooling="sum"),
+    "M4": ModelConfig(name="M4", kind="gnn", conv="gat", use_jkn=False, pooling="sum"),
+    "M5": ModelConfig(
+        name="M5", kind="gnn", conv="transformer", use_jkn=False, pooling="sum"
+    ),
+    "M6": ModelConfig(
+        name="M6", kind="gnn", conv="transformer", use_jkn=True, pooling="sum"
+    ),
+    "M7": ModelConfig(
+        name="M7", kind="gnn", conv="transformer", use_jkn=True, pooling="attention"
+    ),
+}

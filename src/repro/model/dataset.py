@@ -1,0 +1,121 @@
+"""Dataset assembly: design database → model-ready graph samples.
+
+One :class:`~repro.nn.data.GraphData` per database record.  Graph
+structure and base features are built once per kernel and only the
+pragma-node rows are patched per design point
+(:meth:`~repro.graph.encoding.EncodedGraph.fill`).
+
+Each sample also carries two `extras` used by the MLP baselines:
+
+* ``pragma_vec`` — the flat pragma-settings vector (model M1's input),
+  padded to a global maximum knob count so kernels share one input
+  space;
+* no separate context vector is stored for M2 — it sums the graph's
+  initial node embeddings at run time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..designspace.space import DesignPoint
+from ..explorer.database import Database, DesignRecord
+from ..frontend.pragmas import PipelineOption
+from ..graph import EncodedGraph, encode_kernel
+from ..kernels import get_kernel
+from .config import ALL_OBJECTIVES
+from .normalizer import TargetNormalizer
+
+__all__ = ["GraphDatasetBuilder", "train_test_split", "MAX_KNOBS", "pragma_vector"]
+
+#: Global maximum tunable-knob count (2mm has 14; leave headroom).
+MAX_KNOBS = 16
+
+_PIPE_CODE = {PipelineOption.OFF: 0.0, PipelineOption.COARSE: 0.5, PipelineOption.FINE: 1.0}
+
+
+def pragma_vector(point: DesignPoint, knob_names: Sequence[str]) -> np.ndarray:
+    """Encode a design point as a flat vector (M1's input).
+
+    Two slots per knob in sorted-name order: a pipeline-mode code and a
+    log-scaled numeric factor; zero-padded to ``MAX_KNOBS`` knobs.
+    """
+    vec = np.zeros(2 * MAX_KNOBS, dtype=np.float64)
+    for i, name in enumerate(sorted(knob_names)[:MAX_KNOBS]):
+        value = point.get(name)
+        if value is None:
+            continue
+        if isinstance(value, PipelineOption):
+            vec[2 * i] = _PIPE_CODE[value]
+        else:
+            vec[2 * i + 1] = np.log2(max(int(value), 1)) / 6.0
+    return vec
+
+
+class GraphDatasetBuilder:
+    """Builds train/test graph datasets from a design database."""
+
+    def __init__(self, database: Database, normalizer: Optional[TargetNormalizer] = None):
+        self.database = database
+        self.normalizer = normalizer or TargetNormalizer().fit(
+            [r.latency for r in database if r.valid] or [1.0]
+        )
+        self._encoded: Dict[str, EncodedGraph] = {}
+
+    def encoded_graph(self, kernel: str) -> EncodedGraph:
+        if kernel not in self._encoded:
+            self._encoded[kernel] = encode_kernel(get_kernel(kernel))
+        return self._encoded[kernel]
+
+    def sample(self, record: DesignRecord):
+        """Build one GraphData sample from a database record."""
+        from ..nn.data import GraphData
+
+        enc = self.encoded_graph(record.kernel)
+        point = record.design_point
+        x = enc.fill(point)
+        targets = self.normalizer.transform(record.objectives())
+        extras = {
+            "pragma_vec": pragma_vector(point, list(enc.pragma_rows)),
+        }
+        return GraphData(
+            x=x,
+            edge_index=enc.edge_index,
+            edge_attr=enc.edge_attr,
+            y={k: float(targets.get(k, 0.0)) for k in ALL_OBJECTIVES},
+            label=int(record.valid),
+            kernel=record.kernel,
+            point_key=record.point_key,
+            extras=extras,
+        )
+
+    def build(
+        self,
+        records: Optional[Iterable[DesignRecord]] = None,
+        valid_only: bool = False,
+    ) -> List:
+        """Build samples for ``records`` (default: the whole database)."""
+        records = list(records if records is not None else self.database)
+        if valid_only:
+            records = [r for r in records if r.valid]
+        return [self.sample(r) for r in records]
+
+
+def train_test_split(
+    samples: Sequence, test_fraction: float = 0.2, seed: int = 0
+) -> Tuple[List, List]:
+    """Random split, stratified by kernel (Section 5.1's 80/20)."""
+    rng = np.random.default_rng(seed)
+    by_kernel: Dict[str, List] = {}
+    for sample in samples:
+        by_kernel.setdefault(sample.kernel, []).append(sample)
+    train, test = [], []
+    for kernel in sorted(by_kernel):
+        group = by_kernel[kernel]
+        order = rng.permutation(len(group))
+        cut = max(int(round(len(group) * test_fraction)), 1) if len(group) > 1 else 0
+        test.extend(group[i] for i in order[:cut])
+        train.extend(group[i] for i in order[cut:])
+    return train, test

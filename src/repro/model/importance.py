@@ -1,0 +1,100 @@
+"""Knob-level saliency of the trained predictor.
+
+Complements the Fig. 5 node-attention view with an *intervention-based*
+importance measure: for a given design point, neutralise one knob at a
+time (pipeline → off, factor → 1) and record how much the predicted
+latency moves.  Because the HLS simulator can compute the same
+intervention exactly (see :func:`repro.hls.sweep.sweep_kernel`), the
+two can be compared — a well-trained surrogate should rank knob
+importance similarly to the ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..designspace.space import DesignPoint, DesignSpace
+from ..frontend.pragmas import PipelineOption, PragmaKind
+from .predictor import GNNDSEPredictor
+
+__all__ = ["KnobImportance", "ImportanceReport", "knob_importance"]
+
+
+@dataclass
+class KnobImportance:
+    """Predicted effect of neutralising one knob at one design point."""
+
+    knob: str
+    kind: str
+    loop: str
+    base_latency: float
+    ablated_latency: float
+
+    @property
+    def delta(self) -> float:
+        """Relative latency change when the knob is removed (>0 = the
+        knob was helping)."""
+        if self.base_latency <= 0:
+            return 0.0
+        return (self.ablated_latency - self.base_latency) / self.base_latency
+
+
+@dataclass
+class ImportanceReport:
+    kernel: str
+    point: DesignPoint
+    knobs: List[KnobImportance] = field(default_factory=list)
+
+    def ranked(self) -> List[KnobImportance]:
+        return sorted(self.knobs, key=lambda k: abs(k.delta), reverse=True)
+
+    def pretty(self) -> str:
+        lines = [f"predicted knob importance for {self.kernel}"]
+        lines.append(f"{'knob':16s} {'loop':6s} {'Δ latency':>10s}")
+        for knob in self.ranked():
+            lines.append(f"{knob.knob:16s} {knob.loop:6s} {knob.delta:+10.1%}")
+        return "\n".join(lines)
+
+
+def knob_importance(
+    predictor: GNNDSEPredictor,
+    kernel: str,
+    space: DesignSpace,
+    point: Optional[DesignPoint] = None,
+) -> ImportanceReport:
+    """Measure each knob's predicted contribution at ``point``.
+
+    ``point`` defaults to the most aggressive canonical corner of the
+    space (every knob at its last candidate), where contributions are
+    largest.
+    """
+    if point is None:
+        point = {k.name: k.candidates[-1] for k in space.knobs}
+        if space.rules is not None:
+            point = space.rules.canonicalize(point)
+
+    ablations: List[DesignPoint] = [dict(point)]
+    for knob in space.knobs:
+        ablated = dict(point)
+        ablated[knob.name] = (
+            PipelineOption.OFF if knob.kind is PragmaKind.PIPELINE else 1
+        )
+        if space.rules is not None:
+            ablated = space.rules.canonicalize(ablated)
+        ablations.append(ablated)
+
+    predictions = predictor.predict_batch(kernel, ablations)
+    base = predictions[0].latency
+    report = ImportanceReport(kernel=kernel, point=dict(point))
+    for knob, prediction in zip(space.knobs, predictions[1:]):
+        report.knobs.append(
+            KnobImportance(
+                knob=knob.name,
+                kind=knob.kind.keyword,
+                loop=knob.loop_label,
+                base_latency=base,
+                ablated_latency=prediction.latency,
+            )
+        )
+    return report

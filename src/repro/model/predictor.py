@@ -1,0 +1,180 @@
+"""The trained GNN-DSE predictor: HLS-tool surrogate used by the DSE.
+
+Bundles the three trained networks of Section 4.3.2 — the validity
+classifier, the main regression model (latency/DSP/LUT/FF), and the
+separate BRAM regressor — behind one ``predict`` call that returns
+denormalised objectives in milliseconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..designspace.space import DesignPoint
+from ..errors import ModelError
+from ..explorer.database import Database
+from ..graph import EncodedGraph
+from ..nn.data import Batch, GraphData
+from ..nn.tensor import no_grad
+from .config import BRAM_OBJECTIVE, MODEL_CONFIGS, REGRESSION_OBJECTIVES, ModelConfig
+from .dataset import GraphDatasetBuilder, pragma_vector, train_test_split
+from .models import build_model
+from .normalizer import TargetNormalizer
+from .trainer import TrainConfig, Trainer, evaluate_classification, evaluate_regression
+
+__all__ = ["Prediction", "GNNDSEPredictor", "train_predictor"]
+
+
+class Prediction:
+    """One design point's predicted quality."""
+
+    __slots__ = ("valid", "valid_prob", "objectives")
+
+    def __init__(self, valid: bool, valid_prob: float, objectives: Dict[str, float]):
+        self.valid = valid
+        self.valid_prob = valid_prob
+        self.objectives = objectives
+
+    @property
+    def latency(self) -> float:
+        return self.objectives["latency"]
+
+    def fits(self, threshold: float = 0.8) -> bool:
+        return all(
+            self.objectives[name] < threshold for name in ("DSP", "BRAM", "LUT", "FF")
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Prediction(valid={self.valid} p={self.valid_prob:.2f} "
+            f"latency={self.objectives.get('latency', float('nan')):.0f})"
+        )
+
+
+class GNNDSEPredictor:
+    """Classifier + regressors + normalizer, over shared encoded graphs."""
+
+    def __init__(
+        self,
+        classifier,
+        regressor,
+        bram_regressor,
+        normalizer: TargetNormalizer,
+        builder: GraphDatasetBuilder,
+    ):
+        self.classifier = classifier
+        self.regressor = regressor
+        self.bram_regressor = bram_regressor
+        self.normalizer = normalizer
+        self.builder = builder
+
+    # -- sample construction -------------------------------------------------------
+
+    def _sample(self, kernel: str, point: DesignPoint) -> GraphData:
+        enc: EncodedGraph = self.builder.encoded_graph(kernel)
+        return GraphData(
+            x=enc.fill(point),
+            edge_index=enc.edge_index,
+            edge_attr=enc.edge_attr,
+            kernel=kernel,
+            extras={"pragma_vec": pragma_vector(point, list(enc.pragma_rows))},
+        )
+
+    # -- inference ---------------------------------------------------------------
+
+    def predict_batch(
+        self, kernel: str, points: Sequence[DesignPoint], valid_threshold: float = 0.5
+    ) -> List[Prediction]:
+        """Predict validity and objectives for many points at once."""
+        if not points:
+            return []
+        samples = [self._sample(kernel, p) for p in points]
+        batch = Batch.from_graphs(samples)
+        self.classifier.eval()
+        self.regressor.eval()
+        self.bram_regressor.eval()
+        with no_grad():
+            logits = self.classifier(batch).data
+            reg = self.regressor(batch).data
+            bram = self.bram_regressor(batch).data
+        exp = np.exp(logits - logits.max(axis=1, keepdims=True))
+        probs = exp[:, 1] / exp.sum(axis=1)
+        out: List[Prediction] = []
+        for i in range(len(points)):
+            objectives = {
+                name: float(reg[i, j]) for j, name in enumerate(REGRESSION_OBJECTIVES)
+            }
+            objectives["BRAM"] = float(bram[i, 0])
+            objectives = self.normalizer.inverse(objectives)
+            out.append(
+                Prediction(
+                    valid=bool(probs[i] >= valid_threshold),
+                    valid_prob=float(probs[i]),
+                    objectives=objectives,
+                )
+            )
+        return out
+
+    def predict(self, kernel: str, point: DesignPoint) -> Prediction:
+        """Predict one design point (see :meth:`predict_batch`)."""
+        return self.predict_batch(kernel, [point])[0]
+
+
+def train_predictor(
+    database: Database,
+    config_name: str = "M7",
+    train_config: Optional[TrainConfig] = None,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+    return_metrics: bool = False,
+):
+    """Train the full GNN-DSE predictor stack on a design database.
+
+    Trains three networks with the configuration ``config_name`` (M1–M7):
+    classification on all records, regression on valid records for
+    (latency, DSP, LUT, FF), and a separate BRAM regressor (Section
+    5.2.1).  Returns the :class:`GNNDSEPredictor`; with
+    ``return_metrics=True`` also returns the Table 2-style test metrics.
+    """
+    if config_name not in MODEL_CONFIGS:
+        raise ModelError(f"unknown model config {config_name!r}")
+    base_config: ModelConfig = MODEL_CONFIGS[config_name]
+    train_config = train_config or TrainConfig()
+    builder = GraphDatasetBuilder(database)
+    node_dim = 0
+    edge_dim = 0
+    all_samples = builder.build()
+    if all_samples:
+        node_dim = all_samples[0].x.shape[1]
+        edge_dim = all_samples[0].edge_attr.shape[1]
+    train_all, test_all = train_test_split(all_samples, test_fraction, seed)
+    train_valid = [s for s in train_all if s.label == 1]
+    test_valid = [s for s in test_all if s.label == 1]
+
+    trainer = Trainer(train_config)
+
+    def make(config):
+        def factory(fold_seed):
+            return build_model(config, node_dim, edge_dim, seed=fold_seed)
+
+        return factory
+
+    cls_config = base_config.for_task("classification")
+    reg_config = base_config.for_task("regression", REGRESSION_OBJECTIVES)
+    bram_config = base_config.for_task("regression", BRAM_OBJECTIVE)
+
+    classifier = trainer.fit_cv(make(cls_config), train_all)
+    regressor = trainer.fit_cv(make(reg_config), train_valid)
+    bram = trainer.fit_cv(make(bram_config), train_valid)
+
+    predictor = GNNDSEPredictor(classifier, regressor, bram, builder.normalizer, builder)
+    if not return_metrics:
+        return predictor
+    metrics: Dict[str, float] = {}
+    metrics.update(evaluate_regression(regressor, test_valid))
+    metrics.update(evaluate_regression(bram, test_valid))
+    metrics["all"] = sum(metrics[k] for k in ("latency", "DSP", "LUT", "FF", "BRAM"))
+    metrics.update(evaluate_classification(classifier, test_all))
+    return predictor, metrics

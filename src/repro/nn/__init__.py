@@ -1,0 +1,71 @@
+"""Numpy deep-learning stack (the PyTorch/PyG substitute).
+
+- :mod:`repro.nn.tensor` — vectorized reverse-mode autograd;
+- :mod:`repro.nn.module` — parameters, Linear/MLP, activations;
+- :mod:`repro.nn.conv` — GCNConv / GATConv / TransformerConv;
+- :mod:`repro.nn.pooling` — sum and node-attention readout;
+- :mod:`repro.nn.jkn` — Jumping Knowledge aggregation;
+- :mod:`repro.nn.optim` / :mod:`repro.nn.loss` — Adam/SGD, losses;
+- :mod:`repro.nn.data` — graph batching with sorted segment layout.
+"""
+
+from .conv import GATConv, GCNConv, TransformerConv
+from .data import Batch, DataLoader, GraphData
+from .jkn import JumpingKnowledge
+from .loss import binary_accuracy, cross_entropy, f1_score, mse_loss, rmse
+from .module import (
+    ELU,
+    MLP,
+    Dropout,
+    Identity,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Tanh,
+    glorot,
+)
+from .optim import SGD, Adam, Optimizer
+from .pooling import NodeAttentionPool, SumPool
+from .tensor import Segments, Tensor, concat, no_grad, stack_max
+
+__all__ = [
+    "GATConv",
+    "GCNConv",
+    "TransformerConv",
+    "Batch",
+    "DataLoader",
+    "GraphData",
+    "JumpingKnowledge",
+    "binary_accuracy",
+    "cross_entropy",
+    "f1_score",
+    "mse_loss",
+    "rmse",
+    "ELU",
+    "MLP",
+    "Dropout",
+    "Identity",
+    "LayerNorm",
+    "LeakyReLU",
+    "Linear",
+    "Module",
+    "Parameter",
+    "ReLU",
+    "Sequential",
+    "Tanh",
+    "glorot",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "NodeAttentionPool",
+    "SumPool",
+    "Segments",
+    "Tensor",
+    "concat",
+    "no_grad",
+    "stack_max",
+]

@@ -1,0 +1,171 @@
+"""Graph data containers and mini-batching.
+
+:class:`GraphData` is one design point's encoded graph plus its targets;
+:class:`Batch` concatenates several graphs into one disjoint union with
+
+* edges sorted by destination node (so message aggregation is a fast
+  sorted segment sum),
+* self-loop edges appended (PyG-style), carrying a dedicated feature bit
+  in the last-but-one edge-attribute slot being zero flow — they are
+  distinguishable by their zero flow one-hot,
+* a node→graph segment layout for global pooling.
+
+:class:`DataLoader` shuffles and yields batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import NNError
+from .tensor import IndexPlan, Segments
+
+__all__ = ["GraphData", "Batch", "DataLoader"]
+
+
+@dataclass
+class GraphData:
+    """One encoded graph sample.
+
+    Attributes
+    ----------
+    x:
+        (N, F) node features.
+    edge_index:
+        (2, E) int64 (src, dst).
+    edge_attr:
+        (E, D) edge features.
+    y:
+        Regression targets by objective name (already normalised).
+    label:
+        Classification label (1 = valid design).
+    kernel, point_key:
+        Provenance for splits and deduplication.
+    """
+
+    x: np.ndarray
+    edge_index: np.ndarray
+    edge_attr: np.ndarray
+    y: Dict[str, float] = field(default_factory=dict)
+    label: int = 1
+    kernel: str = ""
+    point_key: str = ""
+    extras: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.x.shape[0]
+
+
+class Batch:
+    """Disjoint union of graphs, ready for message passing."""
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        edge_src: np.ndarray,
+        edge_attr: np.ndarray,
+        edge_segments: Segments,
+        node_segments: Segments,
+        graphs: Sequence[GraphData],
+    ):
+        self.x = x
+        self.edge_src = edge_src
+        self.edge_attr = edge_attr
+        self.edge_segments = edge_segments  # edges grouped by dst node
+        self.node_segments = node_segments  # nodes grouped by graph
+        self.graphs = list(graphs)
+        #: Precomputed gather/scatter plans (reused every layer/epoch).
+        self.src_plan = IndexPlan(edge_src, x.shape[0])
+        self.dst_plan = edge_segments.plan
+
+    @property
+    def num_nodes(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def num_graphs(self) -> int:
+        return len(self.graphs)
+
+    @property
+    def num_edges(self) -> int:
+        return self.edge_src.shape[0]
+
+    def targets(self, names: Sequence[str]) -> np.ndarray:
+        """Stack regression targets into a (G, len(names)) matrix."""
+        return np.array(
+            [[g.y[name] for name in names] for g in self.graphs], dtype=np.float64
+        )
+
+    def labels(self) -> np.ndarray:
+        return np.array([g.label for g in self.graphs], dtype=np.int64)
+
+    def extra_matrix(self, name: str) -> np.ndarray:
+        """Stack one per-graph extra feature vector into (G, D)."""
+        return np.stack([g.extras[name] for g in self.graphs]).astype(np.float64)
+
+    @staticmethod
+    def from_graphs(graphs: Sequence[GraphData], add_self_loops: bool = True) -> "Batch":
+        """Concatenate graphs; sort edges by destination; add self loops."""
+        graphs = list(graphs)
+        if not graphs:
+            raise NNError("cannot batch zero graphs")
+        edge_dim = graphs[0].edge_attr.shape[1] if graphs[0].edge_attr.ndim == 2 else 0
+        xs, srcs, dsts, attrs, node_graph = [], [], [], [], []
+        offset = 0
+        for gi, g in enumerate(graphs):
+            xs.append(g.x)
+            srcs.append(g.edge_index[0] + offset)
+            dsts.append(g.edge_index[1] + offset)
+            attrs.append(g.edge_attr)
+            if add_self_loops:
+                loops = np.arange(g.num_nodes, dtype=np.int64) + offset
+                srcs.append(loops)
+                dsts.append(loops)
+                attrs.append(np.zeros((g.num_nodes, edge_dim), dtype=np.float32))
+            node_graph.append(np.full(g.num_nodes, gi, dtype=np.int64))
+            offset += g.num_nodes
+        from .tensor import get_default_dtype
+
+        dtype = get_default_dtype()
+        x = np.concatenate(xs, axis=0).astype(dtype)
+        src = np.concatenate(srcs)
+        dst = np.concatenate(dsts)
+        attr = np.concatenate(attrs, axis=0).astype(dtype)
+        order = np.argsort(dst, kind="stable")
+        src, dst, attr = src[order], dst[order], attr[order]
+        edge_segments = Segments(dst, num_segments=offset)
+        node_segments = Segments(np.concatenate(node_graph), num_segments=len(graphs))
+        return Batch(x, src, attr, edge_segments, node_segments, graphs)
+
+
+class DataLoader:
+    """Shuffling mini-batch iterator over :class:`GraphData` samples."""
+
+    def __init__(
+        self,
+        dataset: Sequence[GraphData],
+        batch_size: int = 32,
+        shuffle: bool = True,
+        seed: int = 0,
+        add_self_loops: bool = True,
+    ):
+        self.dataset = list(dataset)
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.add_self_loops = add_self_loops
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return (len(self.dataset) + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Batch]:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            chunk = [self.dataset[i] for i in order[start : start + self.batch_size]]
+            yield Batch.from_graphs(chunk, add_self_loops=self.add_self_loops)

@@ -1,0 +1,37 @@
+"""Jumping Knowledge Network aggregation (Xu et al., Eq. 9).
+
+Combines the node embeddings produced by every GNN layer so each node
+can draw on whichever neighbourhood radius suits it.  The paper uses
+max-pooling over layers; ``last`` (identity on the final layer) is kept
+for the ablation study.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import NNError
+from .module import Module
+from .tensor import Tensor, concat, stack_max
+
+__all__ = ["JumpingKnowledge"]
+
+
+class JumpingKnowledge(Module):
+    """Layer-output aggregator: ``max`` (paper), ``last``, or ``cat``."""
+
+    def __init__(self, mode: str = "max"):
+        super().__init__()
+        if mode not in ("max", "last", "cat"):
+            raise NNError(f"unknown JKN mode {mode!r}")
+        self.mode = mode
+
+    def forward(self, layer_outputs: Sequence[Tensor]) -> Tensor:
+        outputs: List[Tensor] = list(layer_outputs)
+        if not outputs:
+            raise NNError("JumpingKnowledge needs at least one layer output")
+        if self.mode == "last":
+            return outputs[-1]
+        if self.mode == "cat":
+            return concat(outputs, axis=1)
+        return stack_max(outputs)

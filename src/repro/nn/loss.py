@@ -1,0 +1,53 @@
+"""Loss functions: MSE/RMSE for regression, cross-entropy for validity."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["mse_loss", "rmse", "cross_entropy", "binary_accuracy", "f1_score"]
+
+
+def mse_loss(pred: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error against a constant target."""
+    diff = pred - Tensor(target)
+    return (diff * diff).mean()
+
+
+def rmse(pred: np.ndarray, target: np.ndarray) -> float:
+    """Root-mean-square error (the paper's Table 2 regression metric)."""
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    return float(np.sqrt(np.mean((pred - target) ** 2)))
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Softmax cross-entropy for integer class labels (N,) over (N, C)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    log_probs = logits.log_softmax(axis=-1)
+    n = labels.shape[0]
+    mask = np.zeros(log_probs.shape, dtype=np.float64)
+    mask[np.arange(n), labels] = 1.0
+    picked = (log_probs * Tensor(mask)).sum(axis=-1)
+    return -picked.mean()
+
+
+def binary_accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Accuracy of argmax class prediction."""
+    pred = np.argmax(logits, axis=-1)
+    return float(np.mean(pred == np.asarray(labels)))
+
+
+def f1_score(logits: np.ndarray, labels: np.ndarray, positive: int = 1) -> float:
+    """F1 of the ``positive`` class (valid designs in the paper)."""
+    pred = np.argmax(logits, axis=-1)
+    labels = np.asarray(labels)
+    tp = float(np.sum((pred == positive) & (labels == positive)))
+    fp = float(np.sum((pred == positive) & (labels != positive)))
+    fn = float(np.sum((pred != positive) & (labels == positive)))
+    if tp == 0.0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    return 2.0 * precision * recall / (precision + recall)

@@ -1,0 +1,53 @@
+"""Graph-level readout: plain sum pooling and node attention (Eq. 10)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .data import Batch
+from .module import MLP, Module
+from .tensor import Tensor
+
+__all__ = ["SumPool", "NodeAttentionPool"]
+
+
+class SumPool(Module):
+    """Graph embedding = sum of node embeddings (the paper's baseline)."""
+
+    def forward(self, x: Tensor, batch: Batch) -> Tensor:
+        return x.segment_sum(batch.node_segments)
+
+    def attention_scores(self, x: Tensor, batch: Batch) -> np.ndarray:
+        """Uniform scores (for API parity with NodeAttentionPool)."""
+        counts = batch.node_segments.counts.astype(np.float64)
+        return batch.node_segments.expand(1.0 / np.maximum(counts, 1.0))
+
+
+class NodeAttentionPool(Module):
+    """Attention-weighted readout (Eq. 10).
+
+    ``h_G = Σ_i softmax(MLP1(h_i)) · MLP2(h_i)`` where the softmax runs
+    over the nodes of each graph.  :meth:`attention_scores` exposes the
+    per-node attention for Fig. 5-style analysis.
+    """
+
+    def __init__(self, dim: int, hidden: Optional[int] = None, rng=None):
+        super().__init__()
+        hidden = hidden or dim
+        rng = rng or np.random.default_rng(0)
+        self.score_mlp = MLP([dim, hidden, 1], activation="elu", rng=rng)
+        self.value_mlp = MLP([dim, hidden, dim], activation="elu", rng=rng)
+
+    def forward(self, x: Tensor, batch: Batch) -> Tensor:
+        scores = self.score_mlp(x)  # (N, 1)
+        att = scores.segment_softmax(batch.node_segments)
+        values = self.value_mlp(x)
+        return (values * att).segment_sum(batch.node_segments)
+
+    def attention_scores(self, x: Tensor, batch: Batch) -> np.ndarray:
+        """Per-node attention weights (sums to 1 within each graph)."""
+        scores = self.score_mlp(x)
+        att = scores.segment_softmax(batch.node_segments)
+        return att.data[:, 0]

@@ -1,0 +1,19 @@
+"""Shared test fixtures.
+
+The NN engine defaults to float32 for training throughput; tests run in
+float64 so numerical gradient checks stay tight.  Individual tests that
+exercise the float32 path opt back in explicitly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import get_default_dtype, set_default_dtype
+
+
+@pytest.fixture(autouse=True)
+def float64_engine():
+    previous = get_default_dtype()
+    set_default_dtype(np.float64)
+    yield
+    set_default_dtype(previous)

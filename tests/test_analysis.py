@@ -1,0 +1,214 @@
+"""Tests for the loop-nest analysis (trip counts, ops, accesses, deps)."""
+
+from repro.frontend.parser import parse_source
+from repro.ir.analysis import DEFAULT_TRIP, analyze_kernel
+
+
+def analyze(src, bindings=None, trip_hints=None):
+    return analyze_kernel(parse_source(src), bindings, trip_hints)
+
+
+class TestTripCounts:
+    def test_constant_bounds(self):
+        ka = analyze("void f(int a[10]) { for (int i = 0; i < 10; i++) { a[i] = 0; } }")
+        loop = ka.top.loops["L0"]
+        assert loop.trip_count == 10
+        assert loop.is_static
+
+    def test_strided_loop(self):
+        ka = analyze("void f(int a[64]) { for (int i = 0; i < 64; i += 8) { a[i] = 0; } }")
+        assert ka.top.loops["L0"].trip_count == 8
+
+    def test_inclusive_bound(self):
+        ka = analyze("void f(int a[11]) { for (int i = 0; i <= 10; i++) { a[i] = 0; } }")
+        assert ka.top.loops["L0"].trip_count == 11
+
+    def test_nonzero_start(self):
+        ka = analyze("void f(int a[10]) { for (int i = 2; i < 10; i++) { a[i] = 0; } }")
+        assert ka.top.loops["L0"].trip_count == 8
+
+    def test_binding_resolved_bound(self):
+        ka = analyze(
+            "void f(int a[16], int n) { for (int i = 0; i < n; i++) { a[i] = 0; } }",
+            bindings={"n": 12},
+        )
+        loop = ka.top.loops["L0"]
+        assert loop.trip_count == 12
+        assert loop.is_static
+
+    def test_dynamic_bound_uses_hint(self):
+        src = (
+            "void f(int a[16], int b[16]) {"
+            " for (int i = 0; i < 16; i++) {"
+            "   int n = b[i];"
+            "   for (int j = 0; j < n; j++) { a[j] = 0; }"
+            " } }"
+        )
+        ka = analyze(src, trip_hints={"f/L1": 5})
+        loop = ka.top.loops["L1"]
+        assert loop.trip_count == 5
+        assert not loop.is_static
+
+    def test_dynamic_bound_default(self):
+        src = (
+            "void f(int a[16], int b[16]) {"
+            " for (int i = 0; i < 16; i++) {"
+            "   int n = b[i];"
+            "   for (int j = 0; j < n; j++) { a[j] = 0; }"
+            " } }"
+        )
+        ka = analyze(src)
+        assert ka.top.loops["L1"].trip_count == DEFAULT_TRIP
+
+
+class TestStructure:
+    def test_nesting_depths_and_parents(self):
+        src = (
+            "void f(int a[4]) { for (int i = 0; i < 4; i++) {"
+            " for (int j = 0; j < 4; j++) { a[j] = i; } } }"
+        )
+        ka = analyze(src)
+        assert ka.top.loops["L0"].depth == 0
+        assert ka.top.loops["L1"].depth == 1
+        assert ka.top.loops["L1"].parent == "L0"
+        assert ka.top.loops["L0"].children[0].label == "L1"
+
+    def test_total_iterations(self):
+        src = (
+            "void f(int a[4]) { for (int i = 0; i < 4; i++) {"
+            " for (int j = 0; j < 8; j++) { a[j % 4] = i; } } }"
+        )
+        ka = analyze(src)
+        assert ka.top.loops["L0"].total_iterations() == 32
+
+    def test_innermost_flag(self):
+        src = (
+            "void f(int a[4]) { for (int i = 0; i < 4; i++) {"
+            " for (int j = 0; j < 4; j++) { a[j] = i; } } }"
+        )
+        ka = analyze(src)
+        assert not ka.top.loops["L0"].is_innermost
+        assert ka.top.loops["L1"].is_innermost
+
+
+class TestOpCensus:
+    def test_float_ops_counted(self):
+        src = (
+            "void f(double a[8], double b[8]) { for (int i = 0; i < 8; i++) {"
+            " a[i] = a[i] * b[i] + 2.0; } }"
+        )
+        ka = analyze(src)
+        ops = ka.top.loops["L0"].body_ops
+        assert ops.fmul == 1
+        assert ops.fadd == 1
+
+    def test_int_ops_counted(self):
+        src = "void f(int a[8]) { for (int i = 0; i < 8; i++) { a[i] = i * 3 + 1; } }"
+        ka = analyze(src)
+        ops = ka.top.loops["L0"].body_ops
+        assert ops.imul == 1
+        assert ops.iadd == 1
+
+    def test_ops_charged_to_owning_loop(self):
+        src = (
+            "void f(double a[8]) { for (int i = 0; i < 8; i++) {"
+            " double t = 0.5 * 2.0;"
+            " for (int j = 0; j < 8; j++) { a[j] += t; } } }"
+        )
+        ka = analyze(src)
+        assert ka.top.loops["L0"].body_ops.fmul == 1
+        assert ka.top.loops["L1"].body_ops.fadd == 1
+        assert ka.top.loops["L1"].body_ops.fmul == 0
+
+
+class TestAccessesAndDeps:
+    def test_affine_access(self):
+        src = (
+            "void f(int a[64]) { for (int i = 0; i < 8; i++) {"
+            " for (int j = 0; j < 8; j++) { a[i * 8 + j] = 0; } } }"
+        )
+        ka = analyze(src)
+        access = ka.top.loops["L1"].accesses[0]
+        assert access.dim_loops == ({"i": 8, "j": 1},)
+        assert not access.is_irregular
+
+    def test_irregular_access(self):
+        src = (
+            "void f(int a[8], int idx[8]) { for (int i = 0; i < 8; i++) {"
+            " a[idx[i]] = 0; } }"
+        )
+        ka = analyze(src)
+        writes = [a for a in ka.top.loops["L0"].accesses if a.is_write]
+        assert writes[0].is_irregular
+
+    def test_scalar_reduction(self):
+        src = (
+            "void f(double a[8], double out[1]) { double s = 0.0;"
+            " for (int i = 0; i < 8; i++) { s += a[i]; } out[0] = s; }"
+        )
+        ka = analyze(src)
+        loop = ka.top.loops["L0"]
+        assert loop.carried_reductions()
+        assert loop.carried_reductions()[0].is_float
+
+    def test_array_rmw_not_carried_by_indexing_loop(self):
+        # y[j] += ... inside a j-loop: the j-loop does NOT carry it.
+        src = (
+            "void f(double y[8], double a[8]) { for (int j = 0; j < 8; j++) {"
+            " y[j] += a[j]; } }"
+        )
+        ka = analyze(src)
+        assert not ka.top.loops["L0"].carried_reductions()
+
+    def test_wavefront_recurrence_detected(self):
+        # In-place recurrence a[i] = a[i-1] + 1 is carried by the loop.
+        src = (
+            "void f(int a[8]) { for (int i = 1; i < 8; i++) {"
+            " a[i] = a[i - 1] + 1; } }"
+        )
+        ka = analyze(src)
+        reds = ka.top.loops["L0"].reductions
+        assert any(not r.free_vars for r in reds)
+
+    def test_distinct_arrays_no_false_recurrence(self):
+        src = (
+            "void f(int a[8], int b[8]) { for (int i = 1; i < 8; i++) {"
+            " a[i] = b[i - 1] + 1; } }"
+        )
+        ka = analyze(src)
+        assert not ka.top.loops["L0"].reductions
+
+
+class TestKernelSuite:
+    def test_all_kernels_analyze(self):
+        from repro.kernels import KERNELS
+
+        for spec in KERNELS.values():
+            analysis = spec.analysis
+            assert analysis.top.all_loops(), spec.name
+
+    def test_paper_pragma_counts(self):
+        from repro.kernels import get_kernel
+
+        expected = {
+            "aes": 3, "atax": 5, "gemm-blocked": 9, "gemm-ncubed": 7,
+            "mvt": 8, "spmv-crs": 3, "spmv-ellpack": 3, "stencil": 7,
+            "nw": 6, "bicg": 5, "doitgen": 6, "gesummv": 4, "2mm": 14,
+        }
+        for name, count in expected.items():
+            assert len(get_kernel(name).pragmas) == count, name
+
+    def test_nw_recurrence_serialises(self):
+        from repro.kernels import get_kernel
+
+        ka = get_kernel("nw").analysis
+        inner = ka.top.loops["L3"]
+        assert any(not r.free_vars for r in inner.reductions)
+
+    def test_spmv_irregular_vector(self):
+        from repro.kernels import get_kernel
+
+        ka = get_kernel("spmv-crs").analysis
+        inner = ka.top.loops["L1"]
+        irregular = [a.array for a in inner.accesses if a.is_irregular]
+        assert "vec" in irregular

@@ -1,0 +1,113 @@
+"""Tests for CFG dominator and natural-loop analyses.
+
+The key cross-check: natural loops recovered *from the block graph*
+must match the loop set the AST-level analysis reports — two
+independent derivations of the same structure.
+"""
+
+import pytest
+
+from repro.frontend.parser import parse_source
+from repro.ir import lower_unit
+from repro.ir.cfg import compute_dominators, find_natural_loops
+from repro.kernels import KERNELS, get_kernel
+
+
+def lower(src):
+    return lower_unit(parse_source(src))
+
+
+class TestDominators:
+    def test_entry_dominates_all(self):
+        module = lower(
+            "void f(int a[8]) { for (int i = 0; i < 8; i++) { a[i] = 0; } }"
+        )
+        fn = module.top
+        tree = compute_dominators(fn)
+        for block in fn.blocks:
+            assert tree.dominates(fn.entry, block)
+
+    def test_entry_has_no_idom(self):
+        module = lower("void f(int a[2]) { a[0] = 1; }")
+        tree = compute_dominators(module.top)
+        assert tree.idom[module.top.entry] is None
+
+    def test_if_join_dominated_by_condition_block(self):
+        module = lower(
+            "void f(int a[4]) { if (a[0] > 0) { a[1] = 1; } else { a[1] = 2; }"
+            " a[2] = 3; }"
+        )
+        fn = module.top
+        tree = compute_dominators(fn)
+        then_block = next(b for b in fn.blocks if "if.then" in b.name)
+        end_block = next(b for b in fn.blocks if "if.end" in b.name)
+        # Neither branch dominates the join; entry does.
+        assert not tree.dominates(then_block, end_block)
+        assert tree.dominates(fn.entry, end_block)
+
+    def test_loop_cond_dominates_body(self):
+        module = lower(
+            "void f(int a[8]) { for (int i = 0; i < 8; i++) { a[i] = 0; } }"
+        )
+        fn = module.top
+        tree = compute_dominators(fn)
+        cond = next(b for b in fn.blocks if "for.cond" in b.name)
+        body = next(b for b in fn.blocks if "for.body" in b.name)
+        assert tree.dominates(cond, body)
+
+    def test_dominators_of_chain(self):
+        module = lower("void f(int a[2]) { a[0] = 1; }")
+        fn = module.top
+        tree = compute_dominators(fn)
+        chain = tree.dominators_of(fn.blocks[-1])
+        assert chain[-1] is fn.entry
+
+
+class TestNaturalLoops:
+    def test_single_loop_detected(self):
+        module = lower(
+            "void f(int a[8]) { for (int i = 0; i < 8; i++) { a[i] = 0; } }"
+        )
+        loops = find_natural_loops(module.top)
+        assert len(loops) == 1
+        assert "for.cond" in loops[0].header.name
+        assert loops[0].label == "L0"
+
+    def test_nested_loops_detected(self):
+        module = lower(
+            "void f(int a[8]) { for (int i = 0; i < 8; i++) {"
+            " for (int j = 0; j < 8; j++) { a[j] = i; } } }"
+        )
+        loops = find_natural_loops(module.top)
+        assert len(loops) == 2
+        outer = next(l for l in loops if l.label == "L0")
+        inner = next(l for l in loops if l.label == "L1")
+        # The inner loop's blocks are a subset of the outer loop's.
+        assert inner.blocks < outer.blocks
+
+    def test_loop_body_blocks_in_loop(self):
+        module = lower(
+            "void f(int a[8]) { for (int i = 0; i < 8; i++) { a[i] = 0; } }"
+        )
+        fn = module.top
+        loops = find_natural_loops(fn)
+        body = next(b for b in fn.blocks if "for.body" in b.name)
+        end = next(b for b in fn.blocks if "for.end" in b.name)
+        assert loops[0].contains(body)
+        assert not loops[0].contains(end)
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_cfg_loops_match_ast_analysis(self, name):
+        """CFG-recovered loops == AST-reported loops, for every kernel."""
+        spec = get_kernel(name)
+        fn_analysis = spec.analysis.top
+        ast_labels = {l.label for l in fn_analysis.all_loops()}
+        ir_fn = spec.module.function(spec.analysis.top_function)
+        cfg_labels = {l.label for l in find_natural_loops(ir_fn)}
+        assert cfg_labels == ast_labels
+
+    def test_loop_nesting_depth_matches(self):
+        spec = get_kernel("gemm-ncubed")
+        ir_fn = spec.module.top
+        loops = {l.label: l for l in find_natural_loops(ir_fn)}
+        assert loops["L2"].blocks < loops["L1"].blocks < loops["L0"].blocks

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestKernelsCommand:
+    def test_lists_all_kernels(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        for name in ("atax", "gemm-ncubed", "2mm", "fir"):
+            assert name in out
+
+    def test_split_column(self, capsys):
+        main(["kernels"])
+        out = capsys.readouterr().out
+        assert "unseen" in out and "train" in out
+
+
+class TestSynthesizeCommand:
+    def test_default_point(self, capsys):
+        assert main(["synthesize", "-k", "spmv-ellpack"]) == 0
+        out = capsys.readouterr().out
+        assert "latency" in out
+        assert "valid" in out
+
+    def test_with_settings(self, capsys):
+        code = main(
+            ["synthesize", "-k", "spmv-ellpack",
+             "-s", "__PARA__L0=8", "-s", "__PIPE__L0=cg"]
+        )
+        assert code == 0
+
+    def test_json_output(self, capsys):
+        main(["synthesize", "-k", "spmv-ellpack", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kernel"] == "spmv_ellpack" or payload["latency"] > 0
+
+    def test_unknown_kernel_fails(self, capsys):
+        assert main(["synthesize", "-k", "nope"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_invalid_setting_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["synthesize", "-k", "atax", "-s", "not-a-setting"])
+
+
+class TestDatabaseAndAutoDSE:
+    def test_database_roundtrip(self, tmp_path, capsys):
+        out_path = tmp_path / "db.json"
+        code = main(
+            ["database", "-o", str(out_path), "--scale", "0.05",
+             "--kernels", "spmv-ellpack"]
+        )
+        assert code == 0
+        assert out_path.exists()
+        from repro.explorer import Database
+
+        db = Database.load(out_path)
+        assert len(db) > 0
+
+    def test_autodse(self, capsys):
+        code = main(["autodse", "-k", "spmv-ellpack", "--max-evals", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tool-hours" in out
+
+    def test_coverage_command(self, tmp_path, capsys):
+        db_path = tmp_path / "db.json"
+        main(["database", "-o", str(db_path), "--scale", "0.05",
+              "--kernels", "spmv-ellpack"])
+        capsys.readouterr()
+        assert main(["coverage", "-k", "spmv-ellpack", "-d", str(db_path)]) == 0
+        out = capsys.readouterr().out
+        assert "coverage of spmv-ellpack" in out
+
+
+class TestParserStructure:
+    def test_all_commands_registered(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["definitely-not-a-command"])
+
+    def test_experiment_choices_limited(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["experiment", "table99"])

@@ -1,0 +1,123 @@
+"""Cross-module consistency invariants.
+
+These tests pin down agreements *between* subsystems that nothing else
+checks directly: the graph vocabulary covers every IR opcode, the
+operator cost table covers every op kind the analyzer counts, kernels'
+declared splits match the experiment constants, and public packages
+export exactly what their ``__all__`` promises.
+"""
+
+import importlib
+
+import pytest
+
+from repro.graph.vocab import NODE_TEXT_VOCAB, node_text_index, UNK_INDEX
+from repro.hls.device import OP_COSTS
+from repro.ir.analysis import OpCensus
+from repro.ir.values import BINARY_OPCODES, CAST_OPCODES, OPCODES
+
+
+class TestVocabCoversIR:
+    def test_all_non_compare_opcodes_in_vocab(self):
+        vocab = set(NODE_TEXT_VOCAB)
+        for opcode in OPCODES:
+            if opcode in ("icmp", "fcmp"):
+                continue  # predicate-qualified text, checked below
+            assert opcode in vocab, f"opcode {opcode} missing from vocabulary"
+
+    def test_compare_predicates_in_vocab(self):
+        for predicate in ("slt", "sgt", "sle", "sge", "eq", "ne"):
+            assert node_text_index(f"icmp.{predicate}") != UNK_INDEX
+
+    def test_value_types_in_vocab(self):
+        for text in ("i32", "i64", "float", "double", "i32*", "double*"):
+            assert node_text_index(text) != UNK_INDEX
+
+    def test_pragma_keywords_in_vocab(self):
+        for text in ("PIPELINE", "PARALLEL", "TILE"):
+            assert node_text_index(text) != UNK_INDEX
+
+    def test_no_duplicate_vocab_entries(self):
+        assert len(NODE_TEXT_VOCAB) == len(set(NODE_TEXT_VOCAB))
+
+
+class TestOpCostsCoverCensus:
+    def test_every_census_op_kind_has_cost(self):
+        census_kinds = [
+            f for f in vars(OpCensus()).keys() if f not in ("calls", "callees")
+        ]
+        for kind in census_kinds:
+            key = kind if kind in OP_COSTS else kind
+            assert key in OP_COSTS, f"OpCensus kind {kind} lacks an OP_COSTS entry"
+
+    def test_costs_are_positive(self):
+        for name, cost in OP_COSTS.items():
+            assert cost.latency >= 1, name
+            assert cost.dsp >= 0 and cost.lut >= 0 and cost.ff >= 0, name
+
+    def test_float_ops_cost_more_than_int(self):
+        assert OP_COSTS["fadd"].latency > OP_COSTS["iadd"].latency
+        assert OP_COSTS["fmul"].dsp > OP_COSTS["imul"].dsp
+
+
+class TestKernelSplits:
+    def test_experiment_splits_cover_paper_kernels(self):
+        from repro.experiments.table3 import TABLE3_PAPER
+        from repro.explorer.runner import DEFAULT_TARGETS
+        from repro.kernels import TRAINING_KERNELS, UNSEEN_KERNELS
+
+        assert set(DEFAULT_TARGETS) == set(TRAINING_KERNELS)
+        assert set(TABLE3_PAPER) == set(UNSEEN_KERNELS)
+
+    def test_splits_are_disjoint(self):
+        from repro.kernels import (
+            EXTRA_KERNEL_NAMES,
+            TRAINING_KERNELS,
+            UNSEEN_KERNELS,
+        )
+
+        groups = [set(TRAINING_KERNELS), set(UNSEEN_KERNELS), set(EXTRA_KERNEL_NAMES)]
+        for i, a in enumerate(groups):
+            for b in groups[i + 1:]:
+                assert not (a & b)
+
+    def test_registry_is_union_of_splits(self):
+        from repro.kernels import (
+            EXTRA_KERNEL_NAMES,
+            KERNELS,
+            TRAINING_KERNELS,
+            UNSEEN_KERNELS,
+        )
+
+        assert set(KERNELS) == (
+            set(TRAINING_KERNELS) | set(UNSEEN_KERNELS) | set(EXTRA_KERNEL_NAMES)
+        )
+
+
+_PUBLIC_PACKAGES = [
+    "repro",
+    "repro.frontend",
+    "repro.ir",
+    "repro.graph",
+    "repro.designspace",
+    "repro.hls",
+    "repro.nn",
+    "repro.model",
+    "repro.explorer",
+    "repro.dse",
+    "repro.analysis",
+    "repro.experiments",
+]
+
+
+class TestPublicAPI:
+    @pytest.mark.parametrize("name", _PUBLIC_PACKAGES)
+    def test_all_exports_resolve(self, name):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol}"
+
+    @pytest.mark.parametrize("name", _PUBLIC_PACKAGES)
+    def test_module_has_docstring(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__ and len(module.__doc__.strip()) > 20

@@ -1,0 +1,164 @@
+"""Tests for the database, evaluator, and the three explorers."""
+
+import pytest
+
+from repro.designspace import build_design_space, point_key
+from repro.errors import DatabaseError
+from repro.explorer import (
+    BottleneckExplorer,
+    Database,
+    DesignRecord,
+    Evaluator,
+    HybridExplorer,
+    RandomExplorer,
+    deserialize_point,
+    generate_database,
+    serialize_point,
+)
+from repro.frontend.pragmas import PipelineOption
+from repro.hls import MerlinHLSTool
+from repro.kernels import get_kernel
+
+
+@pytest.fixture(scope="module")
+def atax():
+    return get_kernel("atax")
+
+
+@pytest.fixture(scope="module")
+def atax_space(atax):
+    return build_design_space(atax)
+
+
+@pytest.fixture()
+def evaluator():
+    return Evaluator(MerlinHLSTool(), Database(), parallelism=8)
+
+
+class TestSerialization:
+    def test_point_roundtrip(self):
+        point = {"__PIPE__L0": PipelineOption.FINE, "__PARA__L0": 8}
+        assert deserialize_point(serialize_point(point)) == point
+
+    def test_database_save_load(self, tmp_path, atax, atax_space, evaluator):
+        explorer = RandomExplorer(atax, atax_space, evaluator)
+        explorer.run(max_evals=10)
+        db = evaluator.database
+        path = tmp_path / "db.json"
+        db.save(path)
+        loaded = Database.load(path)
+        assert len(loaded) == len(db)
+        first = next(iter(loaded))
+        original = db.get(first.kernel, first.point_key)
+        assert original.latency == first.latency
+        assert original.utilization == first.utilization
+
+
+class TestDatabase:
+    def test_add_deduplicates(self, atax, atax_space):
+        db = Database()
+        tool = MerlinHLSTool()
+        point = atax_space.default_point()
+        result = tool.synthesize(atax, point)
+        record = DesignRecord.from_result(result, point, source="x")
+        assert db.add(record)
+        assert not db.add(record)
+        assert len(db) == 1
+
+    def test_get_missing_raises(self):
+        with pytest.raises(DatabaseError):
+            Database().get("atax", "nope")
+
+    def test_best_valid_respects_fit(self, atax, atax_space, evaluator):
+        RandomExplorer(atax, atax_space, evaluator, seed=3).run(max_evals=40)
+        db = evaluator.database
+        best = db.best_valid("atax", fit_threshold=0.8)
+        if best is not None:
+            assert best.valid
+            assert all(u < 0.8 for u in best.utilization.values())
+            for record in db.valid_records("atax"):
+                if all(u < 0.8 for u in record.utilization.values()):
+                    assert best.latency <= record.latency
+
+    def test_stats_by_round(self, atax, atax_space):
+        db = Database()
+        tool = MerlinHLSTool()
+        evaluator = Evaluator(tool, db)
+        evaluator.evaluate(atax, atax_space.default_point(), round=0)
+        point2 = dict(atax_space.default_point())
+        knob = atax_space.knobs[0]
+        point2[knob.name] = knob.candidates[-1]
+        evaluator.evaluate(atax, point2, round=2)
+        assert db.stats(max_round=0)["total"] == 1
+        assert db.stats()["total"] == 2
+
+    def test_merge(self, atax, atax_space):
+        tool = MerlinHLSTool()
+        db1, db2 = Database(), Database()
+        Evaluator(tool, db1).evaluate(atax, atax_space.default_point())
+        added = db2.merge(db1)
+        assert added == 1
+        assert db2.merge(db1) == 0
+
+
+class TestEvaluator:
+    def test_commits_to_database(self, atax, atax_space, evaluator):
+        evaluator.evaluate(atax, atax_space.default_point())
+        assert len(evaluator.database) == 1
+
+    def test_parallel_elapsed_less_than_total(self, atax, atax_space, evaluator):
+        for point in atax_space.sample(__import__("random").Random(0), 16):
+            evaluator.evaluate(atax, point)
+        assert evaluator.elapsed_seconds < evaluator.synth_seconds_total
+        assert evaluator.elapsed_seconds > 0
+
+
+class TestExplorers:
+    def test_bottleneck_improves_over_default(self, atax, atax_space, evaluator):
+        tool = evaluator.tool
+        default_latency = tool.synthesize(atax, atax_space.default_point()).latency
+        explorer = BottleneckExplorer(atax, atax_space, evaluator)
+        result = explorer.run(max_evals=40)
+        assert result.best_latency is not None
+        assert result.best_latency < default_latency
+
+    def test_bottleneck_trajectory_monotone(self, atax, atax_space, evaluator):
+        result = BottleneckExplorer(atax, atax_space, evaluator).run(max_evals=40)
+        latencies = [lat for _, lat in result.trajectory]
+        # After the first committed improvement, quality never regresses.
+        assert all(b <= a for a, b in zip(latencies[1:], latencies[2:]))
+
+    def test_budget_respected(self, atax, atax_space, evaluator):
+        result = BottleneckExplorer(atax, atax_space, evaluator).run(max_evals=15)
+        assert result.evaluations <= 15
+
+    def test_time_budget_respected(self, atax, atax_space, evaluator):
+        explorer = BottleneckExplorer(atax, atax_space, evaluator)
+        result = explorer.run(max_evals=10_000, max_hours=0.5)
+        # One synthesis exceeds the budget, so it stops almost at once.
+        assert result.evaluations < 30
+
+    def test_hybrid_explores_neighbors(self, atax, atax_space, evaluator):
+        explorer = HybridExplorer(atax, atax_space, evaluator, neighbor_budget=4)
+        result = explorer.run(max_evals=60)
+        sources = {r.source for r in evaluator.database}
+        assert sources == {"hybrid"}
+        assert result.evaluations > 5
+
+    def test_random_seeded_deterministic(self, atax, atax_space):
+        tool = MerlinHLSTool()
+        keys = []
+        for _ in range(2):
+            evaluator = Evaluator(tool, Database())
+            RandomExplorer(atax, atax_space, evaluator, seed=7).run(max_evals=10)
+            keys.append(sorted(r.point_key for r in evaluator.database))
+        assert keys[0] == keys[1]
+
+
+class TestGenerateDatabase:
+    def test_small_generation(self):
+        db = generate_database(kernels=["atax", "spmv-crs"], scale=0.05, seed=1)
+        assert db.stats()["total"] > 10
+        assert set(db.kernels()) == {"atax", "spmv-crs"}
+        sources = {r.source for r in db}
+        assert "random" in sources

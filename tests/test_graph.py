@@ -1,0 +1,159 @@
+"""Tests for ProGraML-style graph construction and feature encoding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.frontend.pragmas import PipelineOption
+from repro.graph import (
+    FLOW_CONTROL,
+    FLOW_DATA,
+    FLOW_PRAGMA,
+    NTYPE_CONSTANT,
+    NTYPE_INSTRUCTION,
+    NTYPE_PRAGMA,
+    NTYPE_VARIABLE,
+    GraphEncoder,
+    encode_kernel,
+    kernel_graph,
+)
+from repro.kernels import KERNELS, get_kernel, toy_kernel
+
+
+@pytest.fixture(scope="module")
+def toy_graph():
+    return kernel_graph(toy_kernel())
+
+
+@pytest.fixture(scope="module")
+def toy_encoded():
+    return encode_kernel(toy_kernel())
+
+
+class TestGraphStructure:
+    def test_node_kinds_present(self, toy_graph):
+        stats = toy_graph.stats()
+        assert stats["instruction_nodes"] > 0
+        assert stats["variable_nodes"] > 0
+        assert stats["constant_nodes"] > 0
+        assert stats["pragma_nodes"] == 2  # Code 1 has two pragmas
+
+    def test_edge_flows_present(self, toy_graph):
+        stats = toy_graph.stats()
+        assert stats["control_edges"] > 0
+        assert stats["data_edges"] > 0
+        assert stats["pragma_edges"] == 2
+
+    def test_pragma_nodes_attach_to_loop_icmp(self, toy_graph):
+        icmp_targets = set()
+        for edge in toy_graph.edges:
+            if edge.flow == FLOW_PRAGMA:
+                target = toy_graph.nodes[edge.dst]
+                assert target.ntype == NTYPE_INSTRUCTION
+                assert target.key_text.startswith("icmp")
+                icmp_targets.add(edge.dst)
+        assert len(icmp_targets) == 1  # both pragmas hit the same loop icmp
+
+    def test_pragma_edge_positions_distinguish_kinds(self, toy_graph):
+        positions = sorted(
+            e.position for e in toy_graph.edges if e.flow == FLOW_PRAGMA
+        )
+        assert positions == [1, 2]  # pipeline=1, parallel=2 (tile=0 absent)
+
+    def test_icmp_carries_trip_count(self, toy_graph):
+        icmps = [n for n in toy_graph.nodes if n.key_text.startswith("icmp")]
+        assert any(n.trip_count == 64 for n in icmps)
+
+    def test_call_edges_for_multi_function(self):
+        from repro.frontend.parser import parse_source
+        from repro.frontend.pragmas import collect_pragmas
+        from repro.graph import build_program_graph
+        from repro.ir import lower_unit
+
+        unit = parse_source(
+            "int inc(int v) { return v + 1; }\n"
+            "void top(int a[4]) { a[0] = inc(a[1]); }"
+        )
+        graph = build_program_graph(lower_unit(unit), collect_pragmas(unit))
+        assert graph.stats()["call_edges"] >= 2  # call->entry and ret->call
+
+    def test_all_kernels_build(self):
+        for spec in KERNELS.values():
+            graph = kernel_graph(spec)
+            stats = graph.stats()
+            assert stats["pragma_nodes"] == len(spec.analysis.pragmas), spec.name
+            assert stats["nodes"] > 30
+
+    def test_to_networkx(self, toy_graph):
+        nx_graph = toy_graph.to_networkx()
+        assert nx_graph.number_of_nodes() == toy_graph.num_nodes
+
+    def test_bad_edge_rejected(self, toy_graph):
+        with pytest.raises(GraphError):
+            toy_graph.add_edge(0, 10_000, FLOW_DATA)
+
+
+class TestEncoding:
+    def test_feature_dimensions(self, toy_encoded):
+        assert toy_encoded.x_base.shape[1] == 124
+        assert toy_encoded.edge_attr.shape[1] == 13
+
+    def test_reverse_edges_doubled(self, toy_encoded):
+        graph = toy_encoded.graph
+        assert toy_encoded.edge_index.shape[1] == 2 * graph.num_edges
+
+    def test_reverse_bit_set_on_half(self, toy_encoded):
+        reversed_bits = toy_encoded.edge_attr[:, -1]
+        assert reversed_bits.sum() == toy_encoded.edge_attr.shape[0] / 2
+
+    def test_fill_only_touches_pragma_rows(self, toy_encoded):
+        x = toy_encoded.fill({"_PIPE_L1": PipelineOption.FINE, "_PARA_L1": 16})
+        changed = np.nonzero(np.abs(x - toy_encoded.x_base).sum(axis=1))[0]
+        assert set(changed.tolist()) <= set(toy_encoded.pragma_rows.values())
+
+    def test_fill_distinguishes_options(self, toy_encoded):
+        x1 = toy_encoded.fill({"_PARA_L1": 2})
+        x2 = toy_encoded.fill({"_PARA_L1": 32})
+        assert np.abs(x1 - x2).max() > 0
+
+    def test_fill_unknown_knob_raises(self, toy_encoded):
+        with pytest.raises(GraphError):
+            toy_encoded.fill({"__NOT_A_KNOB__": 4})
+
+    def test_rows_one_hot_node_type(self, toy_encoded):
+        graph = toy_encoded.graph
+        for node in graph.nodes:
+            onehot = toy_encoded.x_base[node.id, :4]
+            assert onehot.sum() == 1.0
+            assert onehot[node.ntype] == 1.0
+
+    def test_same_structure_across_design_points(self, toy_encoded):
+        # Only pragma-node attributes differ between design points of a
+        # kernel (Section 4.2) — structure is shared.
+        x1 = toy_encoded.fill({"_PARA_L1": 4})
+        x2 = toy_encoded.fill({"_PARA_L1": 8})
+        non_pragma = [
+            i
+            for i in range(toy_encoded.num_nodes)
+            if i not in toy_encoded.pragma_rows.values()
+        ]
+        np.testing.assert_array_equal(x1[non_pragma], x2[non_pragma])
+
+
+class TestVocab:
+    def test_known_opcodes_mapped(self):
+        from repro.graph import node_text_index, vocab_size
+
+        assert node_text_index("load") != node_text_index("store")
+        assert node_text_index("PIPELINE") < vocab_size()
+
+    def test_unknown_text_goes_to_unk(self):
+        from repro.graph import node_text_index
+        from repro.graph.vocab import UNK_INDEX
+
+        assert node_text_index("never_seen_text") == UNK_INDEX
+
+    def test_array_pointer_collapse(self):
+        from repro.graph import node_text_index
+
+        assert node_text_index("[64 x i32]*") == node_text_index("[8 x double]*")

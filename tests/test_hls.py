@@ -1,0 +1,203 @@
+"""Tests for the simulated Merlin+HLS evaluator.
+
+The simulator's *qualitative* behaviours are the contract: pipelining
+reduces latency, unrolling trades resources for cycles, irregular
+accesses resist parallelisation, recurrences resist pipelining,
+aggressive partitioning gets refused, and huge designs time out.
+"""
+
+import pytest
+
+from repro.designspace import build_design_space
+from repro.frontend.pragmas import PipelineOption as P
+from repro.hls import (
+    INVALID_PARTITION,
+    MAX_PARTITION,
+    MerlinHLSTool,
+    VCU1525,
+    configure,
+)
+from repro.hls.tool import SYNTH_TIMEOUT_SECONDS
+from repro.kernels import get_kernel
+
+
+@pytest.fixture(scope="module")
+def tool():
+    return MerlinHLSTool()
+
+
+@pytest.fixture(scope="module")
+def gemm():
+    return get_kernel("gemm-ncubed")
+
+
+def gemm_point(**kw):
+    point = {
+        "__TILE__L0": 1, "__PIPE__L0": P.OFF, "__PARA__L0": 1,
+        "__PIPE__L1": P.OFF, "__PARA__L1": 1,
+        "__PIPE__L2": P.OFF, "__PARA__L2": 1,
+    }
+    point.update(kw)
+    return point
+
+
+class TestLatencyModel:
+    def test_baseline_is_slow(self, tool, gemm):
+        base = tool.baseline(gemm)
+        assert base.valid
+        assert base.latency > 1_000_000  # 64^3 MACs, sequential
+
+    def test_pipelining_inner_loop_helps(self, tool, gemm):
+        base = tool.synthesize(gemm, gemm_point())
+        piped = tool.synthesize(gemm, gemm_point(__PIPE__L2=P.COARSE))
+        assert piped.latency < base.latency / 2
+
+    def test_unrolling_helps_monotonically(self, tool, gemm):
+        lat = [
+            tool.synthesize(
+                gemm, gemm_point(__PIPE__L2=P.COARSE, __PARA__L2=f)
+            ).latency
+            for f in (1, 4, 16)
+        ]
+        assert lat[0] > lat[1] > lat[2]
+
+    def test_unrolling_costs_resources(self, tool, gemm):
+        small = tool.synthesize(gemm, gemm_point(__PARA__L2=2))
+        big = tool.synthesize(gemm, gemm_point(__PARA__L2=32))
+        assert big.usage["DSP"] > small.usage["DSP"]
+        assert big.usage["LUT"] > small.usage["LUT"]
+
+    def test_coarse_pipeline_overlaps_outer(self, tool, gemm):
+        off = tool.synthesize(gemm, gemm_point(__PIPE__L2=P.COARSE))
+        cg = tool.synthesize(
+            gemm, gemm_point(__PIPE__L2=P.COARSE, __PIPE__L1=P.COARSE)
+        )
+        assert cg.latency < off.latency
+
+    def test_fg_absorbs_subloops(self, tool, gemm):
+        # fg on L1 fully unrolls L2: far fewer iterations, more area.
+        cg = tool.synthesize(gemm, gemm_point(__PIPE__L1=P.COARSE))
+        fg = tool.synthesize(gemm, gemm_point(__PIPE__L1=P.FINE))
+        assert fg.latency < cg.latency
+        assert fg.usage["DSP"] > cg.usage["DSP"]
+
+    def test_transfer_cycles_included(self, tool, gemm):
+        result = tool.baseline(gemm)
+        assert result.transfer_cycles > 0
+
+
+class TestStructuralEffects:
+    def test_irregular_access_resists_parallelism(self, tool):
+        spmv = get_kernel("spmv-ellpack")
+        base = tool.synthesize(
+            spmv, {"__PIPE__L0": P.OFF, "__PARA__L0": 1, "__PARA__L1": 1}
+        )
+        # Unrolling the irregular inner loop: far below the ideal 16x gain.
+        unrolled = tool.synthesize(
+            spmv, {"__PIPE__L0": P.OFF, "__PARA__L0": 1, "__PARA__L1": 16}
+        )
+        gain = base.latency / unrolled.latency
+        assert gain < 8
+
+    def test_recurrence_resists_pipelining(self, tool):
+        nw = get_kernel("nw")
+        space = build_design_space(nw)
+        point = space.default_point()
+        piped = dict(point)
+        for knob in space.knobs:
+            if knob.loop_label == "L3" and knob.kind.keyword == "pipeline":
+                piped[knob.name] = P.COARSE
+        base = tool.synthesize(nw, point)
+        piped_res = tool.synthesize(nw, piped)
+        # The wavefront recurrence caps the benefit well under the
+        # ~10x a clean pipeline would deliver.
+        assert base.latency / piped_res.latency < 3
+
+    def test_reduction_loop_ii_exceeds_one(self, tool, gemm):
+        result = tool.synthesize(gemm, gemm_point(__PIPE__L2=P.COARSE))
+        inner = [l for l in result.all_loops() if l.label == "L2"]
+        assert inner and inner[0].ii >= 4  # double-add latency dominates
+
+    def test_tiling_reduces_bram_footprint(self, tool):
+        spec = get_kernel("gemm-blocked")
+        space = build_design_space(spec)
+        base = space.default_point()
+        tiled = dict(base)
+        for knob in space.knobs:
+            if knob.kind.keyword == "tile" and knob.loop_label == "L0":
+                candidates = [int(c) for c in knob.candidates if int(c) > 1]
+                if candidates:
+                    tiled[knob.name] = candidates[0]
+        r_base = tool.synthesize(spec, base)
+        r_tiled = tool.synthesize(spec, tiled)
+        assert r_tiled.usage["BRAM"] <= r_base.usage["BRAM"]
+
+
+class TestValidity:
+    def test_partition_refusal(self, tool):
+        mvt = get_kernel("mvt")
+        point = {
+            "__PIPE__L0": P.OFF, "__PARA__L0": 100,
+            "__PIPE__L1": P.OFF, "__PARA__L1": 100,
+            "__PIPE__L2": P.OFF, "__PARA__L2": 1,
+            "__PIPE__L3": P.OFF, "__PARA__L3": 1,
+        }
+        result = tool.synthesize(mvt, point)
+        assert not result.valid
+        assert result.invalid_reason == INVALID_PARTITION
+
+    def test_timeout_on_huge_designs(self, tool, gemm):
+        result = tool.synthesize(
+            gemm, gemm_point(__PIPE__L0=P.FINE, __PARA__L0=8)
+        )
+        assert not result.valid
+        assert result.synth_seconds == SYNTH_TIMEOUT_SECONDS or result.invalid_reason
+
+    def test_synth_seconds_minutes_to_hours(self, tool, gemm):
+        base = tool.baseline(gemm)
+        assert 60 <= base.synth_seconds <= SYNTH_TIMEOUT_SECONDS
+
+    def test_fits_threshold(self, tool, gemm):
+        base = tool.baseline(gemm)
+        assert base.fits(0.8)
+
+    def test_determinism(self, gemm):
+        t1, t2 = MerlinHLSTool(cache=False), MerlinHLSTool(cache=False)
+        p = gemm_point(__PARA__L2=8, __PIPE__L2=P.COARSE)
+        r1, r2 = t1.synthesize(gemm, p), t2.synthesize(gemm, p)
+        assert r1.latency == r2.latency
+        assert r1.usage == r2.usage
+
+    def test_cache_hit(self, gemm):
+        tool = MerlinHLSTool()
+        p = gemm_point()
+        tool.synthesize(gemm, p)
+        count = tool.invocations
+        tool.synthesize(gemm, p)
+        assert tool.invocations == count
+
+
+class TestConfigure:
+    def test_fg_marks_absorbed(self, gemm):
+        cfg = configure(gemm.analysis, gemm_point(__PIPE__L1=P.FINE))
+        loops = {c.label: c for c in cfg.all_loops()}
+        assert loops["L2"].absorbed
+        assert not loops["L1"].absorbed
+
+    def test_partition_products(self, gemm):
+        cfg = configure(gemm.analysis, gemm_point(__PARA__L1=4, __PARA__L2=8))
+        # m1[i][k] varies with k (L2) -> 8; m2[k][j] with j,k -> 32.
+        assert cfg.partition_raw["m1"] == 8
+        assert cfg.partition_raw["m2"] == 32
+
+    def test_banks_capped(self, gemm):
+        cfg = configure(
+            gemm.analysis, gemm_point(__PARA__L0=64, __PARA__L1=64, __PARA__L2=64)
+        )
+        for array in cfg.partition_raw:
+            assert cfg.banks(array) <= MAX_PARTITION
+
+    def test_device_utilization_normalised(self):
+        util = VCU1525.utilization({"DSP": 6840.0, "LUT": 0.0})
+        assert util["DSP"] == 1.0
+        assert util["LUT"] == 0.0

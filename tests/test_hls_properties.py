@@ -1,0 +1,97 @@
+"""Property-based tests of the HLS simulator over sampled design points."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.designspace import build_design_space, point_key
+from repro.frontend.pragmas import PipelineOption, PragmaKind
+from repro.hls import MerlinHLSTool
+from repro.kernels import get_kernel
+
+_TOOL = MerlinHLSTool()
+_SPEC = get_kernel("gemm-ncubed")
+_SPACE = build_design_space(_SPEC)
+
+
+def sampled_points():
+    """Strategy: random canonical design points of gemm-ncubed."""
+    return st.integers(0, 10_000).map(
+        lambda seed: _SPACE.sample(random.Random(seed), 1)[0]
+    )
+
+
+class TestSimulatorProperties:
+    @given(sampled_points())
+    @settings(max_examples=40, deadline=None)
+    def test_outputs_well_formed(self, point):
+        result = _TOOL.synthesize(_SPEC, point)
+        assert result.latency > 0
+        assert set(result.utilization) == {"DSP", "BRAM", "LUT", "FF"}
+        assert all(u >= 0.0 for u in result.utilization.values())
+        assert result.synth_seconds > 0
+        if not result.valid:
+            assert result.invalid_reason
+
+    @given(sampled_points())
+    @settings(max_examples=25, deadline=None)
+    def test_deterministic(self, point):
+        a = MerlinHLSTool(cache=False).synthesize(_SPEC, point)
+        b = MerlinHLSTool(cache=False).synthesize(_SPEC, point)
+        assert a.latency == b.latency
+        assert a.usage == b.usage
+        assert a.valid == b.valid
+
+    @given(sampled_points())
+    @settings(max_examples=25, deadline=None)
+    def test_fg_absorbs_inner_knobs(self, point):
+        """A point with fg pipelining on L0 is equivalent to the same
+        point with every inner knob neutralised — the Merlin semantics
+        the pruning rules rely on."""
+        fg_point = dict(point)
+        inner_neutral = dict(point)
+        for knob in _SPACE.knobs:
+            if knob.kind is PragmaKind.PIPELINE and knob.loop_label == "L0":
+                fg_point[knob.name] = PipelineOption.FINE
+                inner_neutral[knob.name] = PipelineOption.FINE
+            elif knob.kind is PragmaKind.PARALLEL and knob.loop_label == "L0":
+                # A full unroll of L0 would moot its pipeline knob (the
+                # full-unroll rule) and defeat the fg semantics under test.
+                fg_point[knob.name] = 1
+                inner_neutral[knob.name] = 1
+            elif knob.loop_label != "L0":
+                inner_neutral[knob.name] = knob.neutral
+        a = _TOOL.synthesize(_SPEC, fg_point)
+        b = _TOOL.synthesize(_SPEC, inner_neutral)
+        assert a.latency == b.latency
+        assert a.usage == b.usage
+
+    @given(sampled_points())
+    @settings(max_examples=25, deadline=None)
+    def test_latency_in_database_range(self, point):
+        """Every design's latency lies between the theoretical extremes:
+        above the fully-parallel bound and below ~2x the sequential
+        baseline (tiling overheads can exceed the plain baseline)."""
+        baseline = _TOOL.baseline(_SPEC).latency
+        result = _TOOL.synthesize(_SPEC, point)
+        assert result.latency <= 2 * baseline
+        assert result.latency >= 10  # cannot be faster than the interface
+
+    @given(st.integers(1, 64).filter(lambda f: 64 % f == 0))
+    @settings(max_examples=10, deadline=None)
+    def test_more_unroll_never_slower_inner_pipelined(self, factor):
+        """With the inner loop pipelined, raising its unroll factor never
+        increases latency for this regular kernel (ports scale with
+        partitioning)."""
+        def lat(f):
+            point = _SPACE.default_point()
+            for knob in _SPACE.knobs:
+                if knob.loop_label == "L2" and knob.kind is PragmaKind.PIPELINE:
+                    point[knob.name] = PipelineOption.COARSE
+                if knob.loop_label == "L2" and knob.kind is PragmaKind.PARALLEL:
+                    point[knob.name] = f if f in [int(c) for c in knob.candidates] else 1
+            return _TOOL.synthesize(_SPEC, point).latency
+
+        assert lat(factor) <= lat(1)

@@ -1,0 +1,251 @@
+"""Functional validation: interpret the kernels against numpy oracles.
+
+Problem sizes are shrunk via the lexer's predefined-macro override so
+each kernel executes in milliseconds, and results are compared with an
+independent numpy implementation of the same math.  This pins down the
+*semantics* of the front-end (parser + AST) end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.frontend.interpreter import InterpreterError, run_kernel
+from repro.frontend.parser import parse_source
+from repro.kernels import get_kernel
+
+
+def parse_small(name, macros):
+    spec = get_kernel(name)
+    return parse_source(spec.source, name, predefined={k: str(v) for k, v in macros.items()})
+
+
+class TestBasics:
+    def test_scalar_return(self):
+        unit = parse_source("int add(int a, int b) { return a + b; }")
+        assert run_kernel(unit, [2, 3]) == 5
+
+    def test_array_mutation_in_place(self):
+        unit = parse_source(
+            "void inc(int a[4]) { for (int i = 0; i < 4; i++) { a[i] += 1; } }"
+        )
+        data = np.zeros(4, dtype=np.int64)
+        run_kernel(unit, [data])
+        np.testing.assert_array_equal(data, [1, 1, 1, 1])
+
+    def test_integer_division_truncates_like_c(self):
+        unit = parse_source("int f(int a, int b) { return a / b; }")
+        assert run_kernel(parse_source("int f(int a, int b) { return a / b; }"), [-7, 2]) == -3
+        assert run_kernel(unit, [7, 2]) == 3
+
+    def test_break_continue(self):
+        unit = parse_source(
+            "int f() { int s = 0; for (int i = 0; i < 10; i++) {"
+            " if (i == 3) { continue; } if (i == 6) { break; } s += i; }"
+            " return s; }"
+        )
+        assert run_kernel(unit, []) == 0 + 1 + 2 + 4 + 5
+
+    def test_user_function_call(self):
+        unit = parse_source(
+            "int sq(int v) { return v * v; }\n"
+            "int f(int x) { return sq(x) + sq(x + 1); }"
+        )
+        assert run_kernel(unit, [3]) == 9 + 16
+
+    def test_intrinsics(self):
+        unit = parse_source("double f(double x) { return sqrt(x) + fabs(0.0 - x); }")
+        assert run_kernel(unit, [4.0]) == pytest.approx(2.0 + 4.0)
+
+    def test_out_of_bounds_store(self):
+        unit = parse_source("void f(int a[2]) { a[5] = 1; }")
+        with pytest.raises(InterpreterError):
+            run_kernel(unit, [np.zeros(2, dtype=np.int64)])
+
+
+class TestKernelSemantics:
+    def test_gemm_ncubed(self):
+        n = 6
+        unit = parse_small("gemm-ncubed", {"NSIZE": n})
+        rng = np.random.default_rng(0)
+        m1, m2 = rng.normal(size=(n, n)), rng.normal(size=(n, n))
+        prod = np.zeros((n, n))
+        run_kernel(unit, [m1.copy(), m2.copy(), prod])
+        np.testing.assert_allclose(prod, m1 @ m2, atol=1e-12)
+
+    def test_gemm_blocked_matches_ncubed(self):
+        n, b = 8, 4
+        unit = parse_small("gemm-blocked", {"NSIZE": n, "BSIZE": b})
+        rng = np.random.default_rng(1)
+        m1, m2 = rng.normal(size=(n, n)), rng.normal(size=(n, n))
+        prod = np.zeros((n, n))
+        run_kernel(unit, [m1.copy(), m2.copy(), prod])
+        np.testing.assert_allclose(prod, m1 @ m2, atol=1e-12)
+
+    def test_atax(self):
+        m, n = 5, 4
+        unit = parse_small("atax", {"M": m, "N": n})
+        rng = np.random.default_rng(2)
+        a, x = rng.normal(size=(m, n)), rng.normal(size=n)
+        y, tmp = np.zeros(n), np.zeros(m)
+        run_kernel(unit, [a.copy(), x.copy(), y, tmp])
+        np.testing.assert_allclose(y, a.T @ (a @ x), atol=1e-12)
+        np.testing.assert_allclose(tmp, a @ x, atol=1e-12)
+
+    def test_mvt(self):
+        n = 5
+        unit = parse_small("mvt", {"N": n})
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(n, n))
+        x1, x2 = rng.normal(size=n), rng.normal(size=n)
+        y1, y2 = rng.normal(size=n), rng.normal(size=n)
+        expected_x1 = x1 + a @ y1
+        expected_x2 = x2 + a.T @ y2
+        run_kernel(unit, [a.copy(), x1, x2, y1.copy(), y2.copy()])
+        np.testing.assert_allclose(x1, expected_x1, atol=1e-12)
+        np.testing.assert_allclose(x2, expected_x2, atol=1e-12)
+
+    def test_spmv_crs(self):
+        rows, nnz = 4, 8
+        unit = parse_small("spmv-crs", {"NR": rows, "NNZ": nnz})
+        val = np.array([2.0, 1.0, 3.0, 4.0, 5.0, 1.0, 2.0, 6.0])
+        cols = np.array([0, 2, 1, 3, 0, 1, 2, 3], dtype=np.int64)
+        row_delim = np.array([0, 2, 4, 6, 8], dtype=np.int64)
+        vec = np.array([1.0, 2.0, 3.0, 4.0])
+        out = np.zeros(rows)
+        run_kernel(unit, [val, cols, row_delim, vec, out])
+        dense = np.zeros((rows, 4))
+        for r in range(rows):
+            for k in range(row_delim[r], row_delim[r + 1]):
+                dense[r, cols[k]] = val[k]
+        np.testing.assert_allclose(out, dense @ vec, atol=1e-12)
+
+    def test_spmv_ellpack(self):
+        rows, width = 4, 2
+        unit = parse_small("spmv-ellpack", {"NR": rows, "L": width})
+        rng = np.random.default_rng(4)
+        nzval = rng.normal(size=rows * width)
+        cols = rng.integers(0, rows, size=rows * width)
+        vec = rng.normal(size=rows)
+        out = np.zeros(rows)
+        run_kernel(unit, [nzval.copy(), cols.copy(), vec.copy(), out])
+        expected = np.array(
+            [
+                sum(nzval[i * width + j] * vec[cols[i * width + j]] for j in range(width))
+                for i in range(rows)
+            ]
+        )
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_stencil(self):
+        rows = cols = 6
+        unit = parse_small("stencil", {"ROWS": rows, "COLS": cols})
+        rng = np.random.default_rng(5)
+        orig = rng.normal(size=rows * cols)
+        filt = rng.normal(size=9)
+        sol = np.zeros(rows * cols)
+        run_kernel(unit, [orig.copy(), sol, filt.copy()])
+        grid = orig.reshape(rows, cols)
+        for r in range(rows - 2):
+            for c in range(cols - 2):
+                expected = sum(
+                    filt[k1 * 3 + k2] * grid[r + k1, c + k2]
+                    for k1 in range(3)
+                    for k2 in range(3)
+                )
+                assert sol[r * cols + c] == pytest.approx(expected, abs=1e-12)
+
+    def test_nw_against_reference_dp(self):
+        alen = blen = 6
+        unit = parse_small("nw", {"ALEN": alen, "BLEN": blen})
+        rng = np.random.default_rng(6)
+        seq_a = rng.integers(0, 4, size=alen)
+        seq_b = rng.integers(0, 4, size=blen)
+        table = np.zeros((alen + 1) * (blen + 1), dtype=np.int64)
+        run_kernel(unit, [seq_a.copy(), seq_b.copy(), table])
+        # Independent Needleman-Wunsch (match +1, mismatch -1, gap -1).
+        ref = np.zeros((alen + 1, blen + 1), dtype=np.int64)
+        ref[:, 0] = -np.arange(alen + 1)
+        ref[0, :] = -np.arange(blen + 1)
+        for i in range(1, alen + 1):
+            for j in range(1, blen + 1):
+                score = 1 if seq_a[i - 1] == seq_b[j - 1] else -1
+                ref[i, j] = max(
+                    ref[i - 1, j - 1] + score, ref[i - 1, j] - 1, ref[i, j - 1] - 1
+                )
+        np.testing.assert_array_equal(table.reshape(alen + 1, blen + 1), ref)
+
+    def test_bicg(self):
+        nx, ny = 5, 4
+        unit = parse_small("bicg", {"NX": nx, "NY": ny})
+        rng = np.random.default_rng(7)
+        a = rng.normal(size=(nx, ny))
+        p, r = rng.normal(size=ny), rng.normal(size=nx)
+        s, q = np.zeros(ny), np.zeros(nx)
+        run_kernel(unit, [a.copy(), s, q, p.copy(), r.copy()])
+        np.testing.assert_allclose(s, a.T @ r, atol=1e-12)
+        np.testing.assert_allclose(q, a @ p, atol=1e-12)
+
+    def test_gesummv(self):
+        n = 5
+        unit = parse_small("gesummv", {"N": n})
+        rng = np.random.default_rng(8)
+        a, b = rng.normal(size=(n, n)), rng.normal(size=(n, n))
+        x = rng.normal(size=n)
+        tmp, y = np.zeros(n), np.zeros(n)
+        run_kernel(unit, [a.copy(), b.copy(), tmp, x.copy(), y])
+        np.testing.assert_allclose(y, 1.5 * (a @ x) + 1.2 * (b @ x), atol=1e-12)
+
+    def test_2mm(self):
+        n = 4
+        unit = parse_small("2mm", {"NI": n, "NJ": n, "NK": n, "NL": n})
+        rng = np.random.default_rng(9)
+        a, b, c = (rng.normal(size=(n, n)) for _ in range(3))
+        d = rng.normal(size=(n, n))
+        tmp = np.zeros((n, n))
+        expected = (1.5 * a @ b) @ c + 1.2 * d
+        run_kernel(unit, [tmp, a.copy(), b.copy(), c.copy(), d])
+        np.testing.assert_allclose(d, expected, atol=1e-12)
+
+    def test_doitgen(self):
+        r, q, p = 2, 2, 3
+        unit = parse_small("doitgen", {"NR": r, "NQ": q, "NP": p})
+        rng = np.random.default_rng(10)
+        a = rng.normal(size=(r, q, p))
+        c4 = rng.normal(size=(p, p))
+        s = np.zeros(p)
+        expected = np.einsum("rqs,sp->rqp", a, c4)
+        run_kernel(unit, [a, c4.copy(), s])
+        np.testing.assert_allclose(a, expected, atol=1e-12)
+
+    def test_fir(self):
+        taps, samples = 4, 12
+        unit = parse_small("fir", {"NTAPS": taps, "NSAMPLES": samples})
+        rng = np.random.default_rng(11)
+        signal = rng.normal(size=samples)
+        coeff = rng.normal(size=taps)
+        out = np.zeros(samples)
+        run_kernel(unit, [signal.copy(), coeff.copy(), out])
+        expected = np.convolve(signal, coeff)[:samples]
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_syrk(self):
+        n, m = 4, 3
+        unit = parse_small("syrk", {"N": n, "M": m})
+        rng = np.random.default_rng(12)
+        a = rng.normal(size=(n, m))
+        c = rng.normal(size=(n, n))
+        expected = 1.2 * c + 1.5 * (a @ a.T)
+        run_kernel(unit, [a.copy(), c])
+        np.testing.assert_allclose(c, expected, atol=1e-12)
+
+    def test_aes_sbox_substitution(self):
+        unit = parse_small("aes", {"NB": 4, "NROUNDS": 2})
+        key = np.arange(8, dtype=np.int64) % 256
+        sbox = ((np.arange(256) * 7 + 3) % 256).astype(np.int64)
+        buf = np.array([10, 20, 30, 40], dtype=np.int64)
+        expected = buf.copy()
+        for rnd in range(2):
+            for i in range(4):
+                expected[i] = sbox[(expected[i] ^ key[rnd * 4 + i]) & 255]
+        run_kernel(unit, [key, sbox, buf])
+        np.testing.assert_array_equal(buf, expected)

@@ -1,0 +1,172 @@
+"""Tests for IR construction, lowering, and verification."""
+
+import pytest
+
+from repro.errors import IRError, SemanticError
+from repro.frontend.parser import parse_source
+from repro.frontend.semantic import analyze
+from repro.ir import (
+    F64,
+    I32,
+    IRBuilder,
+    Module,
+    PointerType,
+    lower_unit,
+    print_module,
+)
+
+
+def lower(src):
+    return lower_unit(parse_source(src))
+
+
+class TestBuilder:
+    def test_alloca_load_store(self):
+        module = Module("m")
+        fn = module.add_function("f")
+        builder = IRBuilder(fn)
+        builder.set_insert_point(builder.new_block("entry"))
+        slot = builder.alloca(I32, "x")
+        assert isinstance(slot.type, PointerType)
+        builder.store(builder.const_int(3), slot)
+        loaded = builder.load(slot)
+        assert loaded.type == I32
+        builder.ret()
+        fn.verify()
+
+    def test_type_unification_int_float(self):
+        module = Module("m")
+        fn = module.add_function("f")
+        builder = IRBuilder(fn)
+        builder.set_insert_point(builder.new_block("entry"))
+        result = builder.binary("+", builder.const_int(1), builder.const_float(2.0))
+        assert result.type == F64
+        assert result.opcode == "fadd"
+        builder.ret()
+
+    def test_compare_produces_icmp(self):
+        module = Module("m")
+        fn = module.add_function("f")
+        builder = IRBuilder(fn)
+        builder.set_insert_point(builder.new_block("entry"))
+        cmp = builder.compare("<", builder.const_int(1), builder.const_int(2))
+        assert cmp.opcode == "icmp"
+        assert cmp.attrs["predicate"] == "slt"
+        builder.ret()
+
+    def test_terminator_required(self):
+        module = Module("m")
+        fn = module.add_function("f")
+        fn.add_block("entry")
+        with pytest.raises(IRError):
+            fn.verify()
+
+    def test_double_terminator_rejected(self):
+        module = Module("m")
+        fn = module.add_function("f")
+        builder = IRBuilder(fn)
+        builder.set_insert_point(builder.new_block("entry"))
+        builder.ret()
+        with pytest.raises(IRError):
+            builder.ret()
+
+
+class TestLowering:
+    def test_simple_loop(self):
+        module = lower(
+            "void f(int a[8]) { for (int i = 0; i < 8; i++) { a[i] = i; } }"
+        )
+        fn = module.top
+        names = [b.name for b in fn.blocks]
+        assert any("for.cond" in n for n in names)
+        assert any("for.body" in n for n in names)
+        assert "L0" in fn.loop_icmp
+
+    def test_loop_backedge_marked(self):
+        module = lower(
+            "void f(int a[8]) { for (int i = 0; i < 8; i++) { a[i] = i; } }"
+        )
+        backedges = [
+            i for i in module.top.instructions()
+            if i.opcode == "br" and i.attrs.get("backedge")
+        ]
+        assert len(backedges) == 1
+        assert backedges[0].attrs["loop"] == "L0"
+
+    def test_if_else_blocks(self):
+        module = lower(
+            "void f(int a[4]) { if (a[0] > 1) { a[1] = 2; } else { a[1] = 3; } }"
+        )
+        names = [b.name for b in module.top.blocks]
+        assert any("if.then" in n for n in names)
+        assert any("if.else" in n for n in names)
+
+    def test_float_expression_types(self):
+        module = lower("void f(double a[4]) { a[0] = a[1] * 2.0 + a[2]; }")
+        opcodes = [i.opcode for i in module.top.instructions()]
+        assert "fmul" in opcodes
+        assert "fadd" in opcodes
+
+    def test_int_to_float_cast_inserted(self):
+        module = lower("void f(double a[4]) { a[0] = a[1] * 2; }")
+        opcodes = [i.opcode for i in module.top.instructions()]
+        assert "sitofp" in opcodes
+
+    def test_gep_records_array(self):
+        module = lower("void f(int a[4][4]) { a[1][2] = 5; }")
+        geps = [i for i in module.top.instructions() if i.opcode == "getelementptr"]
+        assert geps and geps[0].attrs["array"] == "a"
+        assert len(geps[0].operands) == 3  # base + two indices
+
+    def test_call_lowering(self):
+        module = lower(
+            "int add1(int v) { return v + 1; }\n"
+            "void f(int a[4]) { a[0] = add1(a[1]); }"
+        )
+        calls = [i for i in module.top.instructions() if i.opcode == "call"]
+        assert calls and calls[0].attrs["callee"] == "add1"
+
+    def test_module_verifies(self):
+        module = lower(
+            "void f(int a[8]) {\n"
+            "  for (int i = 0; i < 8; i++) {\n"
+            "    if (a[i] > 0) { a[i] = 0; } \n"
+            "  }\n"
+            "}"
+        )
+        module.verify()
+
+    def test_printer_output(self):
+        module = lower("void f(int a[4]) { a[0] = 1; }")
+        text = print_module(module)
+        assert "define void @f" in text
+        assert "store" in text
+
+    def test_undeclared_identifier_raises(self):
+        with pytest.raises(SemanticError):
+            lower("void f() { x = 3; }")
+
+    def test_whole_array_assignment_rejected(self):
+        with pytest.raises(SemanticError):
+            lower("void f(int a[4], int b[4]) { a = b; }")
+
+    def test_over_subscription_rejected(self):
+        with pytest.raises(SemanticError):
+            lower("void f(int a[4]) { a[0][1] = 2; }")
+
+
+class TestSemanticAnalysis:
+    def test_symbol_tables(self):
+        unit = parse_source("void f(int a[4]) { int x = 1; }")
+        tables = analyze(unit)
+        assert set(tables["f"].symbols) == {"a", "x"}
+        assert tables["f"].symbols["a"].is_param
+
+    def test_unknown_call_rejected(self):
+        unit = parse_source("void f() { undefined_fn(); }")
+        with pytest.raises(SemanticError):
+            analyze(unit)
+
+    def test_intrinsics_allowed(self):
+        unit = parse_source("void f(double a[4]) { a[0] = sqrt(a[1]); }")
+        analyze(unit)

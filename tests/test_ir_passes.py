@@ -1,0 +1,125 @@
+"""Tests for the IR optimization passes (constant folding + DCE)."""
+
+import pytest
+
+from repro.frontend.parser import parse_source
+from repro.ir import lower_unit, optimize_module
+from repro.ir.passes import eliminate_dead_code, fold_constants
+from repro.ir.values import Constant
+
+
+def lower(src):
+    return lower_unit(parse_source(src))
+
+
+def opcodes(fn):
+    return [i.opcode for i in fn.instructions()]
+
+
+class TestConstantFolding:
+    def test_folds_integer_arithmetic(self):
+        module = lower("void f(int a[4]) { a[0] = 2 * 3 + 4; }")
+        optimize_module(module)
+        ops = opcodes(module.top)
+        assert "mul" not in ops
+        assert "add" not in ops
+        stores = [i for i in module.top.instructions() if i.opcode == "store"]
+        constant_store = [
+            i for i in stores if isinstance(i.operands[0], Constant)
+        ]
+        assert any(i.operands[0].value == 10 for i in constant_store)
+
+    def test_folds_float_arithmetic(self):
+        module = lower("void f(double a[4]) { a[0] = 1.5 * 2.0; }")
+        optimize_module(module)
+        assert "fmul" not in opcodes(module.top)
+
+    def test_division_by_zero_not_folded(self):
+        module = lower("void f(int a[4]) { a[0] = 7 / 0; }")
+        stats = optimize_module(module)
+        assert "sdiv" in opcodes(module.top)
+
+    def test_folds_comparison(self):
+        module = lower("void f(int a[4]) { if (2 < 3) { a[0] = 1; } }")
+        optimize_module(module)
+        # The icmp folds away; the conditional branch remains (we do not
+        # fold control flow).
+        icmps = [
+            i for i in module.top.instructions()
+            if i.opcode == "icmp" and all(isinstance(o, Constant) for o in i.operands)
+        ]
+        assert not icmps
+
+    def test_preserves_loop_compares(self):
+        module = lower(
+            "void f(int a[8]) { for (int i = 0; i < 8; i++) { a[i] = 0; } }"
+        )
+        optimize_module(module)
+        assert "icmp" in opcodes(module.top)  # i is not constant
+        module.verify()
+
+    def test_width_wrapping(self):
+        # Folding respects the 32-bit result type.
+        module = lower("void f(int a[4]) { a[0] = 2147483647 + 1; }")
+        optimize_module(module)
+        stores = [i for i in module.top.instructions() if i.opcode == "store"]
+        value = stores[0].operands[0]
+        assert isinstance(value, Constant)
+        assert value.value == -2147483648
+
+
+class TestDeadCodeElimination:
+    def test_removes_unused_pure_instruction(self):
+        module = lower("void f(int a[4]) { int unused = a[0] + 1; a[1] = 2; }")
+        before = module.top.num_instructions()
+        # The store to `unused`'s slot keeps the add alive; drop the
+        # store manually to create dead code, as an optimizer would
+        # after mem2reg.
+        for block in module.top.blocks:
+            for inst in list(block.instructions):
+                if inst.opcode == "store" and inst.attrs == {}:
+                    target = inst.operands[1]
+                    if getattr(target, "attrs", {}).get("var") == "unused":
+                        block.instructions.remove(inst)
+                        for op in inst.operands:
+                            op.uses = [u for u in op.uses if u is not inst]
+        stats = eliminate_dead_code(module.top)
+        assert module.top.num_instructions() <= before
+        module.verify()
+
+    def test_keeps_stores_and_calls(self):
+        module = lower(
+            "int g(int v) { return v; }\n"
+            "void f(int a[4]) { a[0] = 1; g(2); }"
+        )
+        eliminate_dead_code(module.top)
+        ops = opcodes(module.top)
+        assert "store" in ops
+        assert "call" in ops
+
+    def test_fixpoint_chains(self):
+        # a dead chain x = 1+2; y = x*3 (unused) vanishes entirely after
+        # folding + DCE iterations.
+        module = lower("void f(int a[4]) { a[0] = (1 + 2) * 3; }")
+        stats = optimize_module(module)
+        assert stats.folded >= 2
+        module.verify()
+
+
+class TestWholePipeline:
+    def test_all_kernels_optimize_and_verify(self):
+        from repro.kernels import KERNELS
+
+        for name, spec in KERNELS.items():
+            module = lower(spec.source)
+            stats = optimize_module(module)
+            module.verify()
+
+    def test_optimization_shrinks_or_keeps(self):
+        from repro.kernels import get_kernel
+
+        spec = get_kernel("nw")
+        module = lower(spec.source)
+        before = module.num_instructions()
+        optimize_module(module)
+        assert module.num_instructions() <= before

@@ -1,0 +1,99 @@
+"""Tests for the C-subset lexer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.frontend.lexer import Lexer, TokenType, tokenize
+
+
+def kinds(source):
+    return [t.type for t in tokenize(source)[:-1]]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("int foo;")
+        assert tokens[0].type is TokenType.KEYWORD
+        assert tokens[1].type is TokenType.IDENT
+        assert tokens[1].text == "foo"
+
+    def test_integer_literals(self):
+        assert texts("42 0x1F 7u") == ["42", "0x1F", "7u"]
+        assert all(k is TokenType.INT_LIT for k in kinds("42 0x1F 7u"))
+
+    def test_float_literals(self):
+        tokens = tokenize("1.5 0.25f 1e3 .5")
+        assert [t.type for t in tokens[:-1]] == [TokenType.FLOAT_LIT] * 4
+
+    def test_plain_int_is_not_float(self):
+        assert kinds("123") == [TokenType.INT_LIT]
+
+    def test_multi_char_punctuators(self):
+        assert texts("a += b << 2;")[1] == "+="
+        assert "<<" in texts("a += b << 2;")
+
+    def test_maximal_munch(self):
+        assert texts("a<<=b") == ["a", "<<=", "b"]
+
+    def test_eof_terminates(self):
+        tokens = tokenize("x")
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_char_literal(self):
+        tokens = tokenize("'a'")
+        assert tokens[0].type is TokenType.CHAR_LIT
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("int $x;")
+
+    def test_positions(self):
+        tokens = tokenize("int x;\nint y;")
+        assert tokens[0].line == 1
+        assert tokens[3].line == 2
+
+
+class TestComments:
+    def test_line_comment_stripped(self):
+        assert texts("int x; // comment here") == ["int", "x", ";"]
+
+    def test_block_comment_stripped(self):
+        assert texts("int /* hi */ x;") == ["int", "x", ";"]
+
+    def test_multiline_block_comment_preserves_lines(self):
+        tokens = tokenize("/* a\nb\nc */ int x;")
+        assert tokens[0].line == 3
+
+
+class TestPreprocessor:
+    def test_define_expansion(self):
+        assert texts("#define N 64\nint a[N];") == ["int", "a", "[", "64", "]", ";"]
+
+    def test_define_chained(self):
+        src = "#define A 4\n#define B A\nint x = B;"
+        assert "4" in texts(src)
+
+    def test_define_expression(self):
+        src = "#define N 8\n#define M N\nint a[M];"
+        assert "8" in texts(src)
+
+    def test_predefined_macros(self):
+        tokens = Lexer("int a[N];", predefined={"N": "32"}).tokenize()
+        assert tokens[3].text == "32"
+
+    def test_include_ignored(self):
+        assert texts('#include <stdio.h>\nint x;') == ["int", "x", ";"]
+
+    def test_pragma_token(self):
+        tokens = tokenize("#pragma ACCEL pipeline auto{P}\nint x;")
+        assert tokens[0].type is TokenType.PRAGMA
+        assert tokens[0].text == "ACCEL pipeline auto{P}"
+
+    def test_macros_recorded(self):
+        lexer = Lexer("#define N 64\n")
+        lexer.tokenize()
+        assert lexer.macros == {"N": "64"}

@@ -1,0 +1,235 @@
+"""Additional NN-stack tests: dtype switching, module mechanics, misc."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NNError
+from repro.nn import (
+    Adam,
+    DataLoader,
+    Linear,
+    Module,
+    Parameter,
+    Segments,
+    Tensor,
+    no_grad,
+)
+from repro.nn.tensor import get_default_dtype, set_default_dtype
+
+
+class TestDtypeSwitch:
+    def test_default_in_tests_is_float64(self):
+        # conftest switches tests to float64.
+        assert get_default_dtype() is np.float64
+
+    def test_float32_mode(self):
+        set_default_dtype(np.float32)
+        try:
+            t = Tensor([1.0, 2.0])
+            assert t.data.dtype == np.float32
+            out = (t * 2.0 + 1.0).exp()
+            assert out.data.dtype == np.float32
+        finally:
+            set_default_dtype(np.float64)
+
+    def test_float32_training_step_works(self):
+        set_default_dtype(np.float32)
+        try:
+            layer = Linear(4, 2)
+            opt = Adam(layer.parameters(), lr=0.01)
+            x = Tensor(np.ones((3, 4), dtype=np.float32))
+            loss = (layer(x) * layer(x)).sum()
+            loss.backward()
+            opt.step()
+            assert layer.weight.data.dtype == np.float32
+        finally:
+            set_default_dtype(np.float64)
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(NNError):
+            set_default_dtype(np.int32)
+
+    def test_segment_sum_preserves_dtype(self):
+        set_default_dtype(np.float32)
+        try:
+            seg = Segments(np.array([0, 0, 1]), 2)
+            data = np.ones((3, 2), dtype=np.float32)
+            assert seg.sum(data).dtype == np.float32
+        finally:
+            set_default_dtype(np.float64)
+
+
+class TestModuleMechanics:
+    def test_submodule_registration(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Linear(2, 2)
+                self.b = Linear(2, 2)
+
+            def forward(self, x):
+                return self.b(self.a(x))
+
+        net = Net()
+        names = [n for n, _ in net.named_parameters()]
+        assert any(n.startswith("a.") for n in names)
+        assert any(n.startswith("b.") for n in names)
+        assert net.num_parameters() == 2 * (4 + 2)
+
+    def test_train_eval_propagates(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = Linear(2, 2)
+
+        net = Net()
+        net.eval()
+        assert not net.training
+        assert not net.inner.training
+        net.train()
+        assert net.inner.training
+
+    def test_zero_grad_clears(self):
+        layer = Linear(3, 1)
+        out = layer(Tensor(np.ones((2, 3)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_parameter_is_trainable_tensor(self):
+        p = Parameter(np.zeros((2, 2)))
+        assert p.requires_grad
+
+
+class TestNoGrad:
+    def test_nested(self):
+        t = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            with no_grad():
+                inner = t * 2.0
+            middle = t * 3.0
+        outer = t * 4.0
+        assert not inner.requires_grad
+        assert not middle.requires_grad
+        assert outer.requires_grad
+
+    def test_no_grad_parameters_detached(self):
+        layer = Linear(2, 2)
+        with no_grad():
+            out = layer(Tensor(np.ones((1, 2))))
+        assert out._parents == ()
+
+
+class TestDataLoaderDeterminism:
+    def _loader_order(self, seed):
+        from repro.nn import GraphData
+
+        data = [
+            GraphData(
+                x=np.full((2, 3), i, dtype=float),
+                edge_index=np.array([[0], [1]]),
+                edge_attr=np.zeros((1, 2)),
+                kernel=f"k{i}",
+            )
+            for i in range(10)
+        ]
+        loader = DataLoader(data, batch_size=3, shuffle=True, seed=seed)
+        return [g.kernel for batch in loader for g in batch.graphs]
+
+    def test_same_seed_same_order(self):
+        assert self._loader_order(5) == self._loader_order(5)
+
+    def test_different_seed_different_order(self):
+        assert self._loader_order(1) != self._loader_order(2)
+
+
+class TestAdamState:
+    def test_skips_parameters_without_grad(self):
+        a, b = Parameter(np.ones(2)), Parameter(np.ones(2))
+        opt = Adam([a, b], lr=0.1)
+        (Tensor(np.ones(2)) * a).sum().backward()
+        opt.step()
+        np.testing.assert_array_equal(b.data, np.ones(2))  # untouched
+        assert not np.allclose(a.data, np.ones(2))
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Parameter(np.full(3, 10.0))
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.zeros(3)
+        opt.step()
+        assert np.all(np.abs(p.data) < 10.0)
+
+
+class TestLayerNorm:
+    def test_normalises_rows(self):
+        from repro.nn import LayerNorm
+
+        rng = np.random.default_rng(0)
+        x = rng.normal(loc=5.0, scale=3.0, size=(6, 8))
+        out = LayerNorm(8)(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gradcheck(self):
+        from repro.nn import LayerNorm
+
+        layer = LayerNorm(4)
+        rng = np.random.default_rng(1)
+        x0 = rng.normal(size=(3, 4))
+        weights = rng.normal(size=(3, 4))
+
+        t = Tensor(x0.copy(), requires_grad=True)
+        (layer(t) * Tensor(weights)).sum().backward()
+        analytic = t.grad
+
+        eps = 1e-6
+        numeric = np.zeros_like(x0)
+        flat, nflat = x0.reshape(-1), numeric.reshape(-1)
+        for i in range(flat.size):
+            orig = flat[i]
+            flat[i] = orig + eps
+            up = (layer(Tensor(x0)) * Tensor(weights)).sum().item()
+            flat[i] = orig - eps
+            down = (layer(Tensor(x0)) * Tensor(weights)).sum().item()
+            flat[i] = orig
+            nflat[i] = (up - down) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-6)
+
+    def test_affine_parameters_trainable(self):
+        from repro.nn import LayerNorm
+
+        layer = LayerNorm(4)
+        assert len(list(layer.parameters())) == 2
+
+
+class TestDropout:
+    def test_eval_mode_identity(self):
+        from repro.nn import Dropout
+
+        layer = Dropout(0.5)
+        layer.eval()
+        x = np.ones((4, 4))
+        np.testing.assert_array_equal(layer(Tensor(x)).data, x)
+
+    def test_training_mode_masks_and_scales(self):
+        from repro.nn import Dropout
+
+        layer = Dropout(0.5, seed=0)
+        out = layer(Tensor(np.ones((200, 10)))).data
+        kept = out[out != 0]
+        assert 0.3 < (out != 0).mean() < 0.7
+        np.testing.assert_allclose(kept, 2.0)  # inverted scaling
+
+    def test_expected_value_preserved(self):
+        from repro.nn import Dropout
+
+        layer = Dropout(0.3, seed=1)
+        out = layer(Tensor(np.ones((500, 20)))).data
+        assert abs(out.mean() - 1.0) < 0.05
+
+    def test_invalid_probability(self):
+        from repro.nn import Dropout
+
+        with pytest.raises(NNError):
+            Dropout(1.0)

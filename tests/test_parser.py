@@ -1,0 +1,217 @@
+"""Tests for the C-subset parser and pragma attachment."""
+
+import pytest
+
+from repro.errors import ParseError, PragmaError
+from repro.frontend import ast_nodes as ast
+from repro.frontend.parser import parse_source
+from repro.frontend.pragmas import (
+    PipelineOption,
+    PragmaKind,
+    annotate_candidates,
+    collect_pragmas,
+    parse_pragma,
+)
+
+
+def parse_fn(body, params="int a[8]"):
+    unit = parse_source(f"void f({params}) {{ {body} }}")
+    return unit.function("f")
+
+
+class TestDeclarationsAndTypes:
+    def test_function_signature(self):
+        unit = parse_source("void foo(int a[4], double b, float c[2][3]) {}")
+        fn = unit.function("foo")
+        assert [p.name for p in fn.params] == ["a", "b", "c"]
+        assert fn.params[0].ctype.dims == (4,)
+        assert fn.params[2].ctype.dims == (2, 3)
+        assert fn.params[1].ctype.base == "double"
+
+    def test_local_declarations(self):
+        fn = parse_fn("int x = 3; double y; int buf[16];")
+        decls = [s for s in fn.body.stmts if isinstance(s, ast.DeclStmt)]
+        assert len(decls) == 3
+        assert decls[0].init is not None
+        assert decls[2].ctype.dims == (16,)
+
+    def test_multi_declarator(self):
+        fn = parse_fn("int i, j = 3, buf[4];")
+        block = fn.body.stmts[0]
+        assert isinstance(block, ast.Block)
+        decls = [s for s in block.stmts if isinstance(s, ast.DeclStmt)]
+        assert [d.name for d in decls] == ["i", "j", "buf"]
+        assert decls[1].init is not None
+        assert decls[2].ctype.dims == (4,)
+
+    def test_multi_declarator_in_for_init(self):
+        fn = parse_fn("for (int k = 0, n = 8; k < n; k++) { a[k % 8] = 0; }")
+        loop = fn.body.stmts[0]
+        assert isinstance(loop, ast.ForStmt)
+        assert isinstance(loop.init, ast.Block)
+
+    def test_top_function_is_last(self):
+        unit = parse_source("void a() {}\nvoid b() {}")
+        assert unit.top.name == "b"
+
+    def test_pointer_param_becomes_unsized_array(self):
+        unit = parse_source("void f(int *p) {}")
+        assert unit.top.params[0].ctype.dims == (0,)
+
+
+class TestStatements:
+    def test_for_loop_structure(self):
+        fn = parse_fn("for (int i = 0; i < 8; i++) { a[i] = i; }")
+        loop = fn.body.stmts[0]
+        assert isinstance(loop, ast.ForStmt)
+        assert loop.label == "L0"
+        assert isinstance(loop.init, ast.DeclStmt)
+        assert isinstance(loop.cond, ast.BinaryOp)
+
+    def test_nested_loop_labels_preorder(self):
+        fn = parse_fn(
+            "for (int i = 0; i < 4; i++) { for (int j = 0; j < 4; j++) { a[j] = i; } }"
+            "for (int k = 0; k < 4; k++) { a[k] = k; }"
+        )
+        loops = ast.collect_loops(fn.body)
+        assert [l.label for l in loops] == ["L0", "L1", "L2"]
+
+    def test_if_else(self):
+        fn = parse_fn("if (a[0] > 2) { a[1] = 1; } else { a[1] = 2; }")
+        stmt = fn.body.stmts[0]
+        assert isinstance(stmt, ast.IfStmt)
+        assert stmt.otherwise is not None
+
+    def test_compound_assignment(self):
+        fn = parse_fn("a[0] += 5;")
+        stmt = fn.body.stmts[0]
+        assert isinstance(stmt, ast.AssignStmt)
+        assert stmt.op == "+"
+
+    def test_postfix_increment_desugars(self):
+        fn = parse_fn("int i = 0; i++;")
+        stmt = fn.body.stmts[1]
+        assert isinstance(stmt, ast.AssignStmt)
+        assert stmt.op == "+"
+
+    def test_braceless_loop_body_wrapped(self):
+        fn = parse_fn("for (int i = 0; i < 4; i++) a[i] = 0;")
+        loop = fn.body.stmts[0]
+        assert isinstance(loop.body, ast.Block)
+
+    def test_return_statement(self):
+        unit = parse_source("int f() { return 3; }")
+        stmt = unit.top.body.stmts[0]
+        assert isinstance(stmt, ast.ReturnStmt)
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(ParseError):
+            parse_source("void f() { int x = 3 }")
+
+
+class TestExpressions:
+    def test_precedence(self):
+        fn = parse_fn("int x = 1 + 2 * 3;")
+        init = fn.body.stmts[0].init
+        assert init.op == "+"
+        assert init.rhs.op == "*"
+
+    def test_parentheses(self):
+        fn = parse_fn("int x = (1 + 2) * 3;")
+        init = fn.body.stmts[0].init
+        assert init.op == "*"
+
+    def test_multi_dim_subscript(self):
+        fn = parse_fn("b[1][2] = 3;", params="int b[4][4]")
+        target = fn.body.stmts[0].target
+        assert isinstance(target, ast.ArrayRef)
+        assert len(target.indices) == 2
+
+    def test_ternary(self):
+        fn = parse_fn("int x = a[0] > 0 ? 1 : 2;")
+        assert isinstance(fn.body.stmts[0].init, ast.TernaryOp)
+
+    def test_unary_minus(self):
+        fn = parse_fn("int x = -3;")
+        assert isinstance(fn.body.stmts[0].init, ast.UnaryOp)
+
+    def test_call_expression(self):
+        unit = parse_source("int g(int v) { return v; }\nvoid f() { int x = g(2); }")
+        init = unit.top.body.stmts[0].init
+        assert isinstance(init, ast.Call)
+        assert init.name == "g"
+
+    def test_cast(self):
+        fn = parse_fn("double y = (double) a[0];")
+        assert isinstance(fn.body.stmts[0].init, ast.Cast)
+
+    def test_logical_operators(self):
+        fn = parse_fn("if (a[0] > 0 && a[1] < 3) { a[2] = 1; }")
+        cond = fn.body.stmts[0].cond
+        assert cond.op == "&&"
+
+
+class TestPragmaParsing:
+    def test_pipeline_placeholder(self):
+        pragma = parse_pragma("ACCEL pipeline auto{__PIPE__L0}")
+        assert pragma.kind is PragmaKind.PIPELINE
+        assert pragma.placeholder == "__PIPE__L0"
+
+    def test_parallel_fixed(self):
+        pragma = parse_pragma("ACCEL parallel factor=4")
+        assert pragma.kind is PragmaKind.PARALLEL
+        assert pragma.fixed_value == 4
+
+    def test_tile_placeholder(self):
+        pragma = parse_pragma("ACCEL tile factor=auto{__TILE__L2}")
+        assert pragma.kind is PragmaKind.TILE
+
+    def test_pipeline_fixed_option(self):
+        pragma = parse_pragma("ACCEL pipeline fg")
+        assert pragma.fixed_value is PipelineOption.FINE
+
+    def test_non_accel_ignored(self):
+        assert parse_pragma("HLS unroll factor=2") is None
+
+    def test_malformed_raises(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("ACCEL parallel")
+
+    def test_attach_to_loop(self):
+        unit = parse_source(
+            "void f(int a[8]) {\n"
+            "#pragma ACCEL pipeline auto{P1}\n"
+            "for (int i = 0; i < 8; i++) { a[i] = 0; }\n"
+            "}"
+        )
+        pragmas = collect_pragmas(unit)
+        assert len(pragmas) == 1
+        assert pragmas[0].loop_label == "L0"
+        assert pragmas[0].function == "f"
+
+    def test_duplicate_placeholder_raises(self):
+        unit = parse_source(
+            "void f(int a[8]) {\n"
+            "#pragma ACCEL pipeline auto{P}\n"
+            "for (int i = 0; i < 8; i++) { a[i] = 0; }\n"
+            "#pragma ACCEL pipeline auto{P}\n"
+            "for (int j = 0; j < 8; j++) { a[j] = 0; }\n"
+            "}"
+        )
+        with pytest.raises(PragmaError):
+            collect_pragmas(unit)
+
+    def test_annotate_candidates(self):
+        unit = parse_source(
+            "void f(int a[8]) { for (int i = 0; i < 8; i++)"
+            " { for (int j = 0; j < 8; j++) { a[j] = i; } } }"
+        )
+        pragmas = annotate_candidates(unit)
+        # Outer loop: tile+pipeline+parallel; inner: pipeline+parallel.
+        kinds = sorted(p.kind.keyword for p in pragmas)
+        assert kinds == ["parallel", "parallel", "pipeline", "pipeline", "tile"]
+
+    def test_render_round_trip(self):
+        pragma = parse_pragma("ACCEL parallel factor=auto{X}")
+        assert pragma.render(8) == "ACCEL parallel factor=8"
+        assert pragma.render() == "ACCEL parallel factor=auto{X}"

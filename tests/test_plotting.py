@@ -1,0 +1,61 @@
+"""Tests for the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_bars, ascii_scatter
+
+
+class TestScatter:
+    def test_dimensions(self):
+        rng = np.random.default_rng(0)
+        text = ascii_scatter(rng.normal(size=(20, 2)), width=30, height=10)
+        lines = text.split("\n")
+        body = [l for l in lines if l.startswith("|")]
+        assert len(body) == 10
+        assert all(len(l) == 32 for l in body)
+
+    def test_all_points_plotted(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        text = ascii_scatter(points, width=10, height=5)
+        assert text.count(".") >= 2 or "." in text
+
+    def test_value_glyphs(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        text = ascii_scatter(points, values=np.array([0.0, 10.0]))
+        assert "." in text and "@" in text
+
+    def test_constant_coordinates_no_crash(self):
+        points = np.zeros((5, 2))
+        text = ascii_scatter(points)
+        assert "+" in text
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_scatter(np.zeros((4, 3)))
+
+    def test_title_included(self):
+        text = ascii_scatter(np.zeros((2, 2)), title="hello plot")
+        assert text.startswith("hello plot")
+
+
+class TestBars:
+    def test_rows_per_value(self):
+        text = ascii_bars({"a": [0.5, 1.5], "b": [1.0]})
+        rows = [l for l in text.split("\n") if "[" in l]
+        assert len(rows) == 3
+
+    def test_reference_marker(self):
+        text = ascii_bars({"a": [0.5]}, reference=1.0)
+        assert "|" in text
+        assert "reference = 1" in text
+
+    def test_bar_lengths_monotone(self):
+        text = ascii_bars({"a": [0.25, 0.5, 1.0]}, width=20)
+        rows = [l for l in text.split("\n") if "[" in l]
+        hashes = [row.count("#") for row in rows]
+        assert hashes[0] < hashes[1] < hashes[2]
+
+    def test_values_printed(self):
+        text = ascii_bars({"k": [1.23]})
+        assert "1.23" in text

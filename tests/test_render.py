@@ -1,0 +1,57 @@
+"""Tests for rendering design points back to pragma-annotated C."""
+
+from repro.designspace import build_design_space, render_point, render_source
+from repro.frontend.parser import parse_source
+from repro.frontend.pragmas import PipelineOption as P
+from repro.ir import lower_unit
+from repro.kernels import get_kernel, toy_kernel
+
+
+class TestRenderSource:
+    def test_substitutes_values(self):
+        spec = toy_kernel()
+        source = render_source(spec, {"_PIPE_L1": P.COARSE, "_PARA_L1": 8})
+        assert "pipeline cg" in source
+        assert "factor=8" in source
+        assert "auto{" not in source
+
+    def test_neutral_pragmas_dropped(self):
+        spec = toy_kernel()
+        source = render_source(spec, {"_PIPE_L1": P.OFF, "_PARA_L1": 1})
+        assert "#pragma ACCEL" not in source
+
+    def test_missing_knobs_default_neutral(self):
+        spec = toy_kernel()
+        source = render_source(spec, {})
+        assert "auto{" not in source
+        assert "#pragma ACCEL" not in source
+
+    def test_rendered_source_reparses(self):
+        """The emitted file must be valid input for the front-end again."""
+        spec = get_kernel("gemm-ncubed")
+        space = build_design_space(spec)
+        point = space.default_point()
+        for knob in space.knobs:
+            point[knob.name] = knob.candidates[-1]
+        point = space.rules.canonicalize(point)
+        source = render_source(spec, point)
+        unit = parse_source(source, "rendered")
+        lower_unit(unit)  # and lowers cleanly
+
+    def test_partial_unroll_kept(self):
+        spec = get_kernel("gemm-ncubed")
+        source = render_source(spec, {"__PARA__L2": 16})
+        assert "parallel factor=16" in source
+
+
+class TestRenderPoint:
+    def test_summary_groups_by_loop(self):
+        spec = get_kernel("gemm-ncubed")
+        text = render_point(spec, {"__PARA__L2": 16, "__PIPE__L1": P.COARSE})
+        assert "gemm_ncubed/L2" in text
+        assert "parallel=16" in text
+        assert "gemm_ncubed/L1" in text
+
+    def test_neutral_point_message(self):
+        spec = toy_kernel()
+        assert "neutral" in render_point(spec, {})

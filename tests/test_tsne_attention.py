@@ -1,0 +1,99 @@
+"""Tests for t-SNE, neighborhood coherence, and attention reports."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import neighborhood_coherence, tsne
+
+
+class TestTSNE:
+    def test_output_shape(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(40, 10))
+        y = tsne(x, iterations=60, seed=0)
+        assert y.shape == (40, 2)
+        assert np.all(np.isfinite(y))
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(30, 8))
+        y1 = tsne(x, iterations=50, seed=3)
+        y2 = tsne(x, iterations=50, seed=3)
+        np.testing.assert_allclose(y1, y2)
+
+    def test_separates_clear_clusters(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(loc=0.0, scale=0.1, size=(25, 6))
+        b = rng.normal(loc=8.0, scale=0.1, size=(25, 6))
+        y = tsne(np.vstack([a, b]), iterations=250, seed=0, perplexity=10.0)
+        centroid_a = y[:25].mean(axis=0)
+        centroid_b = y[25:].mean(axis=0)
+        # Nearest-centroid assignment recovers the true clusters.
+        labels = np.array([0] * 25 + [1] * 25)
+        d_a = np.linalg.norm(y - centroid_a, axis=1)
+        d_b = np.linalg.norm(y - centroid_b, axis=1)
+        assigned = (d_b < d_a).astype(int)
+        accuracy = max((assigned == labels).mean(), (assigned != labels).mean())
+        assert accuracy > 0.9
+
+    def test_tiny_input(self):
+        assert tsne(np.zeros((2, 4))).shape == (2, 2)
+
+
+class TestCoherence:
+    def test_structured_embedding_scores_low(self):
+        # Embedding where position encodes the value exactly.
+        values = np.linspace(0, 10, 60)
+        embedding = np.stack([values, np.zeros(60)], axis=1)
+        score = neighborhood_coherence(embedding, values, k=5)
+        assert score < 0.3
+
+    def test_random_embedding_scores_near_one(self):
+        rng = np.random.default_rng(0)
+        embedding = rng.normal(size=(80, 2))
+        values = rng.normal(size=80)
+        score = neighborhood_coherence(embedding, values, k=8)
+        assert 0.6 < score < 1.4
+
+    def test_constant_values(self):
+        embedding = np.random.default_rng(1).normal(size=(30, 2))
+        assert neighborhood_coherence(embedding, np.ones(30)) == 1.0
+
+    def test_too_few_points(self):
+        assert neighborhood_coherence(np.zeros((3, 2)), np.arange(3), k=10) == 1.0
+
+
+class TestAttentionReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.analysis import attention_report
+        from repro.explorer import generate_database
+        from repro.model import TrainConfig, train_predictor
+
+        db = generate_database(kernels=["spmv-ellpack"], scale=0.4, seed=0)
+        predictor = train_predictor(
+            db, config_name="M7", train_config=TrainConfig(epochs=3)
+        )
+        record = db.best_valid("spmv-ellpack") or next(iter(db))
+        return attention_report(predictor, "spmv-ellpack", record.design_point)
+
+    def test_scores_normalised(self, report):
+        total = sum(n.score for n in report.nodes)
+        assert total == pytest.approx(1.0, abs=1e-5)
+
+    def test_covers_all_nodes(self, report):
+        from repro.graph import kernel_graph
+        from repro.kernels import get_kernel
+
+        graph = kernel_graph(get_kernel("spmv-ellpack"))
+        assert len(report.nodes) == graph.num_nodes
+
+    def test_top_sorted(self, report):
+        top = report.top(5)
+        scores = [n.score for n in top]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_type_summary_keys(self, report):
+        summary = report.mean_score_by_type()
+        assert "pragma" in summary
+        assert "instruction" in summary
