@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-fast examples clean
+.PHONY: install test test-fast bench bench-fast bench-smoke examples clean
 
 install:
 	$(PY) setup.py develop
@@ -10,8 +10,17 @@ install:
 test:
 	$(PY) -m pytest tests/
 
+# Skip tests marked slow (e.g. the float32 pipeline equivalence sweep).
+test-fast:
+	$(PY) -m pytest tests/ -m "not slow"
+
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
+
+# Evaluation-pipeline throughput on untrained weights: finishes in
+# seconds, no database or training required.
+bench-smoke:
+	$(PY) benchmarks/bench_pipeline.py --smoke
 
 # Smoke-scale benchmark run (~minutes): tiny database + training budgets.
 bench-fast:

@@ -88,6 +88,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", default="M7")
     p.add_argument("--top", type=int, default=10)
     p.add_argument("--time-limit", type=float, default=300.0)
+    p.add_argument("--batch-size", type=int, default=24,
+                   help="evaluation pipeline batch size")
+    p.add_argument("--engine", choices=["auto", "compiled", "reference"],
+                   default="auto", help="surrogate inference engine")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the pipeline's per-point prediction cache")
     p.add_argument("--evaluate", action="store_true", help="synthesize the top designs")
     p.add_argument(
         "--emit-source", metavar="FILE",
@@ -195,18 +201,26 @@ def _load_predictor(database_path: str, predictor_path: str, model: str):
 
 
 def _cmd_dse(args) -> int:
-    from .dse import ModelDSE
+    from .dse import EvaluationPipeline, ModelDSE
 
     spec = get_kernel(args.kernel)
     space = build_design_space(spec)
     predictor = _load_predictor(args.database, args.predictor, args.model)
-    dse = ModelDSE(predictor, spec, space, top_m=args.top)
+    pipeline = EvaluationPipeline(
+        predictor,
+        batch_size=args.batch_size,
+        engine=args.engine,
+        cache=not args.no_cache,
+    )
+    dse = ModelDSE(predictor, spec, space, top_m=args.top, pipeline=pipeline)
     result = dse.run(time_limit_seconds=args.time_limit)
     mode = "exhaustive" if result.exhaustive else "heuristic"
     print(
         f"{args.kernel}: explored {result.explored:,} configs in {result.seconds:.1f}s "
         f"({mode}, {result.predictions_per_second:.0f} inferences/s)"
     )
+    if result.stats is not None:
+        print(f"  pipeline {result.stats.summary()}")
     tool = MerlinHLSTool()
     for rank, candidate in enumerate(result.top):
         line = f"  top-{rank + 1:02d} predicted latency {candidate.predicted_latency:>12,.0f}"

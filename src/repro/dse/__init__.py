@@ -4,7 +4,9 @@
 - :class:`ModelDSE` — exhaustive / ordered-beam search over a design
   space with the trained predictor in the loop;
 - :func:`run_dse_rounds` — Fig. 7's multi-round database augmentation;
-- :func:`pareto_front` — non-dominated filtering of designs.
+- :func:`pareto_front` — non-dominated filtering of designs;
+- :class:`EvaluationPipeline` — the batched + cached surrogate hot
+  path every searcher routes its predictions through.
 """
 
 from .annealing import AnnealingResult, SimulatedAnnealingDSE
@@ -12,11 +14,25 @@ from .augment import AugmentationResult, RoundOutcome, run_dse_rounds
 from .multiobjective import ParetoArchive, ParetoDSE
 from .ordering import order_pragmas
 from .pareto import dominates, pareto_front
+from .pipeline import (
+    CompiledGNNEngine,
+    EncodingCache,
+    EvaluationPipeline,
+    PipelineStats,
+    UnsupportedModelError,
+    surrogate_scorers,
+)
 from .search import DSECandidate, DSEResult, ModelDSE
 
 __all__ = [
     "AnnealingResult",
     "SimulatedAnnealingDSE",
+    "CompiledGNNEngine",
+    "EncodingCache",
+    "EvaluationPipeline",
+    "PipelineStats",
+    "UnsupportedModelError",
+    "surrogate_scorers",
     "AugmentationResult",
     "RoundOutcome",
     "run_dse_rounds",

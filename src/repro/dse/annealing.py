@@ -23,6 +23,10 @@ __all__ = ["AnnealingResult", "SimulatedAnnealingDSE"]
 #: A scorer maps a design point to (usable, latency-like score).
 Scorer = Callable[[DesignPoint], Tuple[bool, float]]
 
+#: A batch scorer maps many design points to their (usable, score) pairs
+#: at once — e.g. one surrogate pipeline batch instead of N forwards.
+BatchScorer = Callable[[List[DesignPoint]], List[Tuple[bool, float]]]
+
 
 @dataclass
 class AnnealingResult:
@@ -50,6 +54,10 @@ class SimulatedAnnealingDSE:
         Score assigned to unusable points, relative to the worst usable
         score seen so far (keeps the chain able to traverse invalid
         regions without settling in them).
+    batch_scorer:
+        Optional many-points-at-once scorer.  :meth:`run_many` uses it
+        to evaluate one candidate per chain in a single surrogate
+        batch; results are identical to per-point scoring.
     """
 
     def __init__(
@@ -60,6 +68,7 @@ class SimulatedAnnealingDSE:
         cooling: float = 0.97,
         penalty: float = 4.0,
         seed: int = 0,
+        batch_scorer: Optional[BatchScorer] = None,
     ):
         self.space = space
         self.scorer = scorer
@@ -67,6 +76,7 @@ class SimulatedAnnealingDSE:
         self.cooling = cooling
         self.penalty = penalty
         self.rng = random.Random(seed)
+        self.batch_scorer = batch_scorer
 
     def run(
         self,
@@ -127,3 +137,108 @@ class SimulatedAnnealingDSE:
             accepted_moves=accepted,
             trajectory=trajectory,
         )
+
+    def run_many(
+        self,
+        seeds: List[int],
+        max_evals: int = 500,
+        start_point: Optional[DesignPoint] = None,
+    ) -> List[AnnealingResult]:
+        """Anneal several independent chains in lockstep.
+
+        Each chain draws from its own ``random.Random(seed)`` in exactly
+        the order :meth:`run` would, so per-chain results are identical
+        to ``len(seeds)`` sequential runs — but every step scores one
+        candidate per chain in a single ``batch_scorer`` call (and a
+        shared score cache spans the chains), which is where a batched
+        surrogate pipeline pays off.
+        """
+        cache = {}
+
+        def score_many(points: List[DesignPoint]) -> List[Tuple[bool, float]]:
+            keys = [point_key(p) for p in points]
+            missing = {}
+            for point, key in zip(points, keys):
+                if key not in cache and key not in missing:
+                    missing[key] = point
+            if missing:
+                pending = list(missing.values())
+                if self.batch_scorer is not None:
+                    results = self.batch_scorer(pending)
+                else:
+                    results = [self.scorer(p) for p in pending]
+                for key, result in zip(missing, results):
+                    cache[key] = result
+            return [cache[key] for key in keys]
+
+        start = dict(start_point) if start_point else self.space.default_point()
+        chains = []
+        for seed, (usable, score) in zip(
+            seeds, score_many([start] * len(seeds))
+        ):
+            chains.append(dict(
+                rng=random.Random(seed),
+                current=dict(start),
+                usable=usable,
+                current_score=score,
+                worst_usable=score if usable else 1.0,
+                best_point=dict(start) if usable else None,
+                best_score=score if usable else float("inf"),
+                temperature=self.initial_temperature,
+                evaluations=1,
+                accepted=0,
+                trajectory=[score if usable else float("inf")],
+                alive=True,
+            ))
+
+        while True:
+            stepping = []
+            for chain in chains:
+                if not chain["alive"] or chain["evaluations"] >= max_evals:
+                    continue
+                neighbors = self.space.neighbors(chain["current"])
+                if not neighbors:
+                    chain["alive"] = False
+                    continue
+                chain["candidate"] = chain["rng"].choice(neighbors)
+                stepping.append(chain)
+            if not stepping:
+                break
+            results = score_many([chain["candidate"] for chain in stepping])
+            for chain, (cand_usable, cand_score) in zip(stepping, results):
+                chain["evaluations"] += 1
+                if cand_usable:
+                    chain["worst_usable"] = max(chain["worst_usable"], cand_score)
+                    effective = cand_score
+                else:
+                    effective = chain["worst_usable"] * self.penalty
+                current_effective = (
+                    chain["current_score"]
+                    if chain["usable"]
+                    else chain["worst_usable"] * self.penalty
+                )
+                delta = effective - current_effective
+                scale = max(abs(current_effective), 1e-9)
+                if delta <= 0 or chain["rng"].random() < math.exp(
+                    -delta / (scale * max(chain["temperature"], 1e-6))
+                ):
+                    chain["current"] = chain["candidate"]
+                    chain["usable"] = cand_usable
+                    chain["current_score"] = cand_score
+                    chain["accepted"] += 1
+                    if cand_usable and cand_score < chain["best_score"]:
+                        chain["best_point"] = dict(chain["candidate"])
+                        chain["best_score"] = cand_score
+                chain["temperature"] *= self.cooling
+                chain["trajectory"].append(chain["best_score"])
+
+        return [
+            AnnealingResult(
+                best_point=chain["best_point"],
+                best_score=chain["best_score"],
+                evaluations=chain["evaluations"],
+                accepted_moves=chain["accepted"],
+                trajectory=chain["trajectory"],
+            )
+            for chain in chains
+        ]

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Tuple
 from ..designspace.space import DesignPoint, DesignSpace, point_key
 from ..model.predictor import GNNDSEPredictor, Prediction
 from .ordering import order_pragmas
+from .pipeline import EvaluationPipeline, PipelineStats
 
 __all__ = ["DSECandidate", "DSEResult", "ModelDSE"]
 
@@ -30,6 +31,9 @@ class DSECandidate:
 
     @property
     def predicted_latency(self) -> float:
+        # Mirrors ``Prediction.latency`` exactly (``inf`` when the cascade
+        # skipped regression), so sorting candidates and reading their
+        # predictions can never disagree at the validity threshold.
         return self.prediction.latency
 
 
@@ -43,6 +47,7 @@ class DSEResult:
     seconds: float
     exhaustive: bool
     predictions_per_second: float = 0.0
+    stats: Optional[PipelineStats] = None
 
     def top_points(self) -> List[DesignPoint]:
         return [c.point for c in self.top]
@@ -68,6 +73,11 @@ class ModelDSE:
         Sweep the whole space when its size does not exceed this.
     beam_width:
         Beam kept per knob step in heuristic mode.
+    pipeline:
+        Evaluation pipeline to route predictions through; constructed
+        from ``predictor`` when not given.  Pass ``pipeline=None`` and
+        ``use_pipeline=False`` to call ``predictor.predict_batch``
+        directly (the pre-pipeline behaviour).
     """
 
     def __init__(
@@ -80,6 +90,8 @@ class ModelDSE:
         batch_size: int = 256,
         exhaustive_limit: int = 20_000,
         beam_width: int = 8,
+        pipeline: Optional[EvaluationPipeline] = None,
+        use_pipeline: bool = True,
     ):
         self.predictor = predictor
         self.spec = spec
@@ -89,6 +101,9 @@ class ModelDSE:
         self.batch_size = batch_size
         self.exhaustive_limit = exhaustive_limit
         self.beam_width = beam_width
+        if pipeline is None and use_pipeline:
+            pipeline = EvaluationPipeline(predictor)
+        self.pipeline = pipeline
 
     # -- scoring ------------------------------------------------------------------
 
@@ -112,7 +127,32 @@ class ModelDSE:
         return unique
 
     def _predict_batch(self, points: List[DesignPoint]) -> List[DSECandidate]:
-        predictions = self.predictor.predict_batch(self.spec.name, points)
+        if self.pipeline is not None:
+            # The search only reads objectives of usable (valid) points, so
+            # the pipeline may skip regression for classifier-rejected ones.
+            predictions = self.pipeline.predict_batch(
+                self.spec.name, points, objectives_for="valid"
+            )
+        else:
+            predictions = self.predictor.predict_batch(self.spec.name, points)
+        return [DSECandidate(p, pred) for p, pred in zip(points, predictions)]
+
+    def _ensure_objectives(self, scored: List[DSECandidate]) -> List[DSECandidate]:
+        """Re-score candidates whose regression pass was cascade-skipped.
+
+        Only needed on the heuristic fallback path where no usable
+        candidate exists and the beam must rank by predicted latency;
+        the classifier outputs are already cached, so this costs one
+        regression pass over the batch.
+        """
+        if self.pipeline is None or all(
+            c.prediction.objectives is not None for c in scored
+        ):
+            return scored
+        points = [c.point for c in scored]
+        predictions = self.pipeline.predict_batch(
+            self.spec.name, points, objectives_for="all"
+        )
         return [DSECandidate(p, pred) for p, pred in zip(points, predictions)]
 
     # -- public API ------------------------------------------------------------------
@@ -125,8 +165,14 @@ class ModelDSE:
 
     # -- exhaustive sweep ---------------------------------------------------------------
 
+    def _stats_since(self, before: Optional[PipelineStats]) -> Optional[PipelineStats]:
+        if self.pipeline is None or before is None:
+            return None
+        return self.pipeline.stats - before
+
     def _run_exhaustive(self, time_limit_seconds: float) -> DSEResult:
         start = time.time()
+        stats_before = self.pipeline.stats.copy() if self.pipeline else None
         top: List[DSECandidate] = []
         explored = 0
         pending: List[DesignPoint] = []
@@ -149,12 +195,14 @@ class ModelDSE:
             seconds=seconds,
             exhaustive=True,
             predictions_per_second=explored / seconds if seconds > 0 else 0.0,
+            stats=self._stats_since(stats_before),
         )
 
     # -- ordered heuristic search ----------------------------------------------------------
 
     def _run_heuristic(self, time_limit_seconds: float) -> DSEResult:
         start = time.time()
+        stats_before = self.pipeline.stats.copy() if self.pipeline else None
         ordered = order_pragmas(self.space)
         seen = set()
         top: List[DSECandidate] = []
@@ -190,6 +238,8 @@ class ModelDSE:
                 # Next beam: best usable candidates (fall back to lowest
                 # predicted latency when nothing usable has appeared yet).
                 usable = [c for c in scored if self._usable(c.prediction)]
+                if not usable:
+                    scored = self._ensure_objectives(scored)
                 pool = usable or scored
                 pool.sort(key=lambda c: c.predicted_latency)
                 beam = [c.point for c in pool[: self.beam_width]] or beam
@@ -206,4 +256,5 @@ class ModelDSE:
             seconds=seconds,
             exhaustive=False,
             predictions_per_second=explored / seconds if seconds > 0 else 0.0,
+            stats=self._stats_since(stats_before),
         )

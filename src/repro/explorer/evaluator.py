@@ -8,7 +8,7 @@ AutoDSE's 21 hours with a fixed number of parallel workers).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from ..designspace.space import DesignPoint
 from ..hls.report import HLSResult
@@ -61,6 +61,24 @@ class Evaluator:
         record = DesignRecord.from_result(result, point, source=source, round=round)
         self.database.add(record)
         return result
+
+    def evaluate_batch(
+        self,
+        spec: KernelSpec,
+        points: Sequence[DesignPoint],
+        source: str = "",
+        round: int = 0,
+    ) -> List[HLSResult]:
+        """Synthesize a batch of points, scheduled over the worker slots.
+
+        Order-preserving; equivalent to calling :meth:`evaluate` per
+        point (the greedy earliest-free-slot schedule is the same), but
+        the natural unit for DSE loops that validate a predicted top-M
+        in one parallel synthesis round.
+        """
+        return [
+            self.evaluate(spec, point, source=source, round=round) for point in points
+        ]
 
     @property
     def elapsed_hours(self) -> float:

@@ -26,7 +26,13 @@ from ..frontend.pragmas import PipelineOption, PragmaKind
 from .programl import ProgramGraph
 from .vocab import node_text_index, vocab_size
 
-__all__ = ["NODE_DIM", "EDGE_DIM", "EncodedGraph", "GraphEncoder"]
+__all__ = [
+    "NODE_DIM",
+    "EDGE_DIM",
+    "PRAGMA_FEATURE_SLICE",
+    "EncodedGraph",
+    "GraphEncoder",
+]
 
 #: Initial node embedding size (matches the paper's 124).
 NODE_DIM = 124
@@ -48,6 +54,10 @@ _OFF_TRIP = _OFF_CONST + 2  # 2: has-trip bit, log trip
 _OFF_PRAGMA = _OFF_TRIP + 2  # 6: off/cg/fg one-hot, log factor, factor>1, tunable
 _PRAGMA_LEN = 6
 _USED_DIM = _OFF_PRAGMA + _PRAGMA_LEN
+
+#: Column range of the pragma-option block inside a node feature row —
+#: the only features that differ between design points of one kernel.
+PRAGMA_FEATURE_SLICE = slice(_OFF_PRAGMA, _OFF_PRAGMA + _PRAGMA_LEN)
 
 PragmaValue = Union[PipelineOption, int]
 
@@ -89,14 +99,39 @@ class EncodedGraph:
         names raise :class:`~repro.errors.GraphError`.
         """
         x = self.x_base.copy()
+        rows, values = self.pragma_patch(point)
+        x[rows, _OFF_PRAGMA : _OFF_PRAGMA + _PRAGMA_LEN] = values
+        return x
+
+    @property
+    def pragma_row_order(self) -> np.ndarray:
+        """All pragma-node rows, sorted — the only rows ``fill`` can touch."""
+        return np.array(sorted(self.pragma_rows.values()), dtype=np.int64)
+
+    def pragma_patch(self, point: Dict[str, PragmaValue]) -> "tuple[np.ndarray, np.ndarray]":
+        """The design point as a sparse feature patch.
+
+        Returns ``(rows, values)`` where ``rows`` is every pragma-node
+        row (sorted) and ``values`` the corresponding pragma feature
+        block: the point's encoded options for knobs it names, the
+        neutral base encoding for the rest.  Patching these cells into a
+        copy of ``x_base`` reproduces :meth:`fill` exactly, which lets a
+        batched evaluator reuse one tiled base matrix and rewrite only
+        ``len(rows) * 6`` cells per candidate.
+        """
+        rows = self.pragma_row_order
+        values = self.x_base[rows, _OFF_PRAGMA : _OFF_PRAGMA + _PRAGMA_LEN].copy()
+        if not point:
+            return rows, values
+        index = {int(row): i for i, row in enumerate(rows)}
         for name, value in point.items():
             row = self.pragma_rows.get(name)
             if row is None:
                 raise GraphError(f"{self.name}: unknown pragma knob {name!r}")
-            x[row, _OFF_PRAGMA : _OFF_PRAGMA + _PRAGMA_LEN] = _encode_pragma_value(
+            values[index[row]] = _encode_pragma_value(
                 self.pragma_kinds[name], value, tunable=True
             )
-        return x
+        return rows, values
 
 
 #: Gain applied to the pragma-option feature block.  Pragma nodes are a

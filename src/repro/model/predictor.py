@@ -24,33 +24,130 @@ from .models import build_model
 from .normalizer import TargetNormalizer
 from .trainer import TrainConfig, Trainer, evaluate_classification, evaluate_regression
 
-__all__ = ["Prediction", "GNNDSEPredictor", "train_predictor"]
+__all__ = [
+    "DEFAULT_VALID_THRESHOLD",
+    "Prediction",
+    "GNNDSEPredictor",
+    "predictions_from_outputs",
+    "train_predictor",
+]
+
+#: Classification cut-off for calling a design point valid.  The
+#: tie-break at the threshold is inclusive: ``valid_prob >=
+#: DEFAULT_VALID_THRESHOLD`` means valid, so a point sitting exactly at
+#: the boundary is treated as synthesizable.
+DEFAULT_VALID_THRESHOLD = 0.5
+
+
+def _canon(value) -> float:
+    """Canonicalize a predicted scalar to float32 precision.
+
+    Every evaluation path (point-by-point, reference batched, compiled
+    batched) rounds through float32 before building a
+    :class:`Prediction`, so results compare bit-identical across
+    engines regardless of the accumulation dtype they ran with.
+    """
+    return float(np.float32(value))
 
 
 class Prediction:
-    """One design point's predicted quality."""
+    """One design point's predicted quality.
+
+    ``objectives`` is ``None`` when only the validity classifier ran
+    (the DSE cascade skips regression for predicted-invalid points); in
+    that case :attr:`latency` is ``inf`` and :meth:`fits` is ``False``,
+    consistent with how the search ranks such points.
+    """
 
     __slots__ = ("valid", "valid_prob", "objectives")
 
-    def __init__(self, valid: bool, valid_prob: float, objectives: Dict[str, float]):
+    def __init__(
+        self, valid: bool, valid_prob: float, objectives: Optional[Dict[str, float]]
+    ):
         self.valid = valid
         self.valid_prob = valid_prob
         self.objectives = objectives
 
     @property
     def latency(self) -> float:
+        if self.objectives is None:
+            return float("inf")
         return self.objectives["latency"]
 
     def fits(self, threshold: float = 0.8) -> bool:
+        if self.objectives is None:
+            return False
         return all(
             self.objectives[name] < threshold for name in ("DSP", "BRAM", "LUT", "FF")
         )
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Prediction):
+            return NotImplemented
         return (
-            f"Prediction(valid={self.valid} p={self.valid_prob:.2f} "
-            f"latency={self.objectives.get('latency', float('nan')):.0f})"
+            self.valid == other.valid
+            and self.valid_prob == other.valid_prob
+            and self.objectives == other.objectives
         )
+
+    def __hash__(self) -> int:
+        objectives = (
+            None if self.objectives is None else tuple(sorted(self.objectives.items()))
+        )
+        return hash((self.valid, self.valid_prob, objectives))
+
+    def __repr__(self) -> str:
+        # The printed probability must never contradict the flag: when
+        # rounding to four decimals would carry the probability across
+        # the default threshold (e.g. 0.49996 -> "0.5000" with
+        # valid=False), fall back to the full-precision repr.
+        prob = f"{self.valid_prob:.4f}"
+        if (float(prob) >= DEFAULT_VALID_THRESHOLD) != (
+            self.valid_prob >= DEFAULT_VALID_THRESHOLD
+        ):
+            prob = repr(self.valid_prob)
+        latency = self.latency
+        return f"Prediction(valid={self.valid} p={prob} latency={latency:.0f})"
+
+
+def predictions_from_outputs(
+    logits: np.ndarray,
+    reg: Optional[np.ndarray],
+    bram: Optional[np.ndarray],
+    normalizer: TargetNormalizer,
+    valid_threshold: float = DEFAULT_VALID_THRESHOLD,
+    objectives_mask: Optional[Sequence[bool]] = None,
+) -> List[Prediction]:
+    """Materialize :class:`Prediction` objects from raw model outputs.
+
+    Shared by the reference predictor and the compiled pipeline engine
+    so both paths produce bit-identical results.  ``objectives_mask``
+    marks rows whose regression outputs are present; masked-out rows
+    (or all rows, when ``reg`` is ``None``) get ``objectives=None``.
+    """
+    exp = np.exp(logits - logits.max(axis=1, keepdims=True))
+    probs = exp[:, 1] / exp.sum(axis=1)
+    out: List[Prediction] = []
+    for i in range(logits.shape[0]):
+        have_objectives = reg is not None and (
+            objectives_mask is None or objectives_mask[i]
+        )
+        objectives: Optional[Dict[str, float]] = None
+        if have_objectives:
+            objectives = {
+                name: float(reg[i, j]) for j, name in enumerate(REGRESSION_OBJECTIVES)
+            }
+            objectives["BRAM"] = float(bram[i, 0])
+            objectives = normalizer.inverse(objectives)
+            objectives = {name: _canon(value) for name, value in objectives.items()}
+        out.append(
+            Prediction(
+                valid=bool(probs[i] >= valid_threshold),
+                valid_prob=_canon(probs[i]),
+                objectives=objectives,
+            )
+        )
+    return out
 
 
 class GNNDSEPredictor:
@@ -85,7 +182,10 @@ class GNNDSEPredictor:
     # -- inference ---------------------------------------------------------------
 
     def predict_batch(
-        self, kernel: str, points: Sequence[DesignPoint], valid_threshold: float = 0.5
+        self,
+        kernel: str,
+        points: Sequence[DesignPoint],
+        valid_threshold: float = DEFAULT_VALID_THRESHOLD,
     ) -> List[Prediction]:
         """Predict validity and objectives for many points at once."""
         if not points:
@@ -99,23 +199,9 @@ class GNNDSEPredictor:
             logits = self.classifier(batch).data
             reg = self.regressor(batch).data
             bram = self.bram_regressor(batch).data
-        exp = np.exp(logits - logits.max(axis=1, keepdims=True))
-        probs = exp[:, 1] / exp.sum(axis=1)
-        out: List[Prediction] = []
-        for i in range(len(points)):
-            objectives = {
-                name: float(reg[i, j]) for j, name in enumerate(REGRESSION_OBJECTIVES)
-            }
-            objectives["BRAM"] = float(bram[i, 0])
-            objectives = self.normalizer.inverse(objectives)
-            out.append(
-                Prediction(
-                    valid=bool(probs[i] >= valid_threshold),
-                    valid_prob=float(probs[i]),
-                    objectives=objectives,
-                )
-            )
-        return out
+        return predictions_from_outputs(
+            logits, reg, bram, self.normalizer, valid_threshold
+        )
 
     def predict(self, kernel: str, point: DesignPoint) -> Prediction:
         """Predict one design point (see :meth:`predict_batch`)."""

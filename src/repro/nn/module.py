@@ -101,7 +101,12 @@ class Module:
         if missing:
             raise NNError(f"state dict missing parameters: {sorted(missing)}")
         for name, param in own.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            # Cast to the parameter's own dtype (the engine default the
+            # model was built with): a float32 model must predict the
+            # same values after a save/load round-trip as before it,
+            # and mixed float32/float64 parameters would silently
+            # change every op's accumulation dtype.
+            value = np.asarray(state[name], dtype=param.data.dtype)
             if value.shape != param.data.shape:
                 raise NNError(
                     f"shape mismatch for {name}: {value.shape} vs {param.data.shape}"

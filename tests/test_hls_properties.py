@@ -1,19 +1,24 @@
-"""Property-based tests of the HLS simulator over sampled design points."""
+"""Property-based tests of the HLS simulator over sampled design points,
+and of the graph-encoding cache the evaluation pipeline is built on."""
 
 import random
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.designspace import build_design_space, point_key
 from repro.frontend.pragmas import PipelineOption, PragmaKind
+from repro.graph import encode_kernel
+from repro.graph.encoding import PRAGMA_FEATURE_SLICE
 from repro.hls import MerlinHLSTool
 from repro.kernels import get_kernel
 
 _TOOL = MerlinHLSTool()
 _SPEC = get_kernel("gemm-ncubed")
 _SPACE = build_design_space(_SPEC)
+_ENC = encode_kernel(_SPEC)
 
 
 def sampled_points():
@@ -95,3 +100,62 @@ class TestSimulatorProperties:
             return _TOOL.synthesize(_SPEC, point).latency
 
         assert lat(factor) <= lat(1)
+
+
+class TestEncodingCacheProperties:
+    """The pipeline patches pragma cells into one shared encoding; the
+    result must be indistinguishable from building the graph fresh."""
+
+    @given(sampled_points())
+    @settings(max_examples=40, deadline=None)
+    def test_patched_equals_freshly_built(self, point):
+        fresh = encode_kernel(_SPEC)
+        assert fresh.num_nodes == _ENC.num_nodes
+        assert np.array_equal(fresh.edge_index, _ENC.edge_index)
+        assert np.array_equal(fresh.edge_attr, _ENC.edge_attr)
+        assert np.array_equal(_ENC.fill(point), fresh.fill(point))
+
+    @given(sampled_points())
+    @settings(max_examples=40, deadline=None)
+    def test_patch_touches_only_pragma_cells(self, point):
+        filled = _ENC.fill(point)
+        rows, values = _ENC.pragma_patch(point)
+        mask = np.ones(_ENC.num_nodes, dtype=bool)
+        mask[rows] = False
+        # Non-pragma rows are untouched ...
+        assert np.array_equal(filled[mask], _ENC.x_base[mask])
+        # ... and pragma rows change only inside the pragma feature block.
+        non_pragma = np.ones(filled.shape[1], dtype=bool)
+        non_pragma[PRAGMA_FEATURE_SLICE] = False
+        assert np.array_equal(filled[:, non_pragma], _ENC.x_base[:, non_pragma])
+        assert np.array_equal(filled[rows][:, PRAGMA_FEATURE_SLICE], values)
+
+    @given(sampled_points())
+    @settings(max_examples=25, deadline=None)
+    def test_template_slot_equals_fresh_graph(self, point):
+        """A batch-template slot written via ``set_point`` holds exactly
+        the node features a freshly built per-point graph would."""
+        from repro.dse.pipeline import _BatchTemplate
+
+        template = _BatchTemplate(_ENC, capacity=3, dtype=np.float64)
+        slot = 1
+        template.set_point(slot, point)
+        n = _ENC.num_nodes
+        got = template.x[slot * n : (slot + 1) * n]
+        assert np.array_equal(got, _ENC.fill(point).astype(np.float64))
+
+    @given(sampled_points(), sampled_points())
+    @settings(max_examples=25, deadline=None)
+    def test_slot_rewrites_are_independent(self, first, second):
+        """Rewriting a slot leaves other slots' features intact, and a
+        slot overwritten with a new point forgets the previous one."""
+        from repro.dse.pipeline import _BatchTemplate
+
+        template = _BatchTemplate(_ENC, capacity=2, dtype=np.float64)
+        template.set_point(0, first)
+        template.set_point(1, second)
+        template.set_point(1, first)
+        n = _ENC.num_nodes
+        expected = _ENC.fill(first).astype(np.float64)
+        assert np.array_equal(template.x[:n], expected)
+        assert np.array_equal(template.x[n:], expected)
