@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-fast bench bench-fast bench-smoke examples clean
+.PHONY: install test test-fast bench bench-fast bench-smoke serve-smoke examples clean
 
 install:
 	$(PY) setup.py develop
@@ -21,6 +21,11 @@ bench:
 # seconds, no database or training required.
 bench-smoke:
 	$(PY) benchmarks/bench_pipeline.py --smoke
+
+# Boot the HTTP model server on an ephemeral port and round-trip
+# predict + dse + metrics through it; exits non-zero on any mismatch.
+serve-smoke:
+	$(PY) benchmarks/serve_smoke.py
 
 # Smoke-scale benchmark run (~minutes): tiny database + training budgets.
 bench-fast:

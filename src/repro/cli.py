@@ -7,7 +7,10 @@ Commands mirror the three operating modes of Fig. 1(a) plus utilities:
 - ``database``    — generate a training database with the explorers;
 - ``train``       — train a predictor stack on a database;
 - ``dse``         — model-driven DSE on a kernel (requires a trained
-  predictor cached by ``train``);
+  predictor cached by ``train`` or a saved artifact);
+- ``save-model``  — package trained weights as a versioned artifact;
+- ``load-model``  — inspect/verify a saved artifact;
+- ``serve``       — serve predictions from an artifact over HTTP;
 - ``autodse``     — run the HLS-in-the-loop bottleneck explorer;
 - ``experiment``  — regenerate one paper table/figure.
 
@@ -18,6 +21,9 @@ Examples::
     python -m repro database -o db.json --scale 0.2
     python -m repro train -d db.json -o predictor.npz --epochs 12
     python -m repro dse -k gesummv -d db.json -p predictor.npz
+    python -m repro save-model -d db.json -p predictor.npz -o artifact/
+    python -m repro dse -k gesummv --model artifact/ --output top.json
+    python -m repro serve --model artifact/ --port 8080
     python -m repro experiment table1
 """
 
@@ -83,9 +89,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("dse", help="model-driven DSE on one kernel")
     p.add_argument("-k", "--kernel", required=True)
-    p.add_argument("-d", "--database", required=True, help="database the predictor was trained on")
-    p.add_argument("-p", "--predictor", required=True, help="weights saved by `train`")
-    p.add_argument("--model", default="M7")
+    p.add_argument("-d", "--database", default=None,
+                   help="database the predictor was trained on (with -p)")
+    p.add_argument("-p", "--predictor", default=None, help="weights saved by `train`")
+    p.add_argument(
+        "--model", default="M7",
+        help="model config (M1-M7) with -d/-p, or the path to a saved "
+             "artifact directory (see `repro save-model`)",
+    )
     p.add_argument("--top", type=int, default=10)
     p.add_argument("--time-limit", type=float, default=300.0)
     p.add_argument("--batch-size", type=int, default=24,
@@ -96,9 +107,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the pipeline's per-point prediction cache")
     p.add_argument("--evaluate", action="store_true", help="synthesize the top designs")
     p.add_argument(
+        "--output", metavar="FILE",
+        help="dump the top-k points, predictions, and pipeline stats as "
+             "JSON (same schema as the server's /v1/dse/top endpoint)",
+    )
+    p.add_argument(
         "--emit-source", metavar="FILE",
         help="write the best design as concrete pragma-annotated C",
     )
+
+    p = sub.add_parser(
+        "save-model",
+        help="convert trained weights (+ their database) into a versioned artifact",
+    )
+    p.add_argument("-d", "--database", required=True)
+    p.add_argument("-p", "--predictor", required=True, help="weights saved by `train`")
+    p.add_argument("--model", default="M7", help="model config (M1-M7)")
+    p.add_argument("-o", "--output", required=True, help="artifact directory to write")
+
+    p = sub.add_parser("load-model", help="inspect and verify a saved artifact")
+    p.add_argument("artifact", help="artifact directory written by `save-model`")
+
+    p = sub.add_parser("serve", help="serve predictions over HTTP from an artifact")
+    p.add_argument("--model", required=True, help="artifact directory to serve")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080)
+    p.add_argument("--batch-size", type=int, default=16,
+                   help="micro-batch capacity per forward pass")
+    p.add_argument("--max-delay-ms", type=float, default=5.0,
+                   help="partial-batch flush deadline")
+    p.add_argument("--max-queue", type=int, default=1024,
+                   help="pending-request bound before 503 load shedding")
+    p.add_argument("--engine", choices=["auto", "compiled", "reference"],
+                   default="auto")
 
     p = sub.add_parser("coverage", help="database coverage report for one kernel")
     p.add_argument("-k", "--kernel", required=True)
@@ -201,11 +242,23 @@ def _load_predictor(database_path: str, predictor_path: str, model: str):
 
 
 def _cmd_dse(args) -> int:
+    import os
+
     from .dse import EvaluationPipeline, ModelDSE
 
     spec = get_kernel(args.kernel)
     space = build_design_space(spec)
-    predictor = _load_predictor(args.database, args.predictor, args.model)
+    if os.path.isdir(args.model):
+        from .model.predictor import GNNDSEPredictor
+
+        predictor = GNNDSEPredictor.load(args.model)
+    elif args.database is None or args.predictor is None:
+        raise ReproError(
+            "dse needs either --model <artifact-dir> or both -d/--database "
+            "and -p/--predictor"
+        )
+    else:
+        predictor = _load_predictor(args.database, args.predictor, args.model)
     pipeline = EvaluationPipeline(
         predictor,
         batch_size=args.batch_size,
@@ -228,12 +281,70 @@ def _cmd_dse(args) -> int:
             truth = tool.synthesize(spec, candidate.point)
             line += f"  true {truth.latency:>10,} ({'valid' if truth.valid else 'invalid'})"
         print(line)
+    if args.output:
+        from .serve.schemas import dse_result_payload
+
+        with open(args.output, "w") as handle:
+            json.dump(dse_result_payload(result), handle, indent=1)
+            handle.write("\n")
+        print(f"wrote {args.output}")
     if args.emit_source and result.top:
         from .designspace import render_source
 
         with open(args.emit_source, "w") as handle:
             handle.write(render_source(spec, result.top[0].point))
         print(f"wrote {args.emit_source}")
+    return 0
+
+
+def _cmd_save_model(args) -> int:
+    predictor = _load_predictor(args.database, args.predictor, args.model)
+    manifest = predictor.save(args.output)
+    total = sum(m["parameters"] for m in manifest["models"].values())
+    print(f"wrote artifact {args.output} ({total:,} parameters)")
+    for role, entry in manifest["models"].items():
+        print(f"  {role:15s} {entry['dtype']:8s} sha256:{entry['sha256'][:12]}…")
+    return 0
+
+
+def _cmd_load_model(args) -> int:
+    from .serve.registry import verify_artifact
+
+    manifest = verify_artifact(args.artifact)
+    print(f"{args.artifact}: schema v{manifest['schema_version']}, blobs verified")
+    print(f"  normalization_factor {manifest['normalization_factor']:g}")
+    for role, entry in manifest["models"].items():
+        config = entry["config"]
+        print(
+            f"  {role:15s} {config['name']}/{config['task']:14s} "
+            f"{entry['dtype']:8s} {entry['parameters']:,} params"
+        )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .model.predictor import GNNDSEPredictor
+    from .serve import PredictorService, ServeHTTPServer
+
+    predictor = GNNDSEPredictor.load(args.model)
+    service = PredictorService(
+        predictor,
+        batch_size=args.batch_size,
+        max_delay_seconds=args.max_delay_ms / 1000.0,
+        max_pending=args.max_queue,
+        engine=args.engine,
+    )
+    server = ServeHTTPServer((args.host, args.port), service)
+    host, port = server.server_address[:2]
+    print(f"serving {args.model} on http://{host}:{port} "
+          f"(batch={args.batch_size}, flush={args.max_delay_ms:g}ms) — Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("draining…")
+    finally:
+        server.server_close()
+        service.close(drain=True)
     return 0
 
 
@@ -294,6 +405,9 @@ _COMMANDS = {
     "database": _cmd_database,
     "train": _cmd_train,
     "dse": _cmd_dse,
+    "save-model": _cmd_save_model,
+    "load-model": _cmd_load_model,
+    "serve": _cmd_serve,
     "autodse": _cmd_autodse,
     "coverage": _cmd_coverage,
     "experiment": _cmd_experiment,

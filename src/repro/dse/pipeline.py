@@ -36,6 +36,7 @@ back to their own ``predict_batch``.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field, fields
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -112,7 +113,7 @@ class PipelineStats:
     cache_hits: int = 0
     cache_misses: int = 0
     cascade_skipped: int = 0  #: points whose regression forwards were skipped
-    padded_slots: int = 0  #: wasted template slots in partial batches
+    padded_slots: int = 0  #: always 0 since right-sized chunk templates; kept for schema stability
     encode_seconds: float = 0.0  #: template fill + pragma patching
     inference_seconds: float = 0.0  #: model forward passes
     materialize_seconds: float = 0.0  #: Prediction construction
@@ -136,6 +137,13 @@ class PipelineStats:
 
     def copy(self) -> "PipelineStats":
         return PipelineStats(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form, plus the derived rates (``/metrics``, ``dse --output``)."""
+        out: Dict[str, object] = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["points_per_second"] = self.points_per_second()
+        out["cache_hit_rate"] = self.cache_hit_rate()
+        return out
 
     def summary(self) -> str:
         return (
@@ -515,19 +523,24 @@ class EncodingCache:
     def __init__(self, builder=None):
         self._builder = builder
         self._encoded: Dict[str, EncodedGraph] = {}
+        # Serving hits this cache from many request threads at once; the
+        # lock makes the encode-once guarantee hold under concurrency.
+        self._lock = threading.Lock()
 
     def get(self, kernel: str) -> EncodedGraph:
-        enc = self._encoded.get(kernel)
-        if enc is None:
-            if self._builder is not None:
-                enc = self._builder.encoded_graph(kernel)
-            else:
-                enc = encode_kernel(get_kernel(kernel))
-            self._encoded[kernel] = enc
-        return enc
+        with self._lock:
+            enc = self._encoded.get(kernel)
+            if enc is None:
+                if self._builder is not None:
+                    enc = self._builder.encoded_graph(kernel)
+                else:
+                    enc = encode_kernel(get_kernel(kernel))
+                self._encoded[kernel] = enc
+            return enc
 
     def __contains__(self, kernel: str) -> bool:
-        return kernel in self._encoded
+        with self._lock:
+            return kernel in self._encoded
 
 
 # ---------------------------------------------------------------------------
@@ -575,6 +588,13 @@ class EvaluationPipeline:
         self._point_cache: Dict[str, Dict] = {}
         self._compiled: Dict[tuple, Dict[str, object]] = {}
         self._compile_failed = False
+        # One evaluation at a time: the compiled engines share workspace
+        # buffers and batch templates, the point caches are plain dicts,
+        # and ``no_grad`` toggles a process-global flag — none of which
+        # survive concurrent mutation.  The serving layer gets its
+        # concurrency from micro-batching, not parallel forwards, so a
+        # coarse reentrant lock keeps multi-threaded callers bit-exact.
+        self._lock = threading.RLock()
 
     # -- engine management ------------------------------------------------------
 
@@ -589,10 +609,10 @@ class EvaluationPipeline:
             "bram_regressor": p.bram_regressor,
         }
 
-    def _engines(self, kernel: str) -> Optional[Dict[str, object]]:
-        """Compiled engines + template for this kernel, or ``None``."""
+    def _supports_compiled(self) -> bool:
+        """Can (and may) this predictor run on the compiled engine?"""
         if self.engine_mode == "reference" or self._compile_failed:
-            return None
+            return False
         models = self._predictor_models()
         if models is None or not all(
             CompiledGNNEngine.supports(m) for m in models.values()
@@ -602,7 +622,20 @@ class EvaluationPipeline:
                     "engine='compiled' but the predictor's models cannot be lowered"
                 )
             self._compile_failed = True
-            return None
+            return False
+        return True
+
+    def _engines(self, kernel: str, capacity: int) -> Dict[str, object]:
+        """Compiled engines + template for one kernel at one capacity.
+
+        Templates are compiled per exact capacity (memoised), so partial
+        batches — the final chunk of a sweep, or a micro-batcher flush
+        under light load — run a right-sized forward instead of padding
+        up to ``batch_size`` and paying for dead slots.  The engine is
+        bit-identical at every capacity (per-copy gemms keep per-point
+        shapes), so chunk sizing never changes results.
+        """
+        models = self._predictor_models()
         # Compile at the dtype the reference forward actually computes
         # in: float32 graph features promoted by the parameter dtype
         # (``load_state_dict`` upcasts weights to float64, so loaded
@@ -613,13 +646,13 @@ class EvaluationPipeline:
         for model in models.values():
             for param in model.parameters():
                 dtype = np.promote_types(dtype, param.data.dtype)
-        key = (kernel, dtype.str, self.batch_size)
+        key = (kernel, dtype.str, capacity)
         entry = self._compiled.get(key)
         if entry is not None:
             return entry
         for model in models.values():
             model.eval()
-        template = _BatchTemplate(self.encodings.get(kernel), self.batch_size, dtype)
+        template = _BatchTemplate(self.encodings.get(kernel), capacity, dtype)
         entry = {
             "template": template,
             "engines": {
@@ -639,12 +672,19 @@ class EvaluationPipeline:
         return cache
 
     def clear_cache(self) -> None:
-        self._point_cache.clear()
+        with self._lock:
+            self._point_cache.clear()
 
     def reset_stats(self) -> PipelineStats:
         """Return the cumulative stats and start a fresh window."""
-        stats, self.stats = self.stats, PipelineStats(engine=self.stats.engine)
-        return stats
+        with self._lock:
+            stats, self.stats = self.stats, PipelineStats(engine=self.stats.engine)
+            return stats
+
+    def stats_snapshot(self) -> PipelineStats:
+        """Point-in-time copy of the cumulative stats (thread-safe)."""
+        with self._lock:
+            return self.stats.copy()
 
     # -- evaluation -------------------------------------------------------------
 
@@ -673,17 +713,17 @@ class EvaluationPipeline:
             raise ValueError(f"unknown objectives_for {objectives_for!r}")
         if not points:
             return []
-        t_wall = time.perf_counter()
-        entry = self._engines(kernel)
-        if entry is None:
-            out = self._reference_batch(kernel, points, valid_threshold)
-        else:
-            out = self._compiled_batch(
-                entry, kernel, points, valid_threshold, objectives_for
-            )
-        self.stats.points += len(points)
-        self.stats.wall_seconds += time.perf_counter() - t_wall
-        return out
+        with self._lock:
+            t_wall = time.perf_counter()
+            if self._supports_compiled():
+                out = self._compiled_batch(
+                    kernel, points, valid_threshold, objectives_for
+                )
+            else:
+                out = self._reference_batch(kernel, points, valid_threshold)
+            self.stats.points += len(points)
+            self.stats.wall_seconds += time.perf_counter() - t_wall
+            return out
 
     # -- reference path ---------------------------------------------------------
 
@@ -724,16 +764,22 @@ class EvaluationPipeline:
     # -- compiled path ----------------------------------------------------------
 
     def _forward_chunks(
-        self, entry, points: Sequence[DesignPoint], engine_names: Sequence[str]
+        self, kernel: str, points: Sequence[DesignPoint], engine_names: Sequence[str]
     ) -> Dict[str, np.ndarray]:
-        """Run selected engines over ``points`` in template-sized chunks."""
-        template: _BatchTemplate = entry["template"]
-        engines = entry["engines"]
-        capacity = template.capacity
+        """Run selected engines over ``points`` in right-sized chunks.
+
+        Chunks are at most ``batch_size`` points; a partial chunk (the
+        tail of a sweep, or a lightly-filled micro-batch from the
+        server) gets a template compiled at its exact size, so no
+        forward pays for padded slots.
+        """
         outputs: Dict[str, List[np.ndarray]] = {name: [] for name in engine_names}
         with no_grad():
-            for start in range(0, len(points), capacity):
-                chunk = points[start:start + capacity]
+            for start in range(0, len(points), self.batch_size):
+                chunk = points[start:start + self.batch_size]
+                entry = self._engines(kernel, len(chunk))
+                template: _BatchTemplate = entry["template"]
+                engines = entry["engines"]
                 t0 = time.perf_counter()
                 for slot, point in enumerate(chunk):
                     template.set_point(slot, point)
@@ -745,11 +791,10 @@ class EvaluationPipeline:
                 self.stats.inference_seconds += time.perf_counter() - t0
                 self.stats.batches += 1
                 self.stats.model_points += len(chunk)
-                self.stats.padded_slots += capacity - len(chunk)
         return {name: np.concatenate(chunks, axis=0) for name, chunks in outputs.items()}
 
     def _compiled_batch(
-        self, entry, kernel, points, valid_threshold, objectives_for
+        self, kernel, points, valid_threshold, objectives_for
     ) -> List[Prediction]:
         self.stats.engine = "compiled"
         cache = self._kernel_cache(kernel) if self.cache_enabled else {}
@@ -782,7 +827,7 @@ class EvaluationPipeline:
                 self.stats.cache_misses += 1
         if need_cls:
             cls_out = self._forward_chunks(
-                entry, [points[i] for i in need_cls], ["classifier"]
+                kernel, [points[i] for i in need_cls], ["classifier"]
             )["classifier"]
             for row, i in enumerate(need_cls):
                 records[i]["logits"] = cls_out[row]
@@ -805,7 +850,7 @@ class EvaluationPipeline:
                 fresh_reg.add(id(record))
         if need_reg:
             reg_out = self._forward_chunks(
-                entry, [points[i] for i in need_reg], ["regressor", "bram_regressor"]
+                kernel, [points[i] for i in need_reg], ["regressor", "bram_regressor"]
             )
             for row, i in enumerate(need_reg):
                 records[i]["reg"] = reg_out["regressor"][row]

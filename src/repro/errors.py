@@ -84,3 +84,15 @@ class DatabaseError(ReproError):
 
 class DSEError(ReproError):
     """Raised by the design-space-exploration driver."""
+
+
+class ServeError(ReproError):
+    """Base class for model-serving errors (``repro.serve``)."""
+
+
+class ArtifactError(ServeError):
+    """Raised for missing, corrupt, or incompatible model artifacts."""
+
+
+class BacklogFullError(ServeError):
+    """Raised when the serving queue is full (shed load, HTTP 503)."""

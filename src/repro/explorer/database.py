@@ -9,6 +9,7 @@ JSON-serialisable for persistence.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -149,8 +150,24 @@ class Database:
     # -- persistence ---------------------------------------------------------
 
     def save(self, path) -> None:
-        payload = [asdict(r) for r in self._records.values()]
-        Path(path).write_text(json.dumps(payload, indent=1))
+        """Atomically write the database as JSON.
+
+        The payload goes to a sibling temp file first and is moved over
+        ``path`` with ``os.replace``, so a crash mid-write (out of disk,
+        SIGKILL, power loss) can never leave a truncated database — the
+        previous file survives intact until the rename commits.
+        """
+        path = Path(path)
+        payload = json.dumps([asdict(r) for r in self._records.values()], indent=1)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        try:
+            with open(tmp, "w") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
 
     @staticmethod
     def load(path) -> "Database":

@@ -207,6 +207,25 @@ class GNNDSEPredictor:
         """Predict one design point (see :meth:`predict_batch`)."""
         return self.predict_batch(kernel, [point])[0]
 
+    # -- persistence -------------------------------------------------------------
+
+    def save(self, path) -> Dict[str, object]:
+        """Write this stack as a versioned artifact directory (see
+        :mod:`repro.serve.registry`); returns the manifest."""
+        from ..serve.registry import save_artifact
+
+        return save_artifact(self, path)
+
+    @staticmethod
+    def load(path, database: Optional[Database] = None) -> "GNNDSEPredictor":
+        """Load a stack saved by :meth:`save`.  Loaded predictors are
+        bit-identical to the saved ones (weights keep their saved dtype);
+        manifest schema/vocabulary mismatches raise
+        :class:`~repro.errors.ArtifactError`."""
+        from ..serve.registry import load_artifact
+
+        return load_artifact(path, database=database)
+
 
 def train_predictor(
     database: Database,

@@ -100,6 +100,11 @@ class Module:
         missing = set(own) - set(state)
         if missing:
             raise NNError(f"state dict missing parameters: {sorted(missing)}")
+        unexpected = set(state) - set(own)
+        if unexpected:
+            raise NNError(
+                f"state dict has unexpected parameters: {sorted(unexpected)[:8]}"
+            )
         for name, param in own.items():
             # Cast to the parameter's own dtype (the engine default the
             # model was built with): a float32 model must predict the

@@ -1,0 +1,53 @@
+"""Model serving: versioned artifacts, micro-batching, HTTP inference.
+
+The paper's pitch is that the trained GNN surrogate answers "is this
+pragma configuration valid, and how fast is it" in milliseconds instead
+of HLS-hours — i.e. it is an *inference service* for DSE clients.  This
+package turns the batched evaluation pipeline into exactly that:
+
+- :mod:`repro.serve.registry` — versioned, content-addressed save/load
+  of a complete trained predictor stack (weights, normalizer, configs,
+  vocabulary fingerprint) with manifest/schema checks;
+- :mod:`repro.serve.batcher` — a thread-safe micro-batching scheduler
+  that coalesces concurrent predict requests into engine-sized batches
+  (flush on batch-size or deadline) behind a bounded queue;
+- :mod:`repro.serve.service` — the request-level façade: validation,
+  batching, server-side DSE, metrics;
+- :mod:`repro.serve.http` — a stdlib-only ``ThreadingHTTPServer`` JSON
+  API (``/v1/predict``, ``/v1/dse/top``, ``/healthz``, ``/metrics``);
+- :mod:`repro.serve.client` — the matching Python client.
+
+Server predictions are bit-identical to in-process
+:class:`~repro.dse.pipeline.EvaluationPipeline` predictions for the
+same artifact (see ``tests/test_serve.py``).
+"""
+
+from .batcher import MicroBatcher
+from .client import ServeClient, ServeClientError
+from .http import ServeHTTPServer, start_server
+from .metrics import ServeMetrics
+from .registry import (
+    ARTIFACT_SCHEMA_VERSION,
+    load_artifact,
+    read_manifest,
+    save_artifact,
+    verify_artifact,
+    vocab_fingerprint,
+)
+from .service import PredictorService
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "MicroBatcher",
+    "PredictorService",
+    "ServeClient",
+    "ServeClientError",
+    "ServeHTTPServer",
+    "ServeMetrics",
+    "load_artifact",
+    "read_manifest",
+    "save_artifact",
+    "start_server",
+    "verify_artifact",
+    "vocab_fingerprint",
+]

@@ -1,0 +1,202 @@
+"""Micro-batching scheduler: coalesce concurrent predicts into batches.
+
+Concurrent clients each ask for one prediction at a time, but the
+compiled engine's throughput comes from batch-sized forwards.  The
+:class:`MicroBatcher` sits between them: requests enter a bounded
+queue; a single worker thread groups requests that can share a forward
+pass (same kernel, threshold, and cascade mode) and flushes a group
+when it reaches ``batch_size`` **or** its oldest request has waited
+``max_delay_seconds`` — whichever comes first.  Excess load is rejected
+up front with :class:`~repro.errors.BacklogFullError` instead of
+letting the queue (and every client's latency) grow without bound.
+
+Results are delivered through :class:`concurrent.futures.Future`, so
+callers block only for their own request.  Because the evaluation
+pipeline itself is bit-exact for any batch composition, coalescing
+changes throughput but never values.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..designspace.space import DesignPoint
+from ..errors import BacklogFullError, ServeError
+from ..model.predictor import DEFAULT_VALID_THRESHOLD, Prediction
+
+__all__ = ["MicroBatcher"]
+
+#: (kernel, valid_threshold, objectives_for) — requests sharing this can
+#: ride in one ``predict_batch`` call.
+_GroupKey = Tuple[str, float, str]
+
+
+class _Request:
+    __slots__ = ("key", "point", "future", "enqueued")
+
+    def __init__(self, key: _GroupKey, point: DesignPoint):
+        self.key = key
+        self.point = point
+        self.future: Future = Future()
+        self.enqueued = time.monotonic()
+
+
+class MicroBatcher:
+    """Bounded request queue + one flushing worker thread.
+
+    Parameters
+    ----------
+    predict_fn:
+        ``predict_fn(kernel, points, valid_threshold, objectives_for)``
+        returning one :class:`Prediction` per point; called from the
+        worker thread only.
+    batch_size:
+        Flush a group as soon as it has this many requests.
+    max_delay_seconds:
+        Flush a group when its oldest request has waited this long,
+        even if the batch is not full (bounds added latency under light
+        load).
+    max_pending:
+        Queue bound; :meth:`submit` raises
+        :class:`~repro.errors.BacklogFullError` beyond it.
+    metrics:
+        Optional :class:`~repro.serve.metrics.ServeMetrics` that
+        receives batch-fill and rejection counts.
+    """
+
+    def __init__(
+        self,
+        predict_fn: Callable[..., List[Prediction]],
+        batch_size: int = 16,
+        max_delay_seconds: float = 0.005,
+        max_pending: int = 1024,
+        metrics=None,
+    ):
+        if batch_size < 1:
+            raise ServeError(f"batch_size must be >= 1, got {batch_size}")
+        if max_pending < batch_size:
+            raise ServeError("max_pending must be at least batch_size")
+        self._predict_fn = predict_fn
+        self.batch_size = int(batch_size)
+        self.max_delay_seconds = float(max_delay_seconds)
+        self.max_pending = int(max_pending)
+        self.metrics = metrics
+        self._queue: deque = deque()
+        self._cond = threading.Condition()
+        self._closing = False
+        self._drain_on_close = True
+        self._worker = threading.Thread(
+            target=self._run, name="repro-serve-batcher", daemon=True
+        )
+        self._worker.start()
+
+    # -- client side ---------------------------------------------------------
+
+    def submit(
+        self,
+        kernel: str,
+        point: DesignPoint,
+        valid_threshold: float = DEFAULT_VALID_THRESHOLD,
+        objectives_for: str = "all",
+    ) -> Future:
+        """Enqueue one prediction request; returns its future."""
+        request = _Request((kernel, float(valid_threshold), objectives_for), point)
+        with self._cond:
+            if self._closing:
+                raise ServeError("batcher is shut down")
+            if len(self._queue) >= self.max_pending:
+                if self.metrics is not None:
+                    self.metrics.record_rejection()
+                raise BacklogFullError(
+                    f"serving queue full ({self.max_pending} pending requests)"
+                )
+            self._queue.append(request)
+            self._cond.notify()
+        return request.future
+
+    def pending(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the worker; with ``drain`` (default) finish queued work
+        first, otherwise fail queued requests with :class:`ServeError`."""
+        with self._cond:
+            if self._closing:
+                return
+            self._closing = True
+            self._drain_on_close = drain
+            self._cond.notify_all()
+        self._worker.join()
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- worker side ---------------------------------------------------------
+
+    def _take_group(self) -> Optional[List[_Request]]:
+        """Block until a group is ready to flush; None when shut down.
+
+        The head request's group key decides the batch: groups flush in
+        arrival order, so one kernel's traffic cannot starve another's.
+        """
+        with self._cond:
+            while True:
+                if not self._queue:
+                    if self._closing:
+                        return None
+                    self._cond.wait()
+                    continue
+                if self._closing and not self._drain_on_close:
+                    failed = list(self._queue)
+                    self._queue.clear()
+                    for request in failed:
+                        request.future.set_exception(
+                            ServeError("batcher shut down before request ran")
+                        )
+                    return None
+                head = self._queue[0]
+                matching = [r for r in self._queue if r.key == head.key]
+                deadline = head.enqueued + self.max_delay_seconds
+                timeout = deadline - time.monotonic()
+                if (
+                    len(matching) >= self.batch_size
+                    or timeout <= 0
+                    or self._closing
+                ):
+                    group = matching[: self.batch_size]
+                    taken = set(map(id, group))
+                    remaining = [r for r in self._queue if id(r) not in taken]
+                    self._queue.clear()
+                    self._queue.extend(remaining)
+                    return group
+                self._cond.wait(timeout=timeout)
+
+    def _run(self) -> None:
+        while True:
+            group = self._take_group()
+            if group is None:
+                return
+            kernel, threshold, objectives_for = group[0].key
+            try:
+                predictions = self._predict_fn(
+                    kernel,
+                    [r.point for r in group],
+                    valid_threshold=threshold,
+                    objectives_for=objectives_for,
+                )
+            except BaseException as exc:  # deliver, don't kill the worker
+                for request in group:
+                    request.future.set_exception(exc)
+                continue
+            if self.metrics is not None:
+                self.metrics.record_batch(len(group))
+            for request, prediction in zip(group, predictions):
+                request.future.set_result(prediction)

@@ -1,0 +1,120 @@
+"""Python client for the ``repro serve`` HTTP API (stdlib only).
+
+Rebuilds :class:`~repro.model.predictor.Prediction` objects from the
+server's JSON, so a client-side prediction compares ``==`` (bit-
+identical floats) with the in-process pipeline's output for the same
+artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..designspace.space import DesignPoint
+from ..errors import ServeError
+from ..model.predictor import Prediction
+from .schemas import point_payload, prediction_from_payload
+
+__all__ = ["ServeClient", "ServeClientError"]
+
+
+class ServeClientError(ServeError):
+    """An HTTP error response, carrying the server's structured payload."""
+
+    def __init__(self, status: int, payload: Dict[str, object]):
+        error = payload.get("error", {}) if isinstance(payload, dict) else {}
+        message = error.get("message") or f"HTTP {status}"
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+        self.error_type = error.get("type", "unknown")
+
+
+class ServeClient:
+    """Talk to one ``repro serve`` endpoint.
+
+    Parameters
+    ----------
+    base_url:
+        e.g. ``http://127.0.0.1:8080`` (trailing slash optional).
+    timeout:
+        Socket timeout per request, in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        body = None if payload is None else json.dumps(payload).encode()
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                error_payload = json.loads(exc.read())
+            except (ValueError, OSError):
+                error_payload = {"error": {"type": "http", "message": str(exc)}}
+            raise ServeClientError(exc.code, error_payload) from None
+        except urllib.error.URLError as exc:
+            raise ServeError(f"cannot reach {self.base_url}: {exc.reason}") from None
+
+    # -- API ---------------------------------------------------------------------
+
+    def healthz(self) -> Dict[str, object]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, object]:
+        return self._request("GET", "/metrics")
+
+    def predict(
+        self,
+        kernel: str,
+        points: Sequence[DesignPoint],
+        valid_threshold: Optional[float] = None,
+        objectives_for: Optional[str] = None,
+    ) -> List[Prediction]:
+        """Predict a batch of design points."""
+        payload: Dict[str, object] = {
+            "kernel": kernel,
+            "points": [point_payload(p) for p in points],
+        }
+        if valid_threshold is not None:
+            payload["valid_threshold"] = valid_threshold
+        if objectives_for is not None:
+            payload["objectives_for"] = objectives_for
+        response = self._request("POST", "/v1/predict", payload)
+        return [prediction_from_payload(p) for p in response["predictions"]]
+
+    def predict_one(
+        self,
+        kernel: str,
+        point: DesignPoint,
+        valid_threshold: Optional[float] = None,
+        objectives_for: Optional[str] = None,
+    ) -> Prediction:
+        return self.predict(kernel, [point], valid_threshold, objectives_for)[0]
+
+    def dse_top(
+        self, kernel: str, top: int = 10, time_limit: float = 10.0
+    ) -> Dict[str, object]:
+        """Run the model-driven search server-side; returns the JSON payload
+        (same schema as ``repro dse --output``)."""
+        return self._request(
+            "POST",
+            "/v1/dse/top",
+            {"kernel": kernel, "top": top, "time_limit": time_limit},
+        )

@@ -1,0 +1,218 @@
+"""Stdlib-only HTTP JSON API over a :class:`PredictorService`.
+
+Endpoints::
+
+    POST /v1/predict    {"kernel": ..., "point": {...}}            one point
+                        {"kernel": ..., "points": [{...}, ...]}    batch
+                        optional: "valid_threshold", "objectives_for"
+    POST /v1/dse/top    {"kernel": ..., "top": 10, "time_limit": 10}
+    GET  /healthz
+    GET  /metrics
+
+Errors come back as structured JSON ``{"error": {"type", "message"}}``:
+400 for malformed requests and invalid design points, 404 for unknown
+kernels and paths, 413 for oversized bodies, 503 when the serving
+queue sheds load, 500 for everything unexpected.  Shutdown is graceful:
+:meth:`ServeHTTPServer.stop` stops accepting connections, then drains
+the in-flight micro-batches before returning.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from ..errors import BacklogFullError, DesignSpaceError, ReproError, ServeError
+from ..model.predictor import DEFAULT_VALID_THRESHOLD
+from .schemas import point_from_payload, prediction_payload
+from .service import PredictorService
+
+__all__ = ["ServeHTTPServer", "start_server"]
+
+#: Reject request bodies beyond this many bytes (413).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class _RequestError(Exception):
+    """Internal: carries an HTTP status + structured error payload."""
+
+    def __init__(self, status: int, kind: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.payload = {"error": {"type": kind, "message": message}}
+
+
+def _error_for(exc: Exception) -> _RequestError:
+    if isinstance(exc, _RequestError):
+        return exc
+    if isinstance(exc, BacklogFullError):
+        return _RequestError(503, "backlog_full", str(exc))
+    if isinstance(exc, DesignSpaceError):
+        return _RequestError(400, "invalid_design_point", str(exc))
+    if isinstance(exc, ServeError):
+        message = str(exc)
+        if message.startswith("unknown kernel"):
+            return _RequestError(404, "unknown_kernel", message)
+        if "timed out" in message:
+            return _RequestError(504, "timeout", message)
+        return _RequestError(400, "bad_request", message)
+    if isinstance(exc, ReproError):
+        return _RequestError(400, "bad_request", str(exc))
+    return _RequestError(500, "internal_error", f"{type(exc).__name__}: {exc}")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+    #: Socket-level read timeout per request (slowloris guard).
+    timeout = 30.0
+
+    # Quiet by default; the server object can collect access lines.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.access_log is not None:
+            self.server.access_log.append(format % args)
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict[str, object]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise _RequestError(400, "bad_request", "bad Content-Length") from None
+        if length > MAX_BODY_BYTES:
+            raise _RequestError(
+                413, "payload_too_large", f"body exceeds {MAX_BODY_BYTES} bytes"
+            )
+        raw = self.rfile.read(length) if length else b""
+        try:
+            payload = json.loads(raw or b"{}")
+        except json.JSONDecodeError as exc:
+            raise _RequestError(400, "bad_json", f"invalid JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _RequestError(400, "bad_json", "request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, endpoint: str, handler) -> None:
+        service: PredictorService = self.server.service
+        start = time.perf_counter()
+        try:
+            status, payload = handler(service)
+        except Exception as exc:  # all failures become structured JSON
+            error = _error_for(exc)
+            status, payload = error.status, error.payload
+        service.metrics.record_request(endpoint, time.perf_counter() - start, status)
+        self._send_json(status, payload)
+
+    # -- endpoints -------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        if self.path == "/healthz":
+            self._dispatch("/healthz", lambda s: (200, s.health()))
+        elif self.path == "/metrics":
+            self._dispatch("/metrics", lambda s: (200, s.metrics_snapshot()))
+        else:
+            self._send_json(
+                404,
+                {"error": {"type": "not_found", "message": f"no route {self.path}"}},
+            )
+
+    def do_POST(self) -> None:
+        if self.path == "/v1/predict":
+            self._dispatch("/v1/predict", self._predict)
+        elif self.path == "/v1/dse/top":
+            self._dispatch("/v1/dse/top", self._dse_top)
+        else:
+            self._send_json(
+                404,
+                {"error": {"type": "not_found", "message": f"no route {self.path}"}},
+            )
+
+    def _predict(self, service: PredictorService) -> Tuple[int, Dict[str, object]]:
+        body = self._read_json()
+        kernel = body.get("kernel")
+        if not isinstance(kernel, str):
+            raise _RequestError(400, "bad_request", "missing string field 'kernel'")
+        if ("point" in body) == ("points" in body):
+            raise _RequestError(
+                400, "bad_request", "provide exactly one of 'point' or 'points'"
+            )
+        raw_points = [body["point"]] if "point" in body else body["points"]
+        if not isinstance(raw_points, list) or not raw_points:
+            raise _RequestError(400, "bad_request", "'points' must be a non-empty list")
+        points = [point_from_payload(p) for p in raw_points]
+        try:
+            threshold = float(body.get("valid_threshold", DEFAULT_VALID_THRESHOLD))
+        except (TypeError, ValueError):
+            raise _RequestError(
+                400, "bad_request", "'valid_threshold' must be a number"
+            ) from None
+        objectives_for = body.get("objectives_for", "all")
+        predictions = service.predict(kernel, points, threshold, objectives_for)
+        return 200, {
+            "kernel": kernel,
+            "predictions": [prediction_payload(p) for p in predictions],
+        }
+
+    def _dse_top(self, service: PredictorService) -> Tuple[int, Dict[str, object]]:
+        body = self._read_json()
+        kernel = body.get("kernel")
+        if not isinstance(kernel, str):
+            raise _RequestError(400, "bad_request", "missing string field 'kernel'")
+        try:
+            top = int(body.get("top", 10))
+            time_limit = float(body.get("time_limit", 10.0))
+        except (TypeError, ValueError):
+            raise _RequestError(
+                400, "bad_request", "'top' and 'time_limit' must be numbers"
+            ) from None
+        return 200, service.dse_top(kernel, top=top, time_limit_seconds=time_limit)
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one :class:`PredictorService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: PredictorService,
+                 access_log: Optional[list] = None):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.access_log = access_log
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def stop(self, drain: bool = True) -> None:
+        """Graceful shutdown: stop accepting, then drain in-flight batches."""
+        self.shutdown()
+        self.server_close()
+        self.service.close(drain=drain)
+
+
+def start_server(
+    service: PredictorService, host: str = "127.0.0.1", port: int = 0
+) -> ServeHTTPServer:
+    """Start serving in a background thread; returns the bound server.
+
+    ``port=0`` binds an ephemeral port (see :attr:`ServeHTTPServer.url`).
+    The caller owns shutdown via :meth:`ServeHTTPServer.stop`.
+    """
+    server = ServeHTTPServer((host, port), service)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve-http", daemon=True
+    )
+    thread.start()
+    return server

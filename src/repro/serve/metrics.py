@@ -1,0 +1,98 @@
+"""Thread-safe serving metrics: counters, latency quantiles, batch fill.
+
+Everything the ``/metrics`` endpoint reports lives here.  Latencies are
+kept in fixed-size reservoirs (most-recent window) so a long-lived
+server's memory stays bounded; quantiles are computed on demand from
+the window.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+from typing import Dict, Optional
+
+__all__ = ["ServeMetrics"]
+
+#: Most-recent request latencies kept per endpoint.
+_LATENCY_WINDOW = 4096
+
+
+def _quantile(sorted_values, q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(int(q * len(sorted_values)), len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+class ServeMetrics:
+    """Cumulative serving statistics, safe to update from any thread."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._started = time.time()
+        self._requests: Counter = Counter()  # endpoint -> count
+        self._statuses: Counter = Counter()  # http status -> count
+        self._latencies: Dict[str, deque] = {}
+        self._batch_fill: Counter = Counter()  # fill size -> batches
+        self._points = 0
+        self._rejected = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def record_request(self, endpoint: str, seconds: float, status: int) -> None:
+        with self._lock:
+            self._requests[endpoint] += 1
+            self._statuses[int(status)] += 1
+            window = self._latencies.get(endpoint)
+            if window is None:
+                window = self._latencies[endpoint] = deque(maxlen=_LATENCY_WINDOW)
+            window.append(seconds)
+
+    def record_batch(self, fill: int) -> None:
+        with self._lock:
+            self._batch_fill[int(fill)] += 1
+            self._points += int(fill)
+
+    def record_rejection(self) -> None:
+        with self._lock:
+            self._rejected += 1
+
+    # -- reading -------------------------------------------------------------
+
+    def mean_batch_fill(self) -> float:
+        with self._lock:
+            batches = sum(self._batch_fill.values())
+            return self._points / batches if batches else 0.0
+
+    def snapshot(self, pipeline_stats=None) -> Dict[str, object]:
+        """One JSON-ready dict of everything, for ``/metrics``."""
+        with self._lock:
+            batches = sum(self._batch_fill.values())
+            latency = {}
+            for endpoint, window in self._latencies.items():
+                values = sorted(window)
+                latency[endpoint] = {
+                    "count": self._requests[endpoint],
+                    "p50_ms": _quantile(values, 0.50) * 1000.0,
+                    "p99_ms": _quantile(values, 0.99) * 1000.0,
+                    "max_ms": (values[-1] if values else 0.0) * 1000.0,
+                }
+            out: Dict[str, object] = {
+                "uptime_seconds": time.time() - self._started,
+                "requests": dict(self._requests),
+                "statuses": {str(k): v for k, v in self._statuses.items()},
+                "rejected_requests": self._rejected,
+                "latency": latency,
+                "batches": batches,
+                "batched_points": self._points,
+                "mean_batch_fill": self._points / batches if batches else 0.0,
+                "batch_fill_histogram": {
+                    str(size): count
+                    for size, count in sorted(self._batch_fill.items())
+                },
+            }
+        if pipeline_stats is not None:
+            out["pipeline"] = pipeline_stats.to_dict()
+        return out

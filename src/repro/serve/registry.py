@@ -1,0 +1,284 @@
+"""Versioned, content-addressed persistence of trained predictor stacks.
+
+An *artifact* is a directory holding everything needed to reconstruct a
+:class:`~repro.model.predictor.GNNDSEPredictor` for inference::
+
+    artifact/
+      manifest.json                 # schema version, configs, hashes
+      blobs/
+        sha256-<hex>.npz            # one state-dict blob per model
+
+Blobs are content-addressed: the file name embeds the SHA-256 of the
+bytes, so a blob can never silently drift from its manifest entry and
+identical weights are stored once.  The manifest is written last (via a
+temp file + ``os.replace``), so a crashed save never produces a
+loadable half-artifact.
+
+Loads are strict: schema-version, vocabulary-fingerprint, and blob-hash
+mismatches all raise :class:`~repro.errors.ArtifactError` (a
+:class:`~repro.errors.ReproError`) with a message naming the mismatch.
+Model parameters are rebuilt at the dtype recorded in the manifest, so
+a loaded predictor is bit-identical to the one saved regardless of the
+process's current engine default dtype.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import ArtifactError
+from ..explorer.database import Database
+from ..graph.encoding import EDGE_DIM, NODE_DIM
+from ..graph.vocab import EDGE_FLOWS, NODE_TEXT_VOCAB, NODE_TYPES
+from ..model.config import ModelConfig
+from ..model.dataset import GraphDatasetBuilder
+from ..model.models import build_model
+from ..model.normalizer import TargetNormalizer
+from ..nn.tensor import get_default_dtype, set_default_dtype
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "ARTIFACT_FORMAT",
+    "save_artifact",
+    "load_artifact",
+    "read_manifest",
+    "verify_artifact",
+    "vocab_fingerprint",
+]
+
+#: Bump when the manifest layout or blob format changes incompatibly.
+ARTIFACT_SCHEMA_VERSION = 1
+
+ARTIFACT_FORMAT = "repro-gnn-dse-predictor"
+
+_MANIFEST = "manifest.json"
+_BLOB_DIR = "blobs"
+
+#: The three models of the stack, in manifest order.
+_ROLES = ("classifier", "regressor", "bram_regressor")
+
+
+def vocab_fingerprint() -> str:
+    """SHA-256 over the closed graph vocabulary and feature dims.
+
+    Saved weights are only meaningful against the exact feature
+    encoding they were trained on; the fingerprint pins it.
+    """
+    payload = json.dumps(
+        {
+            "node_text": list(NODE_TEXT_VOCAB),
+            "node_types": list(NODE_TYPES),
+            "edge_flows": list(EDGE_FLOWS),
+            "node_dim": NODE_DIM,
+            "edge_dim": EDGE_DIM,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _state_blob(model) -> bytes:
+    """Serialize a model's state dict to npz bytes."""
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **model.state_dict())
+    return buffer.getvalue()
+
+
+def _model_dtype(model) -> np.dtype:
+    dtype = np.dtype(np.float32)
+    for param in model.parameters():
+        dtype = np.promote_types(dtype, param.data.dtype)
+    return dtype
+
+
+def _config_payload(config: ModelConfig) -> Dict[str, object]:
+    payload = asdict(config)
+    payload["objectives"] = list(payload["objectives"])
+    return payload
+
+
+def _config_from_payload(payload: Dict[str, object]) -> ModelConfig:
+    try:
+        payload = dict(payload)
+        payload["objectives"] = tuple(payload["objectives"])
+        return ModelConfig(**payload)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactError(f"malformed model config in manifest: {exc}") from None
+
+
+def save_artifact(predictor, path) -> Dict[str, object]:
+    """Write ``predictor`` as a versioned artifact directory at ``path``.
+
+    Returns the manifest.  Existing artifacts at ``path`` are
+    overwritten atomically at the manifest level: blobs are written
+    first, the manifest last via temp file + ``os.replace``, so readers
+    either see the old complete artifact or the new one.
+    """
+    path = Path(path)
+    models = {
+        "classifier": predictor.classifier,
+        "regressor": predictor.regressor,
+        "bram_regressor": predictor.bram_regressor,
+    }
+    for role, model in models.items():
+        if getattr(model, "config", None) is None:
+            raise ArtifactError(
+                f"cannot save {role}: model {type(model).__name__} has no config"
+            )
+    factor = predictor.normalizer.normalization_factor
+    if factor is None:
+        raise ArtifactError("cannot save a predictor with an unfitted normalizer")
+
+    (path / _BLOB_DIR).mkdir(parents=True, exist_ok=True)
+    manifest: Dict[str, object] = {
+        "format": ARTIFACT_FORMAT,
+        "schema_version": ARTIFACT_SCHEMA_VERSION,
+        "vocab_sha256": vocab_fingerprint(),
+        "node_dim": NODE_DIM,
+        "edge_dim": EDGE_DIM,
+        "normalization_factor": float(factor),
+        "models": {},
+    }
+    for role in _ROLES:
+        model = models[role]
+        blob = _state_blob(model)
+        digest = hashlib.sha256(blob).hexdigest()
+        blob_name = f"sha256-{digest}.npz"
+        blob_path = path / _BLOB_DIR / blob_name
+        if not blob_path.exists():
+            tmp = blob_path.with_name(blob_path.name + f".tmp{os.getpid()}")
+            tmp.write_bytes(blob)
+            os.replace(tmp, blob_path)
+        manifest["models"][role] = {
+            "blob": f"{_BLOB_DIR}/{blob_name}",
+            "sha256": digest,
+            "dtype": str(_model_dtype(model)),
+            "parameters": int(model.num_parameters()),
+            "config": _config_payload(model.config),
+        }
+    text = json.dumps(manifest, indent=1, sort_keys=True)
+    tmp = path / f"{_MANIFEST}.tmp{os.getpid()}"
+    try:
+        with open(tmp, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path / _MANIFEST)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return manifest
+
+
+def read_manifest(path) -> Dict[str, object]:
+    """Read and structurally validate an artifact manifest."""
+    path = Path(path)
+    manifest_path = path / _MANIFEST
+    if not manifest_path.is_file():
+        raise ArtifactError(f"no artifact manifest at {manifest_path}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ArtifactError(f"unreadable manifest {manifest_path}: {exc}") from None
+    if manifest.get("format") != ARTIFACT_FORMAT:
+        raise ArtifactError(
+            f"not a predictor artifact: format={manifest.get('format')!r}"
+        )
+    version = manifest.get("schema_version")
+    if version != ARTIFACT_SCHEMA_VERSION:
+        raise ArtifactError(
+            f"artifact schema version {version!r} is not supported "
+            f"(this build reads version {ARTIFACT_SCHEMA_VERSION}); "
+            f"re-save the predictor with `repro save-model`"
+        )
+    missing = [r for r in _ROLES if r not in manifest.get("models", {})]
+    if missing:
+        raise ArtifactError(f"manifest missing models: {missing}")
+    return manifest
+
+
+def _load_blob(path: Path, entry: Dict[str, object]) -> Dict[str, np.ndarray]:
+    blob_path = path / str(entry["blob"])
+    if not blob_path.is_file():
+        raise ArtifactError(f"missing weight blob {blob_path}")
+    blob = blob_path.read_bytes()
+    digest = hashlib.sha256(blob).hexdigest()
+    if digest != entry.get("sha256"):
+        raise ArtifactError(
+            f"corrupt weight blob {blob_path.name}: "
+            f"sha256 {digest[:12]}… != manifest {str(entry.get('sha256'))[:12]}…"
+        )
+    with np.load(io.BytesIO(blob)) as data:
+        return {name: data[name] for name in data.files}
+
+
+def verify_artifact(path) -> Dict[str, object]:
+    """Check an artifact's manifest and blob hashes without loading models."""
+    path = Path(path)
+    manifest = read_manifest(path)
+    for role in _ROLES:
+        _load_blob(path, manifest["models"][role])
+    return manifest
+
+
+def load_artifact(path, database: Optional[Database] = None):
+    """Reconstruct a :class:`GNNDSEPredictor` from an artifact directory.
+
+    ``database`` is only used to seed the predictor's dataset builder
+    (useful when the caller will fine-tune); inference needs none and
+    defaults to an empty database.
+    """
+    from ..model.predictor import GNNDSEPredictor
+
+    path = Path(path)
+    manifest = read_manifest(path)
+    if manifest["vocab_sha256"] != vocab_fingerprint():
+        raise ArtifactError(
+            "artifact was trained against a different graph vocabulary/"
+            "feature encoding; retrain or re-save with this build"
+        )
+    if (manifest["node_dim"], manifest["edge_dim"]) != (NODE_DIM, EDGE_DIM):
+        raise ArtifactError(
+            f"feature dims mismatch: artifact ({manifest['node_dim']}, "
+            f"{manifest['edge_dim']}) vs build ({NODE_DIM}, {EDGE_DIM})"
+        )
+    models = {}
+    for role in _ROLES:
+        entry = manifest["models"][role]
+        config = _config_from_payload(entry["config"])
+        state = _load_blob(path, entry)
+        try:
+            dtype = np.dtype(str(entry.get("dtype", "float32")))
+        except TypeError:
+            raise ArtifactError(
+                f"bad dtype {entry.get('dtype')!r} for {role}"
+            ) from None
+        # Build the model at the artifact's dtype so loaded parameters
+        # keep the exact precision they were saved with — predictions
+        # must be bit-identical to the saved stack no matter what the
+        # process's default dtype currently is.
+        previous = get_default_dtype()
+        set_default_dtype(dtype)
+        try:
+            model = build_model(config, NODE_DIM, EDGE_DIM, seed=0)
+        finally:
+            set_default_dtype(previous)
+        model.load_state_dict(state)
+        model.eval()
+        models[role] = model
+    normalizer = TargetNormalizer(float(manifest["normalization_factor"]))
+    builder = GraphDatasetBuilder(database or Database(), normalizer=normalizer)
+    return GNNDSEPredictor(
+        models["classifier"],
+        models["regressor"],
+        models["bram_regressor"],
+        normalizer,
+        builder,
+    )

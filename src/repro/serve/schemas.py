@@ -1,0 +1,90 @@
+"""JSON payload builders shared by the HTTP API and the CLI.
+
+``repro dse --output top.json`` and ``POST /v1/dse/top`` emit the same
+schema, so offline runs and server responses are interchangeable
+inputs for downstream tooling.  Floats pass through Python's ``json``
+round-trip unchanged (shortest-repr), so payload → object → payload is
+lossless and server-side predictions stay bit-identical on the client.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..designspace.space import DesignPoint
+from ..errors import ServeError
+from ..explorer.database import deserialize_point, serialize_point
+from ..model.predictor import Prediction
+
+__all__ = [
+    "DSE_RESULT_SCHEMA_VERSION",
+    "prediction_payload",
+    "prediction_from_payload",
+    "point_payload",
+    "point_from_payload",
+    "dse_result_payload",
+]
+
+#: Version of the ``dse --output`` / ``/v1/dse/top`` result schema.
+DSE_RESULT_SCHEMA_VERSION = 1
+
+
+def prediction_payload(prediction: Prediction) -> Dict[str, object]:
+    return {
+        "valid": prediction.valid,
+        "valid_prob": prediction.valid_prob,
+        "objectives": prediction.objectives,
+    }
+
+
+def prediction_from_payload(payload: Dict[str, object]) -> Prediction:
+    try:
+        objectives = payload["objectives"]
+        return Prediction(
+            valid=bool(payload["valid"]),
+            valid_prob=float(payload["valid_prob"]),
+            objectives=None
+            if objectives is None
+            else {str(k): float(v) for k, v in objectives.items()},
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServeError(f"malformed prediction payload: {exc}") from None
+
+
+def point_payload(point: DesignPoint) -> Dict[str, object]:
+    return serialize_point(point)
+
+
+def point_from_payload(payload: Dict[str, object]) -> DesignPoint:
+    if not isinstance(payload, dict):
+        raise ServeError(f"design point must be an object, got {type(payload).__name__}")
+    try:
+        return deserialize_point(payload)
+    except (TypeError, ValueError) as exc:
+        raise ServeError(f"malformed design point: {exc}") from None
+
+
+def dse_result_payload(result, stats=None) -> Dict[str, object]:
+    """JSON form of a :class:`~repro.dse.search.DSEResult`.
+
+    ``stats`` defaults to the stats the search recorded; pass an
+    explicit :class:`~repro.dse.pipeline.PipelineStats` to override.
+    """
+    stats = stats if stats is not None else result.stats
+    return {
+        "schema_version": DSE_RESULT_SCHEMA_VERSION,
+        "kernel": result.kernel,
+        "explored": result.explored,
+        "seconds": result.seconds,
+        "exhaustive": result.exhaustive,
+        "predictions_per_second": result.predictions_per_second,
+        "top": [
+            {
+                "rank": rank + 1,
+                "point": point_payload(candidate.point),
+                "prediction": prediction_payload(candidate.prediction),
+            }
+            for rank, candidate in enumerate(result.top)
+        ],
+        "pipeline_stats": None if stats is None else stats.to_dict(),
+    }

@@ -1,0 +1,206 @@
+"""The request-level serving façade over one loaded predictor stack.
+
+:class:`PredictorService` owns the evaluation pipeline, the
+micro-batcher, and the metrics for one artifact.  The HTTP layer (and
+tests) talk to it in domain terms — kernels, design points,
+:class:`~repro.model.predictor.Prediction` — while it handles request
+validation, point completion, batching, per-request deadlines, and
+server-side DSE.
+
+Validation errors raise :class:`~repro.errors.ReproError` subclasses
+the HTTP layer maps to structured 4xx responses; overload raises
+:class:`~repro.errors.BacklogFullError` (503).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+from typing import Dict, List, Optional, Sequence
+
+from ..designspace import DesignSpace, build_design_space
+from ..designspace.space import DesignPoint
+from ..dse.pipeline import EvaluationPipeline
+from ..dse.search import ModelDSE
+from ..errors import DesignSpaceError, ServeError
+from ..kernels import get_kernel, list_kernels
+from ..model.predictor import DEFAULT_VALID_THRESHOLD, Prediction
+from .batcher import MicroBatcher
+from .metrics import ServeMetrics
+from .schemas import dse_result_payload
+
+__all__ = ["PredictorService"]
+
+
+class PredictorService:
+    """Predictions, server-side DSE, and metrics for one predictor.
+
+    Parameters
+    ----------
+    predictor:
+        A loaded :class:`~repro.model.predictor.GNNDSEPredictor` (or
+        any ``predict_batch`` duck type the pipeline accepts).
+    batch_size:
+        Micro-batch capacity; also the pipeline's template size so one
+        full micro-batch is one compiled forward.
+    max_delay_seconds:
+        Micro-batcher flush deadline for partial batches.
+    max_pending:
+        Bound on queued requests before load shedding kicks in.
+    request_timeout_seconds:
+        Per-request wait bound inside :meth:`predict`.
+    max_dse_seconds:
+        Cap on client-supplied ``time_limit`` for server-side DSE.
+    """
+
+    def __init__(
+        self,
+        predictor,
+        batch_size: int = 16,
+        max_delay_seconds: float = 0.005,
+        max_pending: int = 1024,
+        engine: str = "auto",
+        cache: bool = True,
+        request_timeout_seconds: float = 30.0,
+        max_dse_seconds: float = 60.0,
+    ):
+        self.predictor = predictor
+        self.pipeline = EvaluationPipeline(
+            predictor, batch_size=batch_size, engine=engine, cache=cache
+        )
+        self.metrics = ServeMetrics()
+        self.request_timeout_seconds = float(request_timeout_seconds)
+        self.max_dse_seconds = float(max_dse_seconds)
+        self.batcher = MicroBatcher(
+            self.pipeline.predict_batch,
+            batch_size=batch_size,
+            max_delay_seconds=max_delay_seconds,
+            max_pending=max_pending,
+            metrics=self.metrics,
+        )
+        self._spaces: Dict[str, DesignSpace] = {}
+        self._spaces_lock = threading.Lock()
+        self._closed = False
+
+    # -- request validation ----------------------------------------------------
+
+    def space(self, kernel: str) -> DesignSpace:
+        with self._spaces_lock:
+            space = self._spaces.get(kernel)
+            if space is None:
+                try:
+                    spec = get_kernel(kernel)
+                except KeyError:
+                    raise ServeError(
+                        f"unknown kernel {kernel!r}; known: {', '.join(list_kernels())}"
+                    ) from None
+                space = self._spaces[kernel] = build_design_space(spec)
+            return space
+
+    def complete_point(self, kernel: str, point: DesignPoint) -> DesignPoint:
+        """Fill omitted knobs with their neutral setting and validate.
+
+        Clients may send only the pragmas they care about; the completed
+        point is what gets predicted, exactly as ``repro synthesize``
+        treats ``--set``.
+        """
+        space = self.space(kernel)
+        full = space.default_point()
+        for name in point:
+            if name not in full:
+                raise DesignSpaceError(f"{kernel}: unknown knob {name!r}")
+        full.update(point)
+        space.validate(full)
+        return full
+
+    # -- prediction ------------------------------------------------------------
+
+    def predict(
+        self,
+        kernel: str,
+        points: Sequence[DesignPoint],
+        valid_threshold: float = DEFAULT_VALID_THRESHOLD,
+        objectives_for: str = "all",
+    ) -> List[Prediction]:
+        """Validate, enqueue, and await predictions for ``points``.
+
+        Points from one call still ride the shared micro-batcher, so
+        concurrent callers' singles and small batches coalesce into
+        engine-sized forwards.
+        """
+        if self._closed:
+            raise ServeError("service is shut down")
+        if objectives_for not in ("all", "valid"):
+            raise ServeError(f"unknown objectives_for {objectives_for!r}")
+        completed = [self.complete_point(kernel, p) for p in points]
+        futures = [
+            self.batcher.submit(kernel, p, valid_threshold, objectives_for)
+            for p in completed
+        ]
+        try:
+            return [
+                f.result(timeout=self.request_timeout_seconds) for f in futures
+            ]
+        except concurrent.futures.TimeoutError:
+            raise ServeError(
+                f"prediction timed out after {self.request_timeout_seconds:g}s"
+            ) from None
+
+    # -- server-side DSE ---------------------------------------------------------
+
+    def dse_top(
+        self,
+        kernel: str,
+        top: int = 10,
+        time_limit_seconds: float = 10.0,
+    ) -> Dict[str, object]:
+        """Run the model-driven search server-side; returns the JSON payload.
+
+        Shares the service pipeline (and therefore its caches and
+        batch templates); the pipeline's internal lock interleaves the
+        search's batches with concurrent predict traffic.
+        """
+        if self._closed:
+            raise ServeError("service is shut down")
+        if top < 1:
+            raise ServeError(f"top must be >= 1, got {top}")
+        time_limit = min(float(time_limit_seconds), self.max_dse_seconds)
+        if time_limit <= 0:
+            raise ServeError(f"time_limit must be > 0, got {time_limit_seconds}")
+        space = self.space(kernel)  # raises ServeError on unknown kernels
+        dse = ModelDSE(
+            self.predictor,
+            get_kernel(kernel),
+            space,
+            top_m=int(top),
+            pipeline=self.pipeline,
+        )
+        result = dse.run(time_limit_seconds=time_limit)
+        return dse_result_payload(result)
+
+    # -- health / metrics --------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        return {
+            "status": "ok" if not self._closed else "draining",
+            "kernels": list_kernels(),
+            "engine": self.pipeline.stats.engine or self.pipeline.engine_mode,
+            "batch_size": self.batcher.batch_size,
+            "pending_requests": self.batcher.pending(),
+        }
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        return self.metrics.snapshot(self.pipeline.stats_snapshot())
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting work; with ``drain`` finish in-flight batches."""
+        self._closed = True
+        self.batcher.close(drain=drain)
+
+    def __enter__(self) -> "PredictorService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

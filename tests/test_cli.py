@@ -92,3 +92,69 @@ class TestParserStructure:
         parser = build_parser()
         with pytest.raises(SystemExit):
             parser.parse_args(["experiment", "table99"])
+
+
+class TestModelArtifactCommands:
+    """`save-model`, `load-model`, `dse --model <artifact>`, `--output`."""
+
+    @pytest.fixture()
+    def artifact_dir(self, tmp_path):
+        from tests.test_pipeline import make_predictor
+
+        path = tmp_path / "artifact"
+        make_predictor().save(path)
+        return path
+
+    def test_save_and_load_model_chain(self, tmp_path, capsys):
+        from repro.experiments.context import ExperimentContext
+        from tests.test_pipeline import make_predictor
+
+        db_path = tmp_path / "db.json"
+        assert main(
+            ["database", "-o", str(db_path), "--scale", "0.05",
+             "--kernels", "spmv-ellpack"]
+        ) == 0
+        npz = tmp_path / "predictor.npz"
+        ExperimentContext.save_predictor(make_predictor(), npz)
+        out_dir = tmp_path / "artifact"
+        capsys.readouterr()
+        assert main(
+            ["save-model", "-d", str(db_path), "-p", str(npz), "-o", str(out_dir)]
+        ) == 0
+        assert "wrote artifact" in capsys.readouterr().out
+        assert (out_dir / "manifest.json").is_file()
+        assert main(["load-model", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "blobs verified" in out
+        assert "classifier" in out
+
+    def test_load_model_rejects_non_artifact(self, tmp_path, capsys):
+        assert main(["load-model", str(tmp_path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_dse_from_artifact_with_output(self, artifact_dir, tmp_path, capsys):
+        from repro.serve.schemas import point_from_payload, prediction_from_payload
+
+        out_json = tmp_path / "top.json"
+        code = main(
+            ["dse", "-k", "fir", "--model", str(artifact_dir), "--top", "3",
+             "--time-limit", "3", "--batch-size", "4",
+             "--output", str(out_json)]
+        )
+        assert code == 0
+        assert "top-01" in capsys.readouterr().out
+        payload = json.loads(out_json.read_text())
+        assert payload["schema_version"] == 1
+        assert payload["kernel"] == "fir"
+        assert 1 <= len(payload["top"]) <= 3
+        assert payload["top"][0]["rank"] == 1
+        assert payload["pipeline_stats"]["points"] > 0
+        # Both halves of each entry deserialize back into domain objects.
+        for entry in payload["top"]:
+            point_from_payload(entry["point"])
+            prediction = prediction_from_payload(entry["prediction"])
+            assert prediction.valid in (True, False)
+
+    def test_dse_without_model_or_database_fails(self, capsys):
+        assert main(["dse", "-k", "fir", "--time-limit", "1"]) == 1
+        assert "error" in capsys.readouterr().err

@@ -98,6 +98,44 @@ class TestDatabase:
         Evaluator(tool, db1).evaluate(atax, atax_space.default_point())
         added = db2.merge(db1)
         assert added == 1
+
+    def test_save_is_atomic_under_crash(self, tmp_path, atax, atax_space, monkeypatch):
+        """A crash mid-save never clobbers the existing database file."""
+        import os
+
+        db1 = Database()
+        Evaluator(MerlinHLSTool(), db1).evaluate(atax, atax_space.default_point())
+        path = tmp_path / "db.json"
+        db1.save(path)
+        before = path.read_bytes()
+
+        db2 = Database()
+        evaluator = Evaluator(MerlinHLSTool(), db2)
+        evaluator.evaluate(atax, atax_space.default_point())
+        point2 = dict(atax_space.default_point())
+        knob = atax_space.knobs[0]
+        point2[knob.name] = knob.candidates[-1]
+        evaluator.evaluate(atax, point2)
+
+        real_replace = os.replace
+
+        def crash(src, dst):  # the process "dies" between write and rename
+            raise OSError("simulated crash during rename")
+
+        monkeypatch.setattr(os, "replace", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            db2.save(path)
+        monkeypatch.setattr(os, "replace", real_replace)
+
+        # The original file is byte-for-byte untouched and still loads,
+        # and the temp file did not leak.
+        assert path.read_bytes() == before
+        assert len(Database.load(path)) == len(db1)
+        assert list(tmp_path.iterdir()) == [path]
+
+        # The interrupted save can simply be retried.
+        db2.save(path)
+        assert len(Database.load(path)) == len(db2)
         assert db2.merge(db1) == 0
 
 

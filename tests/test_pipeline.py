@@ -80,8 +80,13 @@ class TestEquivalence:
         got = pipeline.predict_batch(kernel, points)
         assert got == expected
         assert pipeline.stats.engine == "compiled"
-        # batch_size 3 over 5 points exercises the padded final chunk.
-        assert pipeline.stats.padded_slots > 0
+        # batch_size 3 over 5 points exercises a mixed-capacity sweep:
+        # one full chunk plus a right-sized 2-point template — and the
+        # right-sizing pays no padded slots.
+        assert pipeline.stats.padded_slots == 0
+        # Each unique point runs the classifier pass and the regression
+        # pass exactly once (duplicates are deduped into cache hits).
+        assert pipeline.stats.model_points == 2 * pipeline.stats.cache_misses
 
     @pytest.mark.parametrize("kernel", ["spmv-ellpack", "gemm-ncubed"])
     def test_reference_engine_matches_per_point(self, predictor, kernel):
