@@ -2,10 +2,19 @@
 
 PY ?= python
 
-.PHONY: install test test-fast bench bench-fast bench-smoke serve-smoke examples clean
+.PHONY: install lint test test-fast bench bench-fast bench-smoke serve-smoke bench-parallel-smoke ci examples clean
 
 install:
 	$(PY) setup.py develop
+
+# Lint is advisory locally (ruff may not be installed); CI installs ruff
+# and fails on violations.  Config lives in pyproject.toml.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check .; \
+	else \
+		echo "ruff not installed; skipping lint (CI runs it)"; \
+	fi
 
 test:
 	$(PY) -m pytest tests/
@@ -26,6 +35,19 @@ bench-smoke:
 # predict + dse + metrics through it; exits non-zero on any mismatch.
 serve-smoke:
 	$(PY) benchmarks/serve_smoke.py
+
+# Sharded parallel DSE vs the serial sweep: bit-identical results and
+# overlap of the (simulated) dispatch cost across 4 workers.
+bench-parallel-smoke:
+	$(PY) benchmarks/bench_parallel_dse.py --smoke
+
+# Everything CI runs, in the same order: lint, the tier-1 suite, and
+# the three smoke gates.  `make ci` green locally = workflow green.
+ci: lint
+	$(PY) -m pytest tests/ -x -q
+	$(MAKE) bench-smoke
+	$(MAKE) serve-smoke
+	$(MAKE) bench-parallel-smoke
 
 # Smoke-scale benchmark run (~minutes): tiny database + training budgets.
 bench-fast:

@@ -8,7 +8,6 @@ Scoped to the few-thousand-point embedding sets of the paper's figures.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -32,13 +32,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from .designspace import build_design_space
 from .errors import ReproError
 from .frontend.pragmas import PipelineOption
 from .hls import MerlinHLSTool
-from .kernels import TRAINING_KERNELS, UNSEEN_KERNELS, get_kernel, list_kernels
+from .kernels import get_kernel, list_kernels
 
 __all__ = ["main", "build_parser"]
 
@@ -105,6 +105,17 @@ def build_parser() -> argparse.ArgumentParser:
                    default="auto", help="surrogate inference engine")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the pipeline's per-point prediction cache")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the sharded parallel orchestrator "
+                        "(1 = plain serial search; results are bit-identical)")
+    p.add_argument("--checkpoint", metavar="FILE", default=None,
+                   help="JSON journal of completed shards, rewritten atomically "
+                        "as the run progresses")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from --checkpoint, skipping completed shards")
+    p.add_argument("--shard-size", type=int, default=None,
+                   help="design points per shard (default: space split into "
+                        "workers x 4 shards)")
     p.add_argument("--evaluate", action="store_true", help="synthesize the top designs")
     p.add_argument(
         "--output", metavar="FILE",
@@ -259,19 +270,46 @@ def _cmd_dse(args) -> int:
         )
     else:
         predictor = _load_predictor(args.database, args.predictor, args.model)
-    pipeline = EvaluationPipeline(
-        predictor,
-        batch_size=args.batch_size,
-        engine=args.engine,
-        cache=not args.no_cache,
-    )
-    dse = ModelDSE(predictor, spec, space, top_m=args.top, pipeline=pipeline)
-    result = dse.run(time_limit_seconds=args.time_limit)
+    if args.resume and not args.checkpoint:
+        raise ReproError("--resume requires --checkpoint FILE")
+    if args.workers > 1 or args.checkpoint:
+        from .dse import ParallelDSE
+
+        parallel = ParallelDSE(
+            predictor, spec, space,
+            workers=args.workers,
+            top_m=args.top,
+            pipeline_batch_size=args.batch_size,
+            engine=args.engine,
+            cache=not args.no_cache,
+            shard_size=args.shard_size,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+        )
+        result = parallel.run(time_limit_seconds=args.time_limit)
+    else:
+        # The plain serial code path, byte-for-byte what pre-parallel
+        # builds ran (no sharding, no journal).
+        pipeline = EvaluationPipeline(
+            predictor,
+            batch_size=args.batch_size,
+            engine=args.engine,
+            cache=not args.no_cache,
+        )
+        dse = ModelDSE(predictor, spec, space, top_m=args.top, pipeline=pipeline)
+        result = dse.run(time_limit_seconds=args.time_limit)
     mode = "exhaustive" if result.exhaustive else "heuristic"
     print(
         f"{args.kernel}: explored {result.explored:,} configs in {result.seconds:.1f}s "
         f"({mode}, {result.predictions_per_second:.0f} inferences/s)"
     )
+    if result.shards:
+        line = (
+            f"  parallel: {result.workers} worker(s), {result.shards} shards, "
+            f"{result.shards_resumed} resumed, {result.retries} retried"
+        )
+        print(line)
+        print(f"  pareto front: {len(result.pareto)} non-dominated designs")
     if result.stats is not None:
         print(f"  pipeline {result.stats.summary()}")
     tool = MerlinHLSTool()

@@ -11,8 +11,8 @@ from __future__ import annotations
 
 import itertools
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from ..errors import DesignSpaceError
 from ..frontend.pragmas import Pragma, PragmaKind, PipelineOption

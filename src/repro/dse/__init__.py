@@ -6,14 +6,22 @@
 - :func:`run_dse_rounds` — Fig. 7's multi-round database augmentation;
 - :func:`pareto_front` — non-dominated filtering of designs;
 - :class:`EvaluationPipeline` — the batched + cached surrogate hot
-  path every searcher routes its predictions through.
+  path every searcher routes its predictions through;
+- :class:`ParallelDSE` — sharded multiprocessing orchestrator with
+  checkpoint/resume, bit-identical to the serial exhaustive sweep.
 """
 
 from .annealing import AnnealingResult, SimulatedAnnealingDSE
 from .augment import AugmentationResult, RoundOutcome, run_dse_rounds
 from .multiobjective import ParetoArchive, ParetoDSE
 from .ordering import order_pragmas
-from .pareto import dominates, pareto_front
+from .parallel import (
+    DSECheckpoint,
+    ParallelDSE,
+    ShardResult,
+    WorkerHooks,
+)
+from .pareto import dominates, pareto_front, pareto_merge
 from .pipeline import (
     CompiledGNNEngine,
     EncodingCache,
@@ -22,9 +30,15 @@ from .pipeline import (
     UnsupportedModelError,
     surrogate_scorers,
 )
-from .search import DSECandidate, DSEResult, ModelDSE
+from .search import PARETO_KEYS, DSECandidate, DSEResult, ModelDSE
 
 __all__ = [
+    "PARETO_KEYS",
+    "DSECheckpoint",
+    "ParallelDSE",
+    "ShardResult",
+    "WorkerHooks",
+    "pareto_merge",
     "AnnealingResult",
     "SimulatedAnnealingDSE",
     "CompiledGNNEngine",

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..designspace.generator import build_design_space
-from ..explorer.database import Database, DesignRecord
+from ..explorer.database import Database
 from ..explorer.evaluator import Evaluator
 from ..hls.tool import MerlinHLSTool
 from ..kernels import get_kernel

@@ -11,7 +11,7 @@ frontier.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 from ..designspace.space import point_key
 from .pareto import dominates

@@ -11,7 +11,7 @@ from typing import Callable, Dict, List, Sequence, TypeVar
 
 T = TypeVar("T")
 
-__all__ = ["dominates", "pareto_front"]
+__all__ = ["dominates", "pareto_front", "pareto_merge"]
 
 
 def dominates(a: Dict[str, float], b: Dict[str, float], keys: Sequence[str]) -> bool:
@@ -42,3 +42,22 @@ def pareto_front(
         if not dominated:
             front.append(item)
     return front
+
+
+def pareto_merge(
+    front: Sequence[T],
+    additions: Sequence[T],
+    objectives: Callable[[T], Dict[str, float]],
+    keys: Sequence[str] = ("latency", "DSP", "BRAM", "LUT", "FF"),
+) -> List[T]:
+    """Merge ``additions`` into an existing Pareto ``front``.
+
+    Incremental merging is exact: dominance is transitive, so filtering
+    ``front + additions`` yields the same set (in the same first-seen
+    order) as filtering the full underlying stream at once.  This is
+    what lets shard-local fronts combine into the global front without
+    revisiting evaluated points.
+    """
+    if not additions:
+        return list(front)
+    return pareto_front(list(front) + list(additions), objectives, keys)

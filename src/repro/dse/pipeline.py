@@ -38,8 +38,8 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field, fields
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, fields
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -133,6 +133,15 @@ class PipelineStats:
             if f.name == "engine":
                 continue
             setattr(out, f.name, getattr(self, f.name) - getattr(other, f.name))
+        return out
+
+    def __add__(self, other: "PipelineStats") -> "PipelineStats":
+        """Merge counters from another pipeline (parallel-DSE workers)."""
+        out = PipelineStats(engine=self.engine or other.engine)
+        for f in fields(self):
+            if f.name == "engine":
+                continue
+            setattr(out, f.name, getattr(self, f.name) + getattr(other, f.name))
         return out
 
     def copy(self) -> "PipelineStats":

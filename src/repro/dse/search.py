@@ -12,14 +12,22 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from ..designspace.space import DesignPoint, DesignSpace, point_key
 from ..model.predictor import GNNDSEPredictor, Prediction
 from .ordering import order_pragmas
+from .pareto import pareto_front, pareto_merge
 from .pipeline import EvaluationPipeline, PipelineStats
 
-__all__ = ["DSECandidate", "DSEResult", "ModelDSE"]
+__all__ = ["PARETO_KEYS", "DSECandidate", "DSEResult", "ModelDSE"]
+
+#: Objectives (all minimised) the DSE's running Pareto front is kept over.
+PARETO_KEYS = ("latency", "DSP", "BRAM", "LUT", "FF")
+
+
+def _candidate_objectives(candidate: "DSECandidate"):
+    return candidate.prediction.objectives
 
 
 @dataclass
@@ -39,7 +47,14 @@ class DSECandidate:
 
 @dataclass
 class DSEResult:
-    """Outcome of one model-driven DSE run."""
+    """Outcome of one model-driven DSE run.
+
+    ``pareto`` is the non-dominated subset (over :data:`PARETO_KEYS`)
+    of every *usable* candidate the search scored, in first-evaluated
+    order.  ``workers``/``shards``/``shards_resumed``/``retries``
+    describe how :class:`~repro.dse.parallel.ParallelDSE` produced the
+    result; the serial searchers leave them at their defaults.
+    """
 
     kernel: str
     top: List[DSECandidate]
@@ -48,9 +63,17 @@ class DSEResult:
     exhaustive: bool
     predictions_per_second: float = 0.0
     stats: Optional[PipelineStats] = None
+    pareto: List[DSECandidate] = field(default_factory=list)
+    workers: int = 1
+    shards: int = 0
+    shards_resumed: int = 0
+    retries: int = 0
 
     def top_points(self) -> List[DesignPoint]:
         return [c.point for c in self.top]
+
+    def pareto_points(self) -> List[DesignPoint]:
+        return [c.point for c in self.pareto]
 
 
 class ModelDSE:
@@ -170,23 +193,64 @@ class ModelDSE:
             return None
         return self.pipeline.stats - before
 
+    def evaluate_stream(
+        self,
+        points: Iterable[DesignPoint],
+        deadline: Optional[float] = None,
+        on_batch: Optional[Callable[[int], None]] = None,
+        top: Optional[List[DSECandidate]] = None,
+        pareto: Optional[List[DSECandidate]] = None,
+    ) -> Tuple[List[DSECandidate], List[DSECandidate], int, bool]:
+        """Score a point stream in batches; the shared exhaustive scan.
+
+        Both the serial exhaustive sweep and every parallel-DSE shard
+        (:mod:`repro.dse.parallel`) run THIS loop, so their per-batch
+        merge behaviour — and therefore their results — cannot drift
+        apart.  The iterated top-M merge and the incremental Pareto
+        merge are both batch-boundary invariant, which is what makes
+        sharded evaluation bit-identical to the single-process sweep.
+
+        Returns ``(top, pareto, explored, out_of_time)``.  ``deadline``
+        is an absolute ``time.time()`` bound checked after each full
+        batch, matching the historical serial semantics; ``on_batch``
+        (called with the running explored count) is the hook parallel
+        workers use for heartbeats and tests/benchmarks use for fault
+        and latency injection.
+        """
+        top = list(top) if top else []
+        pareto = list(pareto) if pareto else []
+        explored = 0
+        out_of_time = False
+
+        def consume(batch: List[DesignPoint]) -> None:
+            nonlocal top, pareto, explored
+            scored = self._predict_batch(batch)
+            top = self._merge_top(top, scored)
+            usable = [c for c in scored if self._usable(c.prediction)]
+            pareto = pareto_merge(pareto, usable, _candidate_objectives, PARETO_KEYS)
+            explored += len(batch)
+            if on_batch is not None:
+                on_batch(explored)
+
+        pending: List[DesignPoint] = []
+        for point in points:
+            pending.append(point)
+            if len(pending) >= self.batch_size:
+                consume(pending)
+                pending = []
+                if deadline is not None and time.time() > deadline:
+                    out_of_time = True
+                    break
+        if pending and not out_of_time and (deadline is None or time.time() <= deadline):
+            consume(pending)
+        return top, pareto, explored, out_of_time
+
     def _run_exhaustive(self, time_limit_seconds: float) -> DSEResult:
         start = time.time()
         stats_before = self.pipeline.stats.copy() if self.pipeline else None
-        top: List[DSECandidate] = []
-        explored = 0
-        pending: List[DesignPoint] = []
-        for point in self.space.enumerate():
-            pending.append(point)
-            if len(pending) >= self.batch_size:
-                top = self._merge_top(top, self._predict_batch(pending))
-                explored += len(pending)
-                pending = []
-                if time.time() - start > time_limit_seconds:
-                    break
-        if pending and time.time() - start <= time_limit_seconds:
-            top = self._merge_top(top, self._predict_batch(pending))
-            explored += len(pending)
+        top, pareto, explored, _ = self.evaluate_stream(
+            self.space.enumerate(), deadline=start + time_limit_seconds
+        )
         seconds = time.time() - start
         return DSEResult(
             kernel=self.spec.name,
@@ -196,6 +260,7 @@ class ModelDSE:
             exhaustive=True,
             predictions_per_second=explored / seconds if seconds > 0 else 0.0,
             stats=self._stats_since(stats_before),
+            pareto=pareto,
         )
 
     # -- ordered heuristic search ----------------------------------------------------------
@@ -257,4 +322,7 @@ class ModelDSE:
             exhaustive=False,
             predictions_per_second=explored / seconds if seconds > 0 else 0.0,
             stats=self._stats_since(stats_before),
+            # The beam search only retains the top list; its front is
+            # the non-dominated subset of those survivors.
+            pareto=pareto_front(top, _candidate_objectives, PARETO_KEYS),
         )

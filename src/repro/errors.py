@@ -86,6 +86,14 @@ class DSEError(ReproError):
     """Raised by the design-space-exploration driver."""
 
 
+class CheckpointError(DSEError):
+    """Raised for corrupt, half-written, or mismatched DSE checkpoints."""
+
+
+class WorkerCrashError(DSEError):
+    """Raised when a parallel-DSE worker dies repeatedly on one shard."""
+
+
 class ServeError(ReproError):
     """Base class for model-serving errors (``repro.serve``)."""
 

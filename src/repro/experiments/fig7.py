@@ -9,7 +9,7 @@ the added mispredicted points fix exactly that.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..dse.augment import AugmentationResult, run_dse_rounds
 from ..kernels import TRAINING_KERNELS

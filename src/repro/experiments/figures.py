@@ -14,15 +14,15 @@ of the figure's visual claim.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 
 from ..analysis.attention import AttentionReport, attention_report
 from ..analysis.tsne import neighborhood_coherence, tsne
 from ..model.predictor import GNNDSEPredictor
-from ..nn.data import Batch, DataLoader
+from ..nn.data import DataLoader
 from ..nn.tensor import no_grad
 from .context import ExperimentContext, default_context
 

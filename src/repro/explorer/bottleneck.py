@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from ..designspace.space import DesignPoint, DesignSpace, Knob, point_key
 from ..frontend.pragmas import PragmaKind
@@ -94,7 +94,7 @@ class BottleneckExplorer:
     @staticmethod
     def _ordered_bottlenecks(result: HLSResult) -> List[LoopReport]:
         loops = result.all_loops()
-        return sorted(loops, key=lambda l: l.cycles, reverse=True)
+        return sorted(loops, key=lambda loop: loop.cycles, reverse=True)
 
     def _knobs_for_loop(self, report: LoopReport, bottleneck: str) -> List[Knob]:
         priority = {kind: i for i, kind in enumerate(_KIND_PRIORITY.get(bottleneck, _KIND_PRIORITY[""]))}

@@ -8,7 +8,7 @@ AutoDSE's 21 hours with a fixed number of parallel workers).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from ..designspace.space import DesignPoint
 from ..hls.report import HLSResult

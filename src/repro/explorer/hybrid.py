@@ -9,7 +9,6 @@ best point — so the model sees the effect of modifying only one pragma.
 
 from __future__ import annotations
 
-import random
 from typing import Optional, Tuple
 
 from ..designspace.space import DesignPoint, DesignSpace

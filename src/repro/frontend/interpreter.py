@@ -13,7 +13,7 @@ AST — so it stays an obviously-correct reference, not a fast one.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

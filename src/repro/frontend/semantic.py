@@ -14,7 +14,7 @@ pass reuses, so name resolution logic lives in one place.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 from ..errors import SemanticError
 from . import ast_nodes as ast

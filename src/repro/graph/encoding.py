@@ -16,7 +16,7 @@ the standard treatment for ProGraML-style graphs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
 import numpy as np

@@ -15,12 +15,12 @@ only pragma-node *attributes* change, which the feature encoder exploits
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..errors import GraphError
-from ..frontend.pragmas import Pragma, PragmaKind
+from ..frontend.pragmas import Pragma
 from ..ir.function import Module
-from ..ir.values import Argument, Constant, Instruction, Value
+from ..ir.values import Constant, Instruction, Value
 
 __all__ = ["GraphNode", "GraphEdge", "ProgramGraph", "build_program_graph"]
 

@@ -15,7 +15,7 @@ factors feed the scheduler and resource estimator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..frontend.pragmas import Pragma, PragmaKind, PipelineOption
 from ..ir.analysis import FunctionAnalysis, KernelAnalysis, LoopInfo

@@ -28,12 +28,12 @@ real HLS QoR a hard, non-linear function of the pragmas:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..frontend.pragmas import PipelineOption
 from ..ir.analysis import ArrayAccess, LoopInfo, OpCensus, Reduction
-from .config import ConfiguredKernel, ConfiguredLoop, MAX_PARTITION
+from .config import ConfiguredKernel, ConfiguredLoop
 from .device import (
     BASE_BRAM,
     BASE_FF,

@@ -10,7 +10,7 @@ importance baseline to compare the GNN's attention against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..designspace.space import DesignPoint, DesignSpace
 from ..kernels.base import KernelSpec
@@ -33,7 +33,7 @@ class KnobSweep:
     @property
     def sensitivity(self) -> float:
         """Max/min valid-latency ratio (1.0 = the knob does nothing)."""
-        valid = [l for l in self.latencies if l]
+        valid = [lat for lat in self.latencies if lat]
         if len(valid) < 2:
             return 1.0
         return max(valid) / min(valid)

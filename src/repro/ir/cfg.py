@@ -13,7 +13,7 @@ our kernels' small CFGs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from ..errors import IRError
 from .function import BasicBlock, Function

@@ -17,7 +17,7 @@ The ``icmp`` in ``for.cond`` is registered in
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..errors import LoweringError
 from ..frontend import ast_nodes as ast

@@ -13,10 +13,10 @@ maintained by :class:`~repro.ir.values.Value`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 from .function import Function, Module
-from .types import F32, F64, I1, IntType
+from .types import I1, IntType
 from .values import Constant, Instruction
 
 __all__ = ["PassStats", "fold_constants", "eliminate_dead_code", "optimize_module"]

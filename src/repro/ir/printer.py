@@ -5,7 +5,6 @@ from __future__ import annotations
 from typing import List
 
 from .function import BasicBlock, Function, Module
-from .types import VOID
 from .values import Constant, Instruction, Value
 
 __all__ = ["print_module", "print_function", "print_instruction"]

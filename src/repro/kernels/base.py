@@ -11,7 +11,7 @@ Section 4.2 of the paper).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 __all__ = ["KernelSpec"]
 

@@ -18,7 +18,7 @@ model because it correlates weakly with the other objectives.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Tuple
 
 from ..errors import ModelError

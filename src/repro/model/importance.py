@@ -12,7 +12,7 @@ importance similarly to the ground truth.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..designspace.space import DesignPoint, DesignSpace
 from ..frontend.pragmas import PipelineOption, PragmaKind

@@ -7,7 +7,7 @@ head per objective (multi-task) or one classification head.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 

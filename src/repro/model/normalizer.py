@@ -32,7 +32,7 @@ class TargetNormalizer:
         faster design to a positive value, matching the paper's target
         range (0 .. ~12.7).
         """
-        latencies = [float(l) for l in latencies if l > 0]
+        latencies = [float(lat) for lat in latencies if lat > 0]
         if not latencies:
             raise ModelError("cannot fit normalizer on empty latency list")
         self.normalization_factor = max(latencies)

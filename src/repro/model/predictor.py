@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..designspace.space import DesignPoint
 from ..errors import ModelError

@@ -7,7 +7,7 @@ sub-modules by attribute assignment and expose :meth:`parameters` /
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Sequence
 
 import numpy as np
 

@@ -22,7 +22,7 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import Future
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from ..designspace.space import DesignPoint
 from ..errors import BacklogFullError, ServeError

@@ -11,7 +11,7 @@ from __future__ import annotations
 import json
 import urllib.error
 import urllib.request
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence
 
 from ..designspace.space import DesignPoint
 from ..errors import ServeError
@@ -109,12 +109,17 @@ class ServeClient:
         return self.predict(kernel, [point], valid_threshold, objectives_for)[0]
 
     def dse_top(
-        self, kernel: str, top: int = 10, time_limit: float = 10.0
+        self,
+        kernel: str,
+        top: int = 10,
+        time_limit: float = 10.0,
+        workers: Optional[int] = None,
     ) -> Dict[str, object]:
         """Run the model-driven search server-side; returns the JSON payload
-        (same schema as ``repro dse --output``)."""
-        return self._request(
-            "POST",
-            "/v1/dse/top",
-            {"kernel": kernel, "top": top, "time_limit": time_limit},
-        )
+        (same schema as ``repro dse --output``).  ``workers>1`` asks the
+        server for the sharded parallel orchestrator (bit-identical
+        results, capped server-side)."""
+        body = {"kernel": kernel, "top": top, "time_limit": time_limit}
+        if workers is not None:
+            body["workers"] = workers
+        return self._request("POST", "/v1/dse/top", body)

@@ -172,11 +172,15 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             top = int(body.get("top", 10))
             time_limit = float(body.get("time_limit", 10.0))
+            workers = int(body.get("workers", 1))
         except (TypeError, ValueError):
             raise _RequestError(
-                400, "bad_request", "'top' and 'time_limit' must be numbers"
+                400, "bad_request",
+                "'top', 'time_limit' and 'workers' must be numbers",
             ) from None
-        return 200, service.dse_top(kernel, top=top, time_limit_seconds=time_limit)
+        return 200, service.dse_top(
+            kernel, top=top, time_limit_seconds=time_limit, workers=workers
+        )
 
 
 class ServeHTTPServer(ThreadingHTTPServer):

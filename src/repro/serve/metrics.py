@@ -11,7 +11,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import Counter, deque
-from typing import Dict, Optional
+from typing import Dict
 
 __all__ = ["ServeMetrics"]
 

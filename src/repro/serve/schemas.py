@@ -9,7 +9,7 @@ lossless and server-side predictions stay bit-identical on the client.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict
 
 from ..designspace.space import DesignPoint
 from ..errors import ServeError
@@ -78,6 +78,10 @@ def dse_result_payload(result, stats=None) -> Dict[str, object]:
         "seconds": result.seconds,
         "exhaustive": result.exhaustive,
         "predictions_per_second": result.predictions_per_second,
+        "workers": getattr(result, "workers", 1),
+        "shards": getattr(result, "shards", 0),
+        "shards_resumed": getattr(result, "shards_resumed", 0),
+        "retries": getattr(result, "retries", 0),
         "top": [
             {
                 "rank": rank + 1,
@@ -85,6 +89,13 @@ def dse_result_payload(result, stats=None) -> Dict[str, object]:
                 "prediction": prediction_payload(candidate.prediction),
             }
             for rank, candidate in enumerate(result.top)
+        ],
+        "pareto": [
+            {
+                "point": point_payload(candidate.point),
+                "prediction": prediction_payload(candidate.prediction),
+            }
+            for candidate in getattr(result, "pareto", [])
         ],
         "pipeline_stats": None if stats is None else stats.to_dict(),
     }

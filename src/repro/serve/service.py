@@ -16,11 +16,12 @@ from __future__ import annotations
 
 import concurrent.futures
 import threading
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..designspace import DesignSpace, build_design_space
 from ..designspace.space import DesignPoint
 from ..dse.pipeline import EvaluationPipeline
+from ..dse.parallel import ParallelDSE
 from ..dse.search import ModelDSE
 from ..errors import DesignSpaceError, ServeError
 from ..kernels import get_kernel, list_kernels
@@ -148,26 +149,48 @@ class PredictorService:
 
     # -- server-side DSE ---------------------------------------------------------
 
+    #: Upper bound on ``workers`` accepted by :meth:`dse_top`.
+    MAX_DSE_WORKERS = 8
+
     def dse_top(
         self,
         kernel: str,
         top: int = 10,
         time_limit_seconds: float = 10.0,
+        workers: int = 1,
     ) -> Dict[str, object]:
         """Run the model-driven search server-side; returns the JSON payload.
 
-        Shares the service pipeline (and therefore its caches and
-        batch templates); the pipeline's internal lock interleaves the
-        search's batches with concurrent predict traffic.
+        With ``workers=1`` (the default) the search shares the service
+        pipeline (and therefore its caches and batch templates); the
+        pipeline's internal lock interleaves the search's batches with
+        concurrent predict traffic.  ``workers>1`` runs the sharded
+        :class:`~repro.dse.parallel.ParallelDSE` orchestrator instead —
+        worker processes get their own pipelines, and the merged result
+        is bit-identical to the serial sweep.
         """
         if self._closed:
             raise ServeError("service is shut down")
         if top < 1:
             raise ServeError(f"top must be >= 1, got {top}")
+        workers = int(workers)
+        if not 1 <= workers <= self.MAX_DSE_WORKERS:
+            raise ServeError(
+                f"workers must be between 1 and {self.MAX_DSE_WORKERS}, got {workers}"
+            )
         time_limit = min(float(time_limit_seconds), self.max_dse_seconds)
         if time_limit <= 0:
             raise ServeError(f"time_limit must be > 0, got {time_limit_seconds}")
         space = self.space(kernel)  # raises ServeError on unknown kernels
+        if workers > 1:
+            parallel = ParallelDSE(
+                self.predictor,
+                get_kernel(kernel),
+                space,
+                workers=workers,
+                top_m=int(top),
+            )
+            return dse_result_payload(parallel.run(time_limit_seconds=time_limit))
         dse = ModelDSE(
             self.predictor,
             get_kernel(kernel),

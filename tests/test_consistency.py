@@ -14,7 +14,7 @@ import pytest
 from repro.graph.vocab import NODE_TEXT_VOCAB, node_text_index, UNK_INDEX
 from repro.hls.device import OP_COSTS
 from repro.ir.analysis import OpCensus
-from repro.ir.values import BINARY_OPCODES, CAST_OPCODES, OPCODES
+from repro.ir.values import OPCODES
 
 
 class TestVocabCoversIR:

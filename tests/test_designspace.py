@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.designspace import (
-    DesignSpace,
     PruningRules,
     build_design_space,
     divisors,

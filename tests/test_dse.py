@@ -1,13 +1,12 @@
 """Tests for pragma ordering, Pareto utilities, and the model-driven DSE."""
 
-import numpy as np
 import pytest
 
 from repro.designspace import build_design_space
 from repro.dse import ModelDSE, dominates, order_pragmas, pareto_front
 from repro.frontend.pragmas import PragmaKind
 from repro.kernels import get_kernel
-from repro.model.predictor import GNNDSEPredictor, Prediction
+from repro.model.predictor import Prediction
 
 
 class TestOrdering:

@@ -1,6 +1,5 @@
 """Tests for the experiments layer: formatting, paper constants, context."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.designspace import build_design_space, point_key
+from repro.designspace import build_design_space
 from repro.errors import DatabaseError
 from repro.explorer import (
     BottleneckExplorer,

@@ -6,18 +6,13 @@ import pytest
 from repro.errors import GraphError
 from repro.frontend.pragmas import PipelineOption
 from repro.graph import (
-    FLOW_CONTROL,
     FLOW_DATA,
     FLOW_PRAGMA,
-    NTYPE_CONSTANT,
     NTYPE_INSTRUCTION,
-    NTYPE_PRAGMA,
-    NTYPE_VARIABLE,
-    GraphEncoder,
     encode_kernel,
     kernel_graph,
 )
-from repro.kernels import KERNELS, get_kernel, toy_kernel
+from repro.kernels import KERNELS, toy_kernel
 
 
 @pytest.fixture(scope="module")

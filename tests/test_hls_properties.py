@@ -4,11 +4,10 @@ and of the graph-encoding cache the evaluation pipeline is built on."""
 import random
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.designspace import build_design_space, point_key
+from repro.designspace import build_design_space
 from repro.frontend.pragmas import PipelineOption, PragmaKind
 from repro.graph import encode_kernel
 from repro.graph.encoding import PRAGMA_FEATURE_SLICE

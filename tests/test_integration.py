@@ -11,7 +11,7 @@ import pytest
 
 from repro.designspace import build_design_space
 from repro.dse import ModelDSE, run_dse_rounds
-from repro.explorer import Database, Evaluator, generate_database
+from repro.explorer import generate_database
 from repro.hls import MerlinHLSTool
 from repro.kernels import get_kernel
 from repro.model import TrainConfig, train_predictor

@@ -1,10 +1,9 @@
 """Tests for the IR optimization passes (constant folding + DCE)."""
 
-import pytest
 
 from repro.frontend.parser import parse_source
 from repro.ir import lower_unit, optimize_module
-from repro.ir.passes import eliminate_dead_code, fold_constants
+from repro.ir.passes import eliminate_dead_code
 from repro.ir.values import Constant
 
 
