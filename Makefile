@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install lint test test-fast bench bench-fast bench-smoke serve-smoke bench-parallel-smoke ci examples clean
+.PHONY: install lint test test-fast bench bench-fast bench-smoke serve-smoke bench-parallel-smoke trace-smoke ci examples clean
 
 install:
 	$(PY) setup.py develop
@@ -41,13 +41,20 @@ serve-smoke:
 bench-parallel-smoke:
 	$(PY) benchmarks/bench_parallel_dse.py --smoke
 
+# Tiny traced DSE through the CLI; validates the exported trace JSON
+# against its schema, span-tree containment, and the live metrics
+# registry.
+trace-smoke:
+	cd benchmarks && $(PY) trace_smoke.py
+
 # Everything CI runs, in the same order: lint, the tier-1 suite, and
-# the three smoke gates.  `make ci` green locally = workflow green.
+# the four smoke gates.  `make ci` green locally = workflow green.
 ci: lint
 	$(PY) -m pytest tests/ -x -q
 	$(MAKE) bench-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) bench-parallel-smoke
+	$(MAKE) trace-smoke
 
 # Smoke-scale benchmark run (~minutes): tiny database + training budgets.
 bench-fast:

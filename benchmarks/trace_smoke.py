@@ -1,0 +1,128 @@
+"""Smoke gate for the observability layer: ``make trace-smoke``.
+
+Runs a tiny traced DSE through the real CLI (``repro dse --trace``) on
+untrained weights, then checks the exported artifact end-to-end:
+
+- the trace file on disk passes :func:`repro.obs.validate_trace`;
+- span parentage is a well-formed forest and every child span lies
+  inside its parent's interval (durations sum consistently with the
+  reported wall time);
+- the expected span names are present (CLI root, shard evaluation,
+  pipeline batches);
+- the process metrics registry picked up the pipeline/DSE counters the
+  ``/metrics`` endpoint serves, and the Prometheus-style text dump
+  renders them.
+
+Exits non-zero on any violation.  Finishes in seconds; no database or
+training required.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import time
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # standalone run from a source checkout, no install
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from bench_pipeline import _untrained_predictor
+
+from repro.cli import main as repro_main
+from repro.obs import REGISTRY, metrics_text, validate_trace
+
+KERNEL = "fir"
+
+#: Span-interval containment slack (float accumulation, not clock skew).
+EPSILON_S = 1e-6
+
+
+def check_span_tree(payload):
+    """Every child must reference a known parent and nest inside it."""
+    spans = {s["id"]: s for s in payload["spans"]}
+    roots = 0
+    for s in spans.values():
+        if s["parent_id"] is None:
+            roots += 1
+            continue
+        parent = spans[s["parent_id"]]
+        child_start = s["start_s"]
+        child_end = child_start + s["duration_s"]
+        parent_start = parent["start_s"]
+        parent_end = parent_start + parent["duration_s"]
+        assert parent_start - EPSILON_S <= child_start, (
+            f"span {s['name']} starts before its parent {parent['name']}"
+        )
+        assert child_end <= parent_end + EPSILON_S, (
+            f"span {s['name']} ({child_end - child_start:.6f}s) overruns "
+            f"its parent {parent['name']}"
+        )
+    assert roots >= 1, "trace has no root span"
+    return roots
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact = os.path.join(tmp, "model")
+        _untrained_predictor().save(artifact)
+        trace_path = os.path.join(tmp, "trace.json")
+
+        wall_start = time.monotonic()
+        code = repro_main([
+            "dse", "-k", KERNEL, "--model", artifact,
+            "--top", "3", "--time-limit", "120",
+            "--workers", "1", "--checkpoint", os.path.join(tmp, "ckpt.json"),
+            "--trace", trace_path,
+        ])
+        wall = time.monotonic() - wall_start
+        assert code == 0, f"repro dse exited {code}"
+        assert os.path.exists(trace_path), "--trace wrote no file"
+
+        with open(trace_path) as handle:
+            payload = json.load(handle)
+        validate_trace(payload)
+        assert payload["dropped_spans"] == 0
+
+        names = {s["name"] for s in payload["spans"]}
+        for required in (
+            "dse.run", "dse.parallel.run", "dse.shard",
+            "dse.pareto_merge", "pipeline.predict_batch", "pipeline.forward",
+        ):
+            assert required in names, f"missing span {required!r}; got {sorted(names)}"
+        check_span_tree(payload)
+
+        # The CLI root span covers the whole search and fits the
+        # measured wall time of the command.
+        (root,) = [s for s in payload["spans"] if s["name"] == "dse.run"]
+        assert root["parent_id"] is None
+        assert 0.0 < root["duration_s"] <= wall + EPSILON_S, (
+            f"root span {root['duration_s']:.3f}s vs wall {wall:.3f}s"
+        )
+        shard_spans = [s for s in payload["spans"] if s["name"] == "dse.shard"]
+        shard_sum = sum(s["duration_s"] for s in shard_spans)
+        assert shard_sum <= root["duration_s"] + EPSILON_S
+
+        counters = REGISTRY.counters()
+        assert counters.get("pipeline.points", 0) > 0
+        assert counters.get("dse.shards_completed", 0) == len(shard_spans)
+        assert counters.get("pipeline.cache_misses", 0) > 0
+        fill = REGISTRY.histogram("pipeline.batch_fill").snapshot()
+        assert fill["count"] > 0
+
+        text = metrics_text()
+        assert "repro_pipeline_points" in text
+        assert "repro_dse_shards_completed" in text
+
+        print(
+            f"trace-smoke OK: {payload['span_count']} spans "
+            f"({len(shard_spans)} shards, {shard_sum:.2f}s evaluated / "
+            f"{root['duration_s']:.2f}s traced / {wall:.2f}s wall), "
+            f"{len(counters)} counters live"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

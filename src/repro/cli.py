@@ -86,6 +86,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", default="M7", help="model config (M1-M7)")
     p.add_argument("--epochs", type=int, default=16)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="enable tracing and write per-epoch spans as trace JSON")
 
     p = sub.add_parser("dse", help="model-driven DSE on one kernel")
     p.add_argument("-k", "--kernel", required=True)
@@ -126,6 +128,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--emit-source", metavar="FILE",
         help="write the best design as concrete pragma-annotated C",
     )
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="enable tracing and write the run's spans (shards, "
+                        "batches, merges) as schema-validated trace JSON")
 
     p = sub.add_parser(
         "save-model",
@@ -151,6 +156,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pending-request bound before 503 load shedding")
     p.add_argument("--engine", choices=["auto", "compiled", "reference"],
                    default="auto")
+    p.add_argument("--trace", action="store_true",
+                   help="enable tracing so GET /v1/trace serves live "
+                        "per-request spans")
 
     p = sub.add_parser("coverage", help="database coverage report for one kernel")
     p.add_argument("-k", "--kernel", required=True)
@@ -221,19 +229,46 @@ def _cmd_database(args) -> int:
     return 0
 
 
+def _start_trace(path) -> None:
+    """Enable process-wide tracing when a ``--trace`` path was given."""
+    if path:
+        from . import obs
+
+        obs.enable()
+
+
+def _finish_trace(path, root_name: str) -> None:
+    """Validate + write the collected spans, if tracing was requested."""
+    if not path:
+        return
+    from . import obs
+
+    payload = obs.write_trace(path)
+    roots = [s for s in payload["spans"] if s["name"] == root_name]
+    total = sum(s["duration_s"] for s in roots)
+    print(
+        f"wrote {path}: {payload['span_count']} spans "
+        f"({len(roots)} {root_name}, {total:.2f}s traced)"
+    )
+
+
 def _cmd_train(args) -> int:
     from .experiments.context import ExperimentContext
     from .explorer import Database
     from .model import TrainConfig, train_predictor
+    from .obs import span
 
+    _start_trace(args.trace)
     database = Database.load(args.database)
-    predictor, metrics = train_predictor(
-        database,
-        config_name=args.model,
-        train_config=TrainConfig(epochs=args.epochs, seed=args.seed),
-        seed=args.seed,
-        return_metrics=True,
-    )
+    with span("train.run", model=args.model, epochs=args.epochs):
+        predictor, metrics = train_predictor(
+            database,
+            config_name=args.model,
+            train_config=TrainConfig(epochs=args.epochs, seed=args.seed),
+            seed=args.seed,
+            return_metrics=True,
+        )
+    _finish_trace(args.trace, "train.run")
     ExperimentContext.save_predictor(predictor, args.output)
     print(f"wrote {args.output}")
     for key in ("latency", "DSP", "LUT", "FF", "BRAM", "all", "accuracy", "f1"):
@@ -256,7 +291,9 @@ def _cmd_dse(args) -> int:
     import os
 
     from .dse import EvaluationPipeline, ModelDSE
+    from .obs import span
 
+    _start_trace(args.trace)
     spec = get_kernel(args.kernel)
     space = build_design_space(spec)
     if os.path.isdir(args.model):
@@ -272,32 +309,34 @@ def _cmd_dse(args) -> int:
         predictor = _load_predictor(args.database, args.predictor, args.model)
     if args.resume and not args.checkpoint:
         raise ReproError("--resume requires --checkpoint FILE")
-    if args.workers > 1 or args.checkpoint:
-        from .dse import ParallelDSE
+    with span("dse.run", kernel=args.kernel, workers=args.workers):
+        if args.workers > 1 or args.checkpoint:
+            from .dse import ParallelDSE
 
-        parallel = ParallelDSE(
-            predictor, spec, space,
-            workers=args.workers,
-            top_m=args.top,
-            pipeline_batch_size=args.batch_size,
-            engine=args.engine,
-            cache=not args.no_cache,
-            shard_size=args.shard_size,
-            checkpoint_path=args.checkpoint,
-            resume=args.resume,
-        )
-        result = parallel.run(time_limit_seconds=args.time_limit)
-    else:
-        # The plain serial code path, byte-for-byte what pre-parallel
-        # builds ran (no sharding, no journal).
-        pipeline = EvaluationPipeline(
-            predictor,
-            batch_size=args.batch_size,
-            engine=args.engine,
-            cache=not args.no_cache,
-        )
-        dse = ModelDSE(predictor, spec, space, top_m=args.top, pipeline=pipeline)
-        result = dse.run(time_limit_seconds=args.time_limit)
+            parallel = ParallelDSE(
+                predictor, spec, space,
+                workers=args.workers,
+                top_m=args.top,
+                pipeline_batch_size=args.batch_size,
+                engine=args.engine,
+                cache=not args.no_cache,
+                shard_size=args.shard_size,
+                checkpoint_path=args.checkpoint,
+                resume=args.resume,
+            )
+            result = parallel.run(time_limit_seconds=args.time_limit)
+        else:
+            # The plain serial code path, byte-for-byte what pre-parallel
+            # builds ran (no sharding, no journal).
+            pipeline = EvaluationPipeline(
+                predictor,
+                batch_size=args.batch_size,
+                engine=args.engine,
+                cache=not args.no_cache,
+            )
+            dse = ModelDSE(predictor, spec, space, top_m=args.top, pipeline=pipeline)
+            result = dse.run(time_limit_seconds=args.time_limit)
+    _finish_trace(args.trace, "dse.run")
     mode = "exhaustive" if result.exhaustive else "heuristic"
     print(
         f"{args.kernel}: explored {result.explored:,} configs in {result.seconds:.1f}s "
@@ -364,6 +403,10 @@ def _cmd_serve(args) -> int:
     from .model.predictor import GNNDSEPredictor
     from .serve import PredictorService, ServeHTTPServer
 
+    if args.trace:
+        from . import obs
+
+        obs.enable()
     predictor = GNNDSEPredictor.load(args.model)
     service = PredictorService(
         predictor,
@@ -375,7 +418,8 @@ def _cmd_serve(args) -> int:
     server = ServeHTTPServer((args.host, args.port), service)
     host, port = server.server_address[:2]
     print(f"serving {args.model} on http://{host}:{port} "
-          f"(batch={args.batch_size}, flush={args.max_delay_ms:g}ms) — Ctrl-C to stop")
+          f"(batch={args.batch_size}, flush={args.max_delay_ms:g}ms"
+          f"{', tracing' if args.trace else ''}) — Ctrl-C to stop")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

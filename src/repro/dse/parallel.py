@@ -51,6 +51,7 @@ from ..errors import CheckpointError, DSEError, WorkerCrashError
 from ..explorer.database import deserialize_point, serialize_point
 from ..frontend.pragmas import PipelineOption
 from ..model.predictor import Prediction
+from ..obs import TRACER, counter, histogram, span
 from .pareto import pareto_merge
 from .pipeline import EvaluationPipeline, PipelineStats
 from .search import PARETO_KEYS, DSECandidate, DSEResult, ModelDSE, _candidate_objectives
@@ -69,6 +70,17 @@ logger = logging.getLogger("repro.dse.parallel")
 
 #: Version of the checkpoint journal written by :class:`DSECheckpoint`.
 CHECKPOINT_SCHEMA_VERSION = 1
+
+# Process-wide observability instruments (see ``repro.obs``).  All
+# duration/deadline math in this module runs on monotonic clocks
+# (``time.monotonic`` / the tracer's ``perf_counter`` epoch); a stepped
+# wall clock can therefore neither trip the stall detector nor skew the
+# heartbeat-lag histogram.
+_HEARTBEAT_LAG = histogram("dse.heartbeat_lag_seconds")
+_SHARD_RETRIES = counter("dse.shard_retries")
+_SHARDS_COMPLETED = counter("dse.shards_completed")
+_WORKER_CRASHES = counter("dse.worker_crashes")
+_TEARDOWN_ERRORS = counter("dse.teardown_errors")
 
 
 # ---------------------------------------------------------------------------
@@ -351,7 +363,11 @@ def _worker_main(worker_id, predictor, spec, space, config, task_q, result_q, ho
             result_q.put(("exit", worker_id))
             return
         index, attempt, points = task
-        result_q.put(("hb", worker_id, index, time.time()))
+        # Heartbeat stamps are CLOCK_MONOTONIC: fork-started children
+        # share the parent's monotonic clock (same boot epoch), so the
+        # orchestrator can difference them for queue-lag without any
+        # wall-clock involvement.
+        result_q.put(("hb", worker_id, index, time.monotonic()))
         try:
             if hooks is not None and hooks.on_shard_start is not None:
                 hooks.on_shard_start(worker_id, index, attempt)
@@ -359,7 +375,7 @@ def _worker_main(worker_id, predictor, spec, space, config, task_q, result_q, ho
             def on_batch(_explored):
                 if hooks is not None and hooks.batch_overhead_seconds > 0:
                     time.sleep(hooks.batch_overhead_seconds)
-                result_q.put(("hb", worker_id, index, time.time()))
+                result_q.put(("hb", worker_id, index, time.monotonic()))
 
             before = pipeline.stats.copy()
             top, pareto, explored, _ = dse.evaluate_stream(points, on_batch=on_batch)
@@ -385,7 +401,11 @@ class _WorkerHandle:
         self.process = process
         self.task_queue = task_queue
         self.assigned: Optional[int] = None
-        self.last_heartbeat = time.time()
+        # Monotonic arrival time of the last sign of life; stall
+        # detection differences this against ``time.monotonic()`` only,
+        # so a stepped wall clock cannot fake (or hide) a stall.
+        self.last_heartbeat = time.monotonic()
+        self.assigned_at: Optional[float] = None  # tracer-epoch seconds
 
 
 # ---------------------------------------------------------------------------
@@ -575,7 +595,13 @@ class ParallelDSE:
 
     def run(self, time_limit_seconds: float = 3600.0) -> DSEResult:
         """Evaluate all shards (resuming if configured) and merge."""
-        start = time.time()
+        with span(
+            "dse.parallel.run", kernel=self.spec.name, workers=self.workers
+        ) as root:
+            return self._run(time_limit_seconds, root)
+
+    def _run(self, time_limit_seconds: float, root) -> DSEResult:
+        start = time.monotonic()
         shards, shard_size, total = self._plan()
         shards, shard_size, completed, prior_retries = self._load_resume_state(
             shards, shard_size, total
@@ -605,18 +631,23 @@ class ParallelDSE:
         explored = 0
         evaluated_now = 0
         stats: Optional[PipelineStats] = None
-        for index in sorted(completed):
-            shard = completed[index]
-            top = merger._merge_top(top, shard.top)
-            pareto = pareto_merge(
-                pareto, shard.pareto, _candidate_objectives, PARETO_KEYS
-            )
-            explored += shard.explored
-            if index not in resumed:
-                evaluated_now += shard.explored
-            if shard.stats is not None:
-                stats = shard.stats if stats is None else stats + shard.stats
-        seconds = time.time() - start
+        with span("dse.pareto_merge", shards=len(completed)):
+            for index in sorted(completed):
+                shard = completed[index]
+                top = merger._merge_top(top, shard.top)
+                pareto = pareto_merge(
+                    pareto, shard.pareto, _candidate_objectives, PARETO_KEYS
+                )
+                explored += shard.explored
+                if index not in resumed:
+                    evaluated_now += shard.explored
+                if shard.stats is not None:
+                    stats = shard.stats if stats is None else stats + shard.stats
+        seconds = time.monotonic() - start
+        root.set(
+            shards=num_shards, shards_resumed=len(resumed),
+            retries=prior_retries + retries, explored=explored,
+        )
         return DSEResult(
             kernel=self.spec.name,
             top=top,
@@ -645,7 +676,7 @@ class ParallelDSE:
         dse = self._make_dse(pipeline)
         hooks = self.hooks
         for index in pending:
-            if time.time() > deadline:
+            if time.monotonic() > deadline:
                 break
             if hooks is not None and hooks.on_shard_start is not None:
                 hooks.on_shard_start(0, index, 1)
@@ -655,13 +686,15 @@ class ParallelDSE:
                     time.sleep(hooks.batch_overhead_seconds)
 
             before = pipeline.stats.copy()
-            top, pareto, explored, _ = dse.evaluate_stream(
-                shards[index], on_batch=on_batch
-            )
+            with span("dse.shard", shard=index, points=len(shards[index]), worker=0):
+                top, pareto, explored, _ = dse.evaluate_stream(
+                    shards[index], on_batch=on_batch
+                )
             completed[index] = ShardResult(
                 index=index, top=top, pareto=pareto, explored=explored,
                 stats=pipeline.stats - before, worker=0, attempts=1,
             )
+            _SHARDS_COMPLETED.inc()
             self._checkpoint_write(
                 fingerprint, shard_size, num_shards, total, completed, prior_retries
             )
@@ -718,15 +751,31 @@ class ParallelDSE:
                     _, worker_id, _index, stamp = message
                     handle = handles.get(worker_id)
                     if handle is not None:
-                        handle.last_heartbeat = stamp
+                        # Liveness keys off the orchestrator's own
+                        # monotonic arrival clock; the worker's stamp
+                        # (same CLOCK_MONOTONIC epoch under fork) only
+                        # feeds the queue-lag histogram.
+                        now = time.monotonic()
+                        handle.last_heartbeat = now
+                        _HEARTBEAT_LAG.observe(max(now - stamp, 0.0))
                 elif kind == "result":
                     _, worker_id, shard = message
                     handle = handles.get(worker_id)
                     if handle is not None and handle.assigned == shard.index:
                         handle.assigned = None
-                        handle.last_heartbeat = time.time()
+                        handle.last_heartbeat = time.monotonic()
+                        if handle.assigned_at is not None:
+                            TRACER.record(
+                                "dse.shard",
+                                handle.assigned_at,
+                                TRACER.now() - handle.assigned_at,
+                                shard=shard.index, worker=worker_id,
+                                points=shard.explored, attempt=shard.attempts,
+                            )
+                            handle.assigned_at = None
                     if shard.index not in completed:
                         completed[shard.index] = shard
+                        _SHARDS_COMPLETED.inc()
                         self._checkpoint_write(
                             fingerprint, shard_size, num_shards, total,
                             completed, prior_retries + retries,
@@ -740,7 +789,7 @@ class ParallelDSE:
                     _, worker_id = message
                     handle = handles.get(worker_id)
                     if handle is not None:
-                        handle.last_heartbeat = time.time()
+                        handle.last_heartbeat = time.monotonic()
 
         def retry_shard(handle: _WorkerHandle, reason: str) -> None:
             nonlocal retries
@@ -756,6 +805,7 @@ class ParallelDSE:
                     f"{handle.worker_id}: {reason}); giving up"
                 )
             retries += 1
+            _SHARD_RETRIES.inc()
             logger.warning(
                 "worker %d %s on shard %d (attempt %d/%d); retrying once",
                 handle.worker_id, reason, index,
@@ -772,27 +822,29 @@ class ParallelDSE:
                 for handle in list(handles.values()):
                     if handle.assigned is not None or not handle.process.is_alive():
                         continue
-                    if not queue or time.time() > deadline:
+                    if not queue or time.monotonic() > deadline:
                         break
                     index = queue.popleft()
                     attempts[index] = attempts.get(index, 0) + 1
                     handle.task_queue.put((index, attempts[index], shards[index]))
                     handle.assigned = index
-                    handle.last_heartbeat = time.time()
+                    handle.assigned_at = TRACER.now()
+                    handle.last_heartbeat = time.monotonic()
                 in_flight = [h for h in handles.values() if h.assigned is not None]
-                if time.time() > deadline:
+                if time.monotonic() > deadline:
                     out_of_time = True
                 if not in_flight and (not queue or out_of_time):
                     break
                 drain(block_seconds=0.05)
                 # Liveness: a dead worker with an assigned shard lost it.
-                now = time.time()
+                now = time.monotonic()
                 for handle in list(handles.values()):
                     if handle.assigned is None:
                         continue
                     if not handle.process.is_alive():
                         drain()  # absorb any result that raced the crash
                         if handle.assigned is not None:
+                            _WORKER_CRASHES.inc()
                             exitcode = handle.process.exitcode
                             retry_shard(handle, f"died (exit code {exitcode})")
                             if queue and len(handles) < self.workers:
@@ -817,8 +869,16 @@ class ParallelDSE:
             for handle in handles.values():
                 try:
                     handle.task_queue.put_nowait(None)
-                except Exception:
+                except queue_mod.Full:
+                    # Expected when a wedged worker never drained its
+                    # queue; termination below still reaps the process.
                     pass
+                except Exception as exc:
+                    _TEARDOWN_ERRORS.inc()
+                    logger.warning(
+                        "failed to send shutdown sentinel to worker %d: %s",
+                        handle.worker_id, exc,
+                    )
             for handle in handles.values():
                 handle.process.join(timeout=5.0)
                 if handle.process.is_alive():

@@ -56,6 +56,7 @@ from ..model.predictor import (
 from ..nn.conv import TransformerConv
 from ..nn.pooling import NodeAttentionPool, SumPool
 from ..nn.tensor import get_default_dtype, no_grad
+from ..obs import counter, histogram, span
 
 __all__ = [
     "CompiledGNNEngine",
@@ -97,6 +98,17 @@ def surrogate_scorers(
 
 class UnsupportedModelError(RuntimeError):
     """The compiled engine cannot lower this model architecture."""
+
+
+# Process-wide observability instruments (see ``repro.obs``).  Counters
+# are always on (one integer add behind a lock, a handful per *batch*,
+# never per point); spans compile to a shared no-op unless tracing is
+# enabled, so the PR 1 hot-path speedups are preserved.
+_OBS_POINTS = counter("pipeline.points")
+_OBS_BATCHES = counter("pipeline.batches")
+_OBS_CACHE_HITS = counter("pipeline.cache_hits")
+_OBS_CACHE_MISSES = counter("pipeline.cache_misses")
+_OBS_BATCH_FILL = histogram("pipeline.batch_fill")
 
 
 # ---------------------------------------------------------------------------
@@ -724,14 +736,24 @@ class EvaluationPipeline:
             return []
         with self._lock:
             t_wall = time.perf_counter()
-            if self._supports_compiled():
-                out = self._compiled_batch(
-                    kernel, points, valid_threshold, objectives_for
-                )
-            else:
-                out = self._reference_batch(kernel, points, valid_threshold)
+            hits0, misses0 = self.stats.cache_hits, self.stats.cache_misses
+            batches0 = self.stats.batches
+            with span(
+                "pipeline.predict_batch", kernel=kernel, points=len(points)
+            ) as sp:
+                if self._supports_compiled():
+                    out = self._compiled_batch(
+                        kernel, points, valid_threshold, objectives_for
+                    )
+                else:
+                    out = self._reference_batch(kernel, points, valid_threshold)
+                sp.set(engine=self.stats.engine)
             self.stats.points += len(points)
             self.stats.wall_seconds += time.perf_counter() - t_wall
+            _OBS_POINTS.inc(len(points))
+            _OBS_BATCHES.inc(self.stats.batches - batches0)
+            _OBS_CACHE_HITS.inc(self.stats.cache_hits - hits0)
+            _OBS_CACHE_MISSES.inc(self.stats.cache_misses - misses0)
             return out
 
     # -- reference path ---------------------------------------------------------
@@ -789,17 +811,22 @@ class EvaluationPipeline:
                 entry = self._engines(kernel, len(chunk))
                 template: _BatchTemplate = entry["template"]
                 engines = entry["engines"]
-                t0 = time.perf_counter()
-                for slot, point in enumerate(chunk):
-                    template.set_point(slot, point)
-                self.stats.encode_seconds += time.perf_counter() - t0
-                t0 = time.perf_counter()
-                for name in engine_names:
-                    result = engines[name].forward()
-                    outputs[name].append(result[: len(chunk)].copy())
-                self.stats.inference_seconds += time.perf_counter() - t0
+                with span(
+                    "pipeline.forward", kernel=kernel, chunk=len(chunk),
+                    engines=",".join(engine_names),
+                ):
+                    t0 = time.perf_counter()
+                    for slot, point in enumerate(chunk):
+                        template.set_point(slot, point)
+                    self.stats.encode_seconds += time.perf_counter() - t0
+                    t0 = time.perf_counter()
+                    for name in engine_names:
+                        result = engines[name].forward()
+                        outputs[name].append(result[: len(chunk)].copy())
+                    self.stats.inference_seconds += time.perf_counter() - t0
                 self.stats.batches += 1
                 self.stats.model_points += len(chunk)
+                _OBS_BATCH_FILL.observe(len(chunk))
         return {name: np.concatenate(chunks, axis=0) for name, chunks in outputs.items()}
 
     def _compiled_batch(

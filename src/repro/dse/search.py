@@ -211,11 +211,12 @@ class ModelDSE:
         sharded evaluation bit-identical to the single-process sweep.
 
         Returns ``(top, pareto, explored, out_of_time)``.  ``deadline``
-        is an absolute ``time.time()`` bound checked after each full
-        batch, matching the historical serial semantics; ``on_batch``
-        (called with the running explored count) is the hook parallel
-        workers use for heartbeats and tests/benchmarks use for fault
-        and latency injection.
+        is an absolute ``time.monotonic()`` bound checked after each
+        full batch (monotonic, so a stepped wall clock can neither cut
+        a sweep short nor extend it); ``on_batch`` (called with the
+        running explored count) is the hook parallel workers use for
+        heartbeats and tests/benchmarks use for fault and latency
+        injection.
         """
         top = list(top) if top else []
         pareto = list(pareto) if pareto else []
@@ -238,20 +239,20 @@ class ModelDSE:
             if len(pending) >= self.batch_size:
                 consume(pending)
                 pending = []
-                if deadline is not None and time.time() > deadline:
+                if deadline is not None and time.monotonic() > deadline:
                     out_of_time = True
                     break
-        if pending and not out_of_time and (deadline is None or time.time() <= deadline):
+        if pending and not out_of_time and (deadline is None or time.monotonic() <= deadline):
             consume(pending)
         return top, pareto, explored, out_of_time
 
     def _run_exhaustive(self, time_limit_seconds: float) -> DSEResult:
-        start = time.time()
+        start = time.monotonic()
         stats_before = self.pipeline.stats.copy() if self.pipeline else None
         top, pareto, explored, _ = self.evaluate_stream(
             self.space.enumerate(), deadline=start + time_limit_seconds
         )
-        seconds = time.time() - start
+        seconds = time.monotonic() - start
         return DSEResult(
             kernel=self.spec.name,
             top=top,
@@ -266,7 +267,7 @@ class ModelDSE:
     # -- ordered heuristic search ----------------------------------------------------------
 
     def _run_heuristic(self, time_limit_seconds: float) -> DSEResult:
-        start = time.time()
+        start = time.monotonic()
         stats_before = self.pipeline.stats.copy() if self.pipeline else None
         ordered = order_pragmas(self.space)
         seen = set()
@@ -308,12 +309,12 @@ class ModelDSE:
                 pool = usable or scored
                 pool.sort(key=lambda c: c.predicted_latency)
                 beam = [c.point for c in pool[: self.beam_width]] or beam
-                if time.time() - start > time_limit_seconds:
+                if time.monotonic() - start > time_limit_seconds:
                     out_of_time = True
                     break
             if not improved:
                 break
-        seconds = time.time() - start
+        seconds = time.monotonic() - start
         return DSEResult(
             kernel=self.spec.name,
             top=top,

@@ -38,10 +38,10 @@ def run_inference_speed(
     points = space.sample(random.Random(ctx.seed), num_points)
     # Warm-up (graph encoding cache, CSR plans).
     predictor.predict_batch(kernel, points[: min(8, num_points)])
-    start = time.time()
+    start = time.monotonic()
     for i in range(0, num_points, batch_size):
         predictor.predict_batch(kernel, points[i : i + batch_size])
-    seconds = time.time() - start
+    seconds = time.monotonic() - start
     per_second = num_points / seconds if seconds > 0 else float("inf")
     return InferenceSpeed(
         kernel=kernel,

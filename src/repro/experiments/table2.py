@@ -85,7 +85,7 @@ def run_table2(
     for name in models:
         if name not in MODEL_CONFIGS:
             raise KeyError(f"unknown model {name!r}")
-        start = time.time()
+        start = time.monotonic()
         _, metrics = train_predictor(
             database,
             config_name=name,
@@ -99,7 +99,7 @@ def run_table2(
                 method=_METHOD_NAMES[name],
                 metrics={k: round(float(v), 4) for k, v in metrics.items()},
                 paper=TABLE2_PAPER.get(name, {}),
-                train_seconds=time.time() - start,
+                train_seconds=time.monotonic() - start,
             )
         )
     if use_cache:

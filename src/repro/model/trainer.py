@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..errors import ModelError
+from ..obs import span
 from ..nn.data import Batch, DataLoader
 from ..nn.loss import binary_accuracy, cross_entropy, f1_score, mse_loss, rmse
 from ..nn.module import Module
@@ -108,22 +109,28 @@ class Trainer:
         )
         optimizer = Adam(model.parameters(), lr=cfg.lr, weight_decay=cfg.weight_decay)
         history = TrainHistory()
-        start = time.time()
+        # Monotonic, so ``history.seconds`` survives wall-clock steps
+        # (NTP slews, suspend/resume) during multi-hour fits.
+        start = time.monotonic()
         best_val = float("inf")
         stale_epochs = 0
+        task = getattr(getattr(model, "config", None), "task", None)
         for epoch in range(cfg.epochs):
-            model.train()
-            train_loss = self._epoch(model, loader, optimizer)
-            history.train_loss.append(train_loss)
-            if val_loader is not None:
-                model.eval()
-                val_loss = self._epoch(model, val_loader, None)
-                history.val_loss.append(val_loss)
-                if val_loss < best_val - 1e-9:
-                    best_val = val_loss
-                    stale_epochs = 0
-                else:
-                    stale_epochs += 1
+            with span("train.epoch", epoch=epoch, task=task) as epoch_span:
+                model.train()
+                train_loss = self._epoch(model, loader, optimizer)
+                history.train_loss.append(train_loss)
+                if val_loader is not None:
+                    model.eval()
+                    val_loss = self._epoch(model, val_loader, None)
+                    history.val_loss.append(val_loss)
+                    if val_loss < best_val - 1e-9:
+                        best_val = val_loss
+                        stale_epochs = 0
+                    else:
+                        stale_epochs += 1
+                    epoch_span.set(val_loss=val_loss)
+                epoch_span.set(train_loss=train_loss)
             if cfg.log_every and (epoch + 1) % cfg.log_every == 0:
                 val = history.val_loss[-1] if history.val_loss else float("nan")
                 print(
@@ -138,7 +145,7 @@ class Trainer:
                 and stale_epochs >= cfg.early_stop_patience
             ):
                 break
-        history.seconds = time.time() - start
+        history.seconds = time.monotonic() - start
         return history
 
     def fit_cv(self, model_factory, train_data: Sequence) -> Module:

@@ -1,0 +1,80 @@
+"""``repro.obs`` — zero-dependency observability for the whole stack.
+
+Three pieces, shared process-wide:
+
+- **Tracing** (:mod:`repro.obs.trace`): hierarchical spans via
+  ``with span("dse.shard", shard=3): ...``, recording monotonic start,
+  duration, attributes, and parentage.  Disabled by default; the
+  disabled path returns a shared no-op span (one flag test, no
+  allocation), so hot-path instrumentation is effectively free until
+  someone opts in (``repro dse --trace``, ``enable()``).
+- **Metrics** (:mod:`repro.obs.metrics`): process-wide thread-safe
+  counters and windowed histograms with nearest-rank quantiles, always
+  on.  The serving layer's :class:`~repro.serve.metrics.ServeMetrics`
+  consumes the same instrument classes and surfaces this registry under
+  ``/metrics``.
+- **Export** (:mod:`repro.obs.export`): trace JSON (schema-validated,
+  see ``make trace-smoke``) plus JSON and Prometheus-style metric
+  dumps.
+
+Everything here is stdlib-only, importable before any heavy module, and
+safe in forked workers (children inherit a disabled tracer copy and
+their own counter values; cross-process aggregation rides the existing
+shard-result/stats channels, not this module).
+"""
+
+from .export import (
+    TRACE_SCHEMA_VERSION,
+    TraceValidationError,
+    metrics_payload,
+    metrics_text,
+    trace_payload,
+    validate_trace,
+    write_trace,
+)
+from .metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    counter,
+    histogram,
+    nearest_rank_quantile,
+)
+from .trace import (
+    NULL_SPAN,
+    Span,
+    TRACER,
+    Tracer,
+    disable,
+    enable,
+    is_enabled,
+    reset,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "REGISTRY",
+    "Span",
+    "TRACER",
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "TraceValidationError",
+    "counter",
+    "disable",
+    "enable",
+    "histogram",
+    "is_enabled",
+    "metrics_payload",
+    "metrics_text",
+    "nearest_rank_quantile",
+    "reset",
+    "span",
+    "trace_payload",
+    "validate_trace",
+    "write_trace",
+]

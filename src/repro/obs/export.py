@@ -1,0 +1,170 @@
+"""Exports: trace JSON (+ schema validation) and metrics JSON/text dumps.
+
+The trace file is a single JSON object (see :data:`TRACE_SCHEMA_VERSION`)::
+
+    {
+      "schema_version": 1,
+      "clock": "monotonic",
+      "started_at": 1754450000.0,        # wall clock, display only
+      "span_count": 42,
+      "dropped_spans": 0,
+      "spans": [
+        {"name": "dse.shard", "id": 7, "parent_id": 1,
+         "start_s": 0.0123, "duration_s": 0.5101,
+         "thread": "MainThread", "attrs": {"shard": 3}},
+        ...
+      ]
+    }
+
+``start_s``/``duration_s`` are monotonic seconds relative to the
+tracer's epoch, so spans from one process compare and sum exactly.
+:func:`validate_trace` is the schema gate ``make trace-smoke`` and the
+tests run over every exported trace.
+
+Metrics export twice: :func:`metrics_payload` (JSON, nested under
+``counters``/``histograms``) and :func:`metrics_text` (Prometheus-style
+``name value`` lines with ``.`` flattened to ``_``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from .metrics import REGISTRY, MetricsRegistry
+from .trace import TRACER, Tracer
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "TraceValidationError",
+    "metrics_payload",
+    "metrics_text",
+    "trace_payload",
+    "validate_trace",
+    "write_trace",
+]
+
+TRACE_SCHEMA_VERSION = 1
+
+
+class TraceValidationError(ValueError):
+    """An exported trace violates the schema."""
+
+
+# ---------------------------------------------------------------------------
+# traces
+
+
+def trace_payload(tracer: Optional[Tracer] = None) -> Dict[str, object]:
+    """JSON-ready dump of every finished span, in start order."""
+    tracer = tracer or TRACER
+    spans = sorted(tracer.finished_spans(), key=lambda s: (s.start_s, s.span_id))
+    return {
+        "schema_version": TRACE_SCHEMA_VERSION,
+        "clock": "monotonic",
+        "started_at": tracer.started_at,
+        "span_count": len(spans),
+        "dropped_spans": tracer.dropped,
+        "spans": [
+            {
+                "name": s.name,
+                "id": s.span_id,
+                "parent_id": s.parent_id,
+                "start_s": s.start_s,
+                "duration_s": s.duration_s,
+                "thread": s.thread,
+                "attrs": s.attrs,
+            }
+            for s in spans
+        ],
+    }
+
+
+def write_trace(path: str, tracer: Optional[Tracer] = None) -> Dict[str, object]:
+    """Validate and write the trace JSON; returns the payload."""
+    payload = trace_payload(tracer)
+    validate_trace(payload)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+    return payload
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise TraceValidationError(message)
+
+
+def validate_trace(payload: Dict[str, object]) -> None:
+    """Structurally validate a trace payload; raises on any violation."""
+    _check(isinstance(payload, dict), "trace must be a JSON object")
+    _check(
+        payload.get("schema_version") == TRACE_SCHEMA_VERSION,
+        f"schema_version must be {TRACE_SCHEMA_VERSION}, "
+        f"got {payload.get('schema_version')!r}",
+    )
+    _check(payload.get("clock") == "monotonic", "clock must be 'monotonic'")
+    spans = payload.get("spans")
+    _check(isinstance(spans, list), "'spans' must be a list")
+    _check(payload.get("span_count") == len(spans), "span_count mismatch")
+    ids = set()
+    for i, raw in enumerate(spans):
+        where = f"span[{i}]"
+        _check(isinstance(raw, dict), f"{where} must be an object")
+        for key in ("name", "id", "start_s", "duration_s", "attrs"):
+            _check(key in raw, f"{where} missing field {key!r}")
+        _check(isinstance(raw["name"], str) and raw["name"], f"{where}: empty name")
+        _check(isinstance(raw["id"], int), f"{where}: id must be an int")
+        _check(raw["id"] not in ids, f"{where}: duplicate span id {raw['id']}")
+        ids.add(raw["id"])
+        _check(
+            isinstance(raw["start_s"], (int, float)) and raw["start_s"] >= 0,
+            f"{where}: start_s must be a non-negative number",
+        )
+        _check(
+            isinstance(raw["duration_s"], (int, float)) and raw["duration_s"] >= 0,
+            f"{where}: duration_s must be a non-negative number",
+        )
+        _check(isinstance(raw["attrs"], dict), f"{where}: attrs must be an object")
+    for i, raw in enumerate(spans):
+        parent = raw.get("parent_id")
+        _check(
+            parent is None or (isinstance(parent, int) and parent in ids and parent != raw["id"]),
+            f"span[{i}]: parent_id {parent!r} does not reference another span",
+        )
+
+
+# ---------------------------------------------------------------------------
+# metrics
+
+
+def metrics_payload(registry: Optional[MetricsRegistry] = None) -> Dict[str, object]:
+    """JSON-ready dump of every counter and histogram in a registry."""
+    registry = registry or REGISTRY
+    return {
+        "counters": registry.counters(),
+        "histograms": registry.histograms(),
+    }
+
+
+def metrics_text(registry: Optional[MetricsRegistry] = None) -> str:
+    """Prometheus-style exposition text (one ``name value`` per line)."""
+    registry = registry or REGISTRY
+
+    def flat(name: str) -> str:
+        out = []
+        for ch in name:
+            out.append(ch if ch.isalnum() or ch == "_" else "_")
+        text = "".join(out)
+        return "repro_" + text if not text.startswith("repro_") else text
+
+    lines = []
+    for name, value in registry.counters().items():
+        lines.append(f"{flat(name)} {value}")
+    for name, snap in registry.histograms().items():
+        base = flat(name)
+        lines.append(f"{base}_count {snap['count']}")
+        lines.append(f"{base}_sum {snap['total']:.9g}")
+        for q in ("p50", "p95", "p99"):
+            lines.append(f'{base}{{quantile="{q[1:]}"}} {snap[q]:.9g}')
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,203 @@
+"""Process-wide thread-safe counters and windowed histograms.
+
+One :class:`MetricsRegistry` instance (:data:`REGISTRY`) backs the
+whole process: the evaluation pipeline, the parallel-DSE orchestrator,
+and the trainer all increment named instruments here, and the serving
+layer's ``/metrics`` endpoint snapshots them next to its own request
+stats.  :class:`~repro.serve.metrics.ServeMetrics` keeps its per-server
+isolation by owning a private registry built from these same classes.
+
+Instruments are cheap enough to leave always-on: a counter increment is
+one lock acquisition around an integer add, and a histogram observation
+appends to a bounded deque — no allocation beyond the deque's ring.
+
+Quantiles use **nearest-rank** indexing (``ceil(q*n) - 1``): the p50 of
+``[1, 2, 3, 4]`` is 2, and p100 is the maximum.  (The previous serving
+helper used ``int(q*n)``, which is upper-biased — it returned 3 for
+that median.)
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "histogram",
+    "nearest_rank_quantile",
+]
+
+#: Most-recent observations kept per histogram window.
+DEFAULT_WINDOW = 4096
+
+
+def nearest_rank_quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile of an ascending-sorted sequence.
+
+    ``q`` is clamped to [0, 1]; an empty sequence yields 0.0.
+    """
+    n = len(sorted_values)
+    if n == 0:
+        return 0.0
+    q = min(max(float(q), 0.0), 1.0)
+    index = min(max(math.ceil(q * n) - 1, 0), n - 1)
+    return sorted_values[index]
+
+
+class Counter:
+    """Monotonically increasing named count."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Histogram:
+    """Bounded most-recent window of observations + lifetime totals.
+
+    The window bounds a long-lived process's memory; quantiles are
+    computed on demand from the window, while ``count``/``total`` keep
+    accumulating for the whole lifetime.
+    """
+
+    __slots__ = ("name", "_lock", "_window", "_count", "_total", "_max")
+
+    def __init__(self, name: str, window: int = DEFAULT_WINDOW):
+        self.name = name
+        self._lock = threading.Lock()
+        self._window: deque = deque(maxlen=int(window))
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._window.append(value)
+            self._count += 1
+            self._total += value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def total(self) -> float:
+        with self._lock:
+            return self._total
+
+    def mean(self) -> float:
+        with self._lock:
+            return self._total / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        with self._lock:
+            values = sorted(self._window)
+        return nearest_rank_quantile(values, q)
+
+    def quantiles(self, qs: Iterable[float]) -> List[float]:
+        """Several quantiles from one sort of the window."""
+        with self._lock:
+            values = sorted(self._window)
+        return [nearest_rank_quantile(values, q) for q in qs]
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            values = sorted(self._window)
+            count, total, maximum = self._count, self._total, self._max
+        return {
+            "count": count,
+            "total": total,
+            "mean": total / count if count else 0.0,
+            "max": maximum,
+            "p50": nearest_rank_quantile(values, 0.50),
+            "p95": nearest_rank_quantile(values, 0.95),
+            "p99": nearest_rank_quantile(values, 0.99),
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._window.clear()
+            self._count = 0
+            self._total = 0.0
+            self._max = 0.0
+
+
+class MetricsRegistry:
+    """Named instrument store; get-or-create keeps callers allocation-free."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def histogram(self, name: str, window: int = DEFAULT_WINDOW) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name, window)
+            return instrument
+
+    def counters(self) -> Dict[str, int]:
+        with self._lock:
+            items = list(self._counters.values())
+        return {c.name: c.value for c in sorted(items, key=lambda c: c.name)}
+
+    def histograms(self) -> Dict[str, Dict[str, float]]:
+        with self._lock:
+            items = list(self._histograms.values())
+        return {h.name: h.snapshot() for h in sorted(items, key=lambda h: h.name)}
+
+    def reset(self) -> None:
+        """Zero every instrument (tests; instruments stay registered)."""
+        with self._lock:
+            instruments = list(self._counters.values()) + list(self._histograms.values())
+        for instrument in instruments:
+            instrument.reset()
+
+
+#: The process-wide registry shared by all instrumented subsystems.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str) -> Counter:
+    """Get-or-create a counter on the global registry."""
+    return REGISTRY.counter(name)
+
+
+def histogram(name: str, window: Optional[int] = None) -> Histogram:
+    """Get-or-create a histogram on the global registry."""
+    return REGISTRY.histogram(name, window or DEFAULT_WINDOW)

@@ -1,0 +1,223 @@
+"""Hierarchical tracing spans with near-zero disabled-path cost.
+
+A span is one timed region of the pipeline — a request, a DSE shard, a
+training epoch, an evaluation batch — with a name, free-form attributes,
+and a parent (the span that was open on the same thread when it
+started).  Spans nest through an ordinary ``with`` block::
+
+    with span("dse.shard", shard=3, points=128):
+        ...
+
+Durations come from :func:`time.perf_counter` (monotonic); wall-clock
+time appears only once, as the tracer's ``started_at`` epoch stamp for
+human consumption — duration math never touches ``time.time()``, so a
+stepped system clock cannot corrupt a trace.
+
+Tracing is **disabled by default** and the disabled path is a near
+no-op: :func:`span` returns a shared :data:`NULL_SPAN` singleton
+without allocating, timing, or locking, so always-on instrumentation
+in the hot paths (one ``span`` call per evaluation batch) costs a
+single flag test when nobody is tracing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["NULL_SPAN", "Span", "TRACER", "Tracer", "enable", "disable", "is_enabled", "reset", "span"]
+
+#: Finished spans kept per tracer; older spans are dropped (and counted).
+DEFAULT_MAX_SPANS = 100_000
+
+
+class Span:
+    """One open (then finished) traced region."""
+
+    __slots__ = ("name", "span_id", "parent_id", "start_s", "duration_s", "attrs", "thread", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int,
+                 parent_id: Optional[int], start_s: float, attrs: Dict[str, object]):
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_s = start_s  #: seconds since the tracer's epoch (monotonic)
+        self.duration_s: Optional[float] = None  #: set when the span closes
+        self.attrs = attrs
+        self.thread = threading.current_thread().name
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes to an open span (e.g. a late status code)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self)
+        return False
+
+    def __repr__(self) -> str:
+        dur = f"{self.duration_s * 1e3:.3f}ms" if self.duration_s is not None else "open"
+        return f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id}, {dur})"
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects finished spans; one per process is the normal setup.
+
+    Thread-safe: each thread keeps its own open-span stack (so nesting
+    is per thread of control), finished spans land in one bounded,
+    lock-protected list.
+    """
+
+    def __init__(self, max_spans: int = DEFAULT_MAX_SPANS):
+        self.enabled = False
+        self.max_spans = int(max_spans)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+        self._spans: List[Span] = []
+        self.dropped = 0
+        self.epoch = time.perf_counter()
+        self.started_at = time.time()  # wall clock, display only
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def enable(self, max_spans: Optional[int] = None) -> None:
+        with self._lock:
+            if max_spans is not None:
+                self.max_spans = int(max_spans)
+            self.enabled = True
+
+    def disable(self) -> None:
+        with self._lock:
+            self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all finished spans and restart the epoch."""
+        with self._lock:
+            self._spans = []
+            self.dropped = 0
+            self._ids = itertools.count(1)
+            self.epoch = time.perf_counter()
+            self.started_at = time.time()
+
+    # -- recording ---------------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attrs) -> Span:
+        if not self.enabled:
+            return NULL_SPAN
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        return Span(
+            self, name, next(self._ids), parent_id,
+            time.perf_counter() - self.epoch, attrs,
+        )
+
+    def record(self, name: str, start_s: float, duration_s: float,
+               parent_id: Optional[int] = None, **attrs) -> None:
+        """Record an externally timed region (e.g. a worker-process shard
+        observed from the orchestrator) as a finished span.
+
+        Without an explicit ``parent_id`` the span nests under whichever
+        span is open on the calling thread, the same parentage rule
+        ``with span(...)`` applies.
+        """
+        if not self.enabled:
+            return
+        if parent_id is None:
+            stack = self._stack()
+            parent_id = stack[-1].span_id if stack else None
+        s = Span(self, name, next(self._ids), parent_id, start_s, attrs)
+        s.duration_s = max(float(duration_s), 0.0)
+        self._store(s)
+
+    def now(self) -> float:
+        """Monotonic seconds since this tracer's epoch."""
+        return time.perf_counter() - self.epoch
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.duration_s = time.perf_counter() - self.epoch - span.start_s
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        self._store(span)
+
+    def _store(self, span: Span) -> None:
+        with self._lock:
+            if len(self._spans) >= self.max_spans:
+                self.dropped += 1
+                return
+            self._spans.append(span)
+
+    # -- reading -----------------------------------------------------------
+
+    def finished_spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+#: The process-wide tracer every instrumented module records into.
+TRACER = Tracer()
+
+
+def span(name: str, **attrs) -> Span:
+    """Open a span on the global tracer (no-op singleton when disabled)."""
+    if not TRACER.enabled:
+        return NULL_SPAN
+    return TRACER.span(name, **attrs)
+
+
+def enable(max_spans: Optional[int] = None) -> None:
+    """Turn on trace collection process-wide."""
+    TRACER.enable(max_spans)
+
+
+def disable() -> None:
+    TRACER.disable()
+
+
+def is_enabled() -> bool:
+    return TRACER.enabled
+
+
+def reset() -> None:
+    TRACER.reset()

@@ -8,6 +8,9 @@ Endpoints::
     POST /v1/dse/top    {"kernel": ..., "top": 10, "time_limit": 10}
     GET  /healthz
     GET  /metrics
+    GET  /v1/trace      debug: the process trace buffer as trace JSON
+                        (empty unless tracing is enabled, e.g.
+                        ``repro serve --trace``)
 
 Errors come back as structured JSON ``{"error": {"type", "message"}}``:
 400 for malformed requests and invalid design points, 404 for unknown
@@ -27,6 +30,7 @@ from typing import Dict, Optional, Tuple
 
 from ..errors import BacklogFullError, DesignSpaceError, ReproError, ServeError
 from ..model.predictor import DEFAULT_VALID_THRESHOLD
+from ..obs import is_enabled, span, trace_payload
 from .schemas import point_from_payload, prediction_payload
 from .service import PredictorService
 
@@ -106,11 +110,16 @@ class _Handler(BaseHTTPRequestHandler):
     def _dispatch(self, endpoint: str, handler) -> None:
         service: PredictorService = self.server.service
         start = time.perf_counter()
-        try:
-            status, payload = handler(service)
-        except Exception as exc:  # all failures become structured JSON
-            error = _error_for(exc)
-            status, payload = error.status, error.payload
+        # Root span per request: handler threads have no open parent, so
+        # everything the handler triggers (pipeline batches, DSE shards)
+        # nests under it in the exported trace.
+        with span("serve.request", endpoint=endpoint) as request_span:
+            try:
+                status, payload = handler(service)
+            except Exception as exc:  # all failures become structured JSON
+                error = _error_for(exc)
+                status, payload = error.status, error.payload
+            request_span.set(status=status)
         service.metrics.record_request(endpoint, time.perf_counter() - start, status)
         self._send_json(status, payload)
 
@@ -121,6 +130,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._dispatch("/healthz", lambda s: (200, s.health()))
         elif self.path == "/metrics":
             self._dispatch("/metrics", lambda s: (200, s.metrics_snapshot()))
+        elif self.path == "/v1/trace":
+            self._dispatch("/v1/trace", lambda s: (200, _trace_snapshot()))
         else:
             self._send_json(
                 404,
@@ -181,6 +192,13 @@ class _Handler(BaseHTTPRequestHandler):
         return 200, service.dse_top(
             kernel, top=top, time_limit_seconds=time_limit, workers=workers
         )
+
+
+def _trace_snapshot() -> Dict[str, object]:
+    """The process trace buffer as trace JSON, plus the enabled flag."""
+    payload = trace_payload()
+    payload["enabled"] = is_enabled()
+    return payload
 
 
 class ServeHTTPServer(ThreadingHTTPServer):

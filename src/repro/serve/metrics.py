@@ -1,17 +1,27 @@
 """Thread-safe serving metrics: counters, latency quantiles, batch fill.
 
-Everything the ``/metrics`` endpoint reports lives here.  Latencies are
-kept in fixed-size reservoirs (most-recent window) so a long-lived
-server's memory stays bounded; quantiles are computed on demand from
-the window.
+Everything the ``/metrics`` endpoint reports lives here.  Since the
+``repro.obs`` subsystem landed, this module is a *consumer* of its
+instrument classes rather than a parallel implementation: per-endpoint
+latencies are :class:`repro.obs.Histogram` windows (bounded memory,
+nearest-rank quantiles — the old private ``_quantile`` helper was
+upper-biased, returning 3 for the median of ``[1, 2, 3, 4]``), and the
+snapshot surfaces the process-wide :data:`repro.obs.REGISTRY` (pipeline
+cache hits, shard retries, heartbeat lag, …) next to the per-server
+request stats.
+
+Uptime and latency math run on monotonic clocks; wall-clock time
+appears only as the human-facing ``started_at`` stamp.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from collections import Counter, deque
+from collections import Counter
 from typing import Dict
+
+from ..obs import Histogram, metrics_payload
 
 __all__ = ["ServeMetrics"]
 
@@ -19,22 +29,21 @@ __all__ = ["ServeMetrics"]
 _LATENCY_WINDOW = 4096
 
 
-def _quantile(sorted_values, q: float) -> float:
-    if not sorted_values:
-        return 0.0
-    index = min(int(q * len(sorted_values)), len(sorted_values) - 1)
-    return sorted_values[index]
-
-
 class ServeMetrics:
-    """Cumulative serving statistics, safe to update from any thread."""
+    """Cumulative serving statistics, safe to update from any thread.
+
+    Request/latency/batch-fill state is per-instance (one server, one
+    window); the ``obs`` section of :meth:`snapshot` reads the shared
+    process registry so DSE and pipeline instruments ride along.
+    """
 
     def __init__(self):
         self._lock = threading.Lock()
-        self._started = time.time()
+        self._started_monotonic = time.monotonic()
+        self.started_at = time.time()  # wall clock, display only
         self._requests: Counter = Counter()  # endpoint -> count
         self._statuses: Counter = Counter()  # http status -> count
-        self._latencies: Dict[str, deque] = {}
+        self._latencies: Dict[str, Histogram] = {}
         self._batch_fill: Counter = Counter()  # fill size -> batches
         self._points = 0
         self._rejected = 0
@@ -47,8 +56,10 @@ class ServeMetrics:
             self._statuses[int(status)] += 1
             window = self._latencies.get(endpoint)
             if window is None:
-                window = self._latencies[endpoint] = deque(maxlen=_LATENCY_WINDOW)
-            window.append(seconds)
+                window = self._latencies[endpoint] = Histogram(
+                    f"serve.latency.{endpoint}", _LATENCY_WINDOW
+                )
+        window.observe(seconds)
 
     def record_batch(self, fill: int) -> None:
         with self._lock:
@@ -72,15 +83,16 @@ class ServeMetrics:
             batches = sum(self._batch_fill.values())
             latency = {}
             for endpoint, window in self._latencies.items():
-                values = sorted(window)
+                snap = window.snapshot()
                 latency[endpoint] = {
                     "count": self._requests[endpoint],
-                    "p50_ms": _quantile(values, 0.50) * 1000.0,
-                    "p99_ms": _quantile(values, 0.99) * 1000.0,
-                    "max_ms": (values[-1] if values else 0.0) * 1000.0,
+                    "p50_ms": snap["p50"] * 1000.0,
+                    "p99_ms": snap["p99"] * 1000.0,
+                    "max_ms": snap["max"] * 1000.0,
                 }
             out: Dict[str, object] = {
-                "uptime_seconds": time.time() - self._started,
+                "uptime_seconds": time.monotonic() - self._started_monotonic,
+                "started_at": self.started_at,
                 "requests": dict(self._requests),
                 "statuses": {str(k): v for k, v in self._statuses.items()},
                 "rejected_requests": self._rejected,
@@ -95,4 +107,7 @@ class ServeMetrics:
             }
         if pipeline_stats is not None:
             out["pipeline"] = pipeline_stats.to_dict()
+        # Process-wide instruments (dse.*, pipeline.*, serve.*): cache
+        # hits, shard retries, heartbeat lag, batch spans, …
+        out["obs"] = metrics_payload()
         return out

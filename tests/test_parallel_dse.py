@@ -181,6 +181,75 @@ class TestCrashRetry:
 
 
 # ---------------------------------------------------------------------------
+# clock robustness: duration/deadline math must not touch the wall clock
+
+
+class TestMonotonicClocks:
+    def test_wall_clock_jump_does_not_trigger_stall_retry(
+        self, predictor, spec, space, serial_result, monkeypatch
+    ):
+        """A stepped system clock must not fake (or hide) a stall.
+
+        ``time.time`` is patched to jump hours on every read — under the
+        old wall-clock stall detector every liveness check would exceed
+        ``heartbeat_timeout_seconds`` and kill healthy workers (and the
+        deadline check would abort the sweep).  Heartbeats and the stall
+        timeout now run on ``time.monotonic``, so the run completes with
+        zero retries and a bit-identical result.
+        """
+        import time as time_mod
+
+        real_time = time_mod.time
+        state = {"offset": 0.0}
+
+        def jumpy_wall_clock():
+            # Alternate huge forward and backward steps (NTP slam,
+            # suspend/resume, manual clock set).
+            state["offset"] = -state["offset"] + (7200.0 if state["offset"] <= 0 else 0.0)
+            return real_time() + state["offset"]
+
+        monkeypatch.setattr(time_mod, "time", jumpy_wall_clock)
+        result = ParallelDSE(
+            predictor, spec, space, workers=2, top_m=TOP_M,
+            heartbeat_timeout_seconds=5.0,
+        ).run()
+        assert result.retries == 0
+        assert signature(result) == signature(serial_result)
+
+    def test_backwards_wall_clock_step_does_not_stall_serial_sweep(
+        self, predictor, spec, space, serial_result, monkeypatch
+    ):
+        """The in-process deadline check is monotonic too: a wall clock
+        stepped far backwards (which once meant 'never out of time') and
+        then far forwards (which once meant 'already out of time') leaves
+        the sweep untouched."""
+        import itertools
+        import time as time_mod
+
+        real_time = time_mod.time
+        offsets = itertools.cycle([-86_400.0, 86_400.0])
+        monkeypatch.setattr(time_mod, "time", lambda: real_time() + next(offsets))
+        result = ParallelDSE(predictor, spec, space, workers=1, top_m=TOP_M).run()
+        assert signature(result) == signature(serial_result)
+        assert result.explored == serial_result.explored
+
+    def test_heartbeat_lag_and_retry_instruments_update(
+        self, predictor, spec, space
+    ):
+        from repro.obs import REGISTRY
+
+        lag = REGISTRY.histogram("dse.heartbeat_lag_seconds")
+        completed = REGISTRY.counter("dse.shards_completed")
+        lag0, done0 = lag.count, completed.value
+        result = ParallelDSE(predictor, spec, space, workers=2, top_m=TOP_M).run()
+        assert completed.value - done0 == result.shards
+        assert lag.count > lag0
+        # Worker monotonic stamps share the parent's epoch under fork,
+        # so observed lag is a sane small non-negative queue delay.
+        assert 0.0 <= lag.quantile(1.0) < 60.0
+
+
+# ---------------------------------------------------------------------------
 # checkpoint / resume
 
 

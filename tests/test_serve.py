@@ -375,6 +375,41 @@ class TestHTTPServer:
         histogram = metrics["batch_fill_histogram"]
         assert sum(histogram.values()) == metrics["batches"]
 
+    def test_metrics_include_process_observability(self, client):
+        client.predict("fir", sample_points("fir", 2, seed=2))
+        obs_section = client.metrics()["obs"]
+        # The pipeline's process-wide instruments ride along with the
+        # per-server request stats.
+        assert obs_section["counters"]["pipeline.points"] >= 2
+        assert obs_section["histograms"]["pipeline.batch_fill"]["count"] >= 1
+
+    def test_trace_endpoint_serves_schema_valid_trace(self, client, server):
+        from repro import obs
+        from repro.obs import validate_trace
+
+        payload = client._request("GET", "/v1/trace")
+        assert payload["enabled"] is False
+        assert payload["spans"] == []
+        obs.enable()
+        try:
+            client.predict("fir", sample_points("fir", 1, seed=3))
+            traced = client._request("GET", "/v1/trace")
+        finally:
+            obs.disable()
+            obs.reset()
+        assert traced["enabled"] is True
+        validate_trace({k: v for k, v in traced.items() if k != "enabled"})
+        by_name = {}
+        for entry in traced["spans"]:
+            by_name.setdefault(entry["name"], []).append(entry)
+        requests = by_name["serve.request"]
+        assert any(s["attrs"].get("endpoint") == "/v1/predict" for s in requests)
+        assert all(s["attrs"].get("status") == 200 for s in requests)
+        # Pipeline work nests under the request that triggered it... on
+        # the batcher thread it roots itself instead; either way the
+        # batch spans are present.
+        assert "pipeline.predict_batch" in by_name
+
     def test_dse_top_payload_schema(self, client):
         payload = client.dse_top("fir", top=3, time_limit=3.0)
         assert payload["schema_version"] == 1
