@@ -103,7 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--time-limit", type=float, default=300.0)
     p.add_argument("--batch-size", type=int, default=24,
                    help="evaluation pipeline batch size")
-    p.add_argument("--engine", choices=["auto", "compiled", "reference"],
+    p.add_argument("--engine", choices=["auto", "compiled", "reference", "fused"],
                    default="auto", help="surrogate inference engine")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the pipeline's per-point prediction cache")
@@ -154,7 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="partial-batch flush deadline")
     p.add_argument("--max-queue", type=int, default=1024,
                    help="pending-request bound before 503 load shedding")
-    p.add_argument("--engine", choices=["auto", "compiled", "reference"],
+    p.add_argument("--engine", choices=["auto", "compiled", "reference", "fused"],
                    default="auto")
     p.add_argument("--trace", action="store_true",
                    help="enable tracing so GET /v1/trace serves live "

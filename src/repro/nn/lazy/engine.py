@@ -1,0 +1,387 @@
+"""Schedule and execute recorded lazy graphs.
+
+The executor turns a :class:`~repro.nn.lazy.graph.LazyNode` DAG into
+numpy calls with three optimizations the eager engine cannot apply:
+
+* **Elementwise fusion** — a chain like ``clip → exp → sub → mul``
+  executes in place on one buffer: each elementwise op writes into a
+  dying operand's buffer (``out=``) instead of allocating, so a chain
+  of N ops costs one buffer, not N.
+* **Buffer recycling** — intermediates that cannot be fused in place
+  draw from a process-wide size-keyed pool; a buffer whose last
+  consumer has executed goes back to the pool for the next node (and
+  the next realize call — the DSE loop re-records the same graph shape
+  every forward, so steady-state allocation is near zero).
+* **Stacked GEMMs** — matmul nodes sharing the same left operand
+  against constant 2-D weights (the q/k/v/root projections of one
+  layer, the per-objective prediction heads) execute as ONE wide gemm
+  against the horizontally-stacked weights, then split by column view.
+  The stacked weight matrix is cached across realize calls keyed by
+  the weight buffers' identities.
+
+Execution order and kernels otherwise mirror the eager engine exactly
+(same clips, epsilons, and ufunc sequences), so an unfused graph is
+bit-identical to eager and fusion only re-associates GEMM column
+blocks (see :mod:`repro.nn.lazy.equiv` for the resulting tolerance).
+
+Op-level profiling (per-op counts/ms) activates under ``DEBUG=1`` or
+:func:`repro.nn.lazy.profile.profiled`; the enabled check happens once
+per realize, so the disabled path adds no per-op timer calls.
+"""
+
+from __future__ import annotations
+
+import threading
+from math import prod
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...errors import NNError
+from ..tensor import IndexPlan, Segments
+from . import profile as _profile
+from .graph import LazyNode
+
+__all__ = ["realize", "BufferPool", "pool_stats", "clear_pool"]
+
+
+# ---------------------------------------------------------------------------
+# buffer pool
+
+
+class BufferPool:
+    """Size-keyed free list of flat scratch arrays (process-wide)."""
+
+    def __init__(self, capacity_bytes: int = 256 << 20):
+        self.capacity_bytes = capacity_bytes
+        self._free: Dict[Tuple[str, int], List[np.ndarray]] = {}
+        self._held_bytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def take(self, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        count = prod(shape) if shape else 1
+        key = (dtype.str, count)
+        with self._lock:
+            free = self._free.get(key)
+            if free:
+                flat = free.pop()
+                self._held_bytes -= flat.nbytes
+                self.hits += 1
+                return flat.reshape(shape)
+            self.misses += 1
+        return np.empty(shape, dtype=dtype)
+
+    def give(self, array: np.ndarray) -> None:
+        if not array.flags.c_contiguous or array.size == 0:
+            return
+        with self._lock:
+            if self._held_bytes + array.nbytes > self.capacity_bytes:
+                return
+            flat = array.reshape(-1)
+            self._free.setdefault((array.dtype.str, flat.shape[0]), []).append(flat)
+            self._held_bytes += array.nbytes
+
+    def clear(self) -> None:
+        with self._lock:
+            self._free.clear()
+            self._held_bytes = 0
+
+
+_POOL = BufferPool()
+
+
+def pool_stats() -> Dict[str, int]:
+    """Hit/miss counters of the process-wide buffer pool."""
+    return {"hits": _POOL.hits, "misses": _POOL.misses}
+
+
+def clear_pool() -> None:
+    """Drop all pooled buffers (tests / memory pressure)."""
+    _POOL.clear()
+
+
+# ---------------------------------------------------------------------------
+# stacked-GEMM weight cache
+
+# Matmul groups share a stacked weight matrix across realize calls; the
+# cache keys on the member weight buffers' identities and keeps strong
+# references to them so an id cannot be recycled while its entry lives.
+_STACK_CACHE: Dict[tuple, Tuple[List[np.ndarray], np.ndarray, List[int]]] = {}
+_STACK_CACHE_MAX = 128
+
+
+def _stacked_weights(rhs_mats: List[np.ndarray], dtype) -> Tuple[np.ndarray, List[int]]:
+    key = (np.dtype(dtype).str,) + tuple(id(m) for m in rhs_mats)
+    entry = _STACK_CACHE.get(key)
+    if entry is None:
+        if len(_STACK_CACHE) >= _STACK_CACHE_MAX:
+            _STACK_CACHE.clear()
+        cat = np.ascontiguousarray(np.hstack(rhs_mats), dtype=dtype)
+        offsets = np.cumsum([0] + [m.shape[1] for m in rhs_mats]).tolist()
+        entry = (list(rhs_mats), cat, offsets)
+        _STACK_CACHE[key] = entry
+    return entry[1], entry[2]
+
+
+# ---------------------------------------------------------------------------
+# kernels
+
+#: Elementwise ops whose output may safely alias their (same-shaped,
+#: same-dtype) input buffer.  ``elu`` is excluded: its kernel re-reads
+#: the input after the buffer is overwritten.
+_INPLACE_SAFE = frozenset(
+    [
+        "add", "mul", "pow", "exp", "log", "tanh", "sigmoid", "relu",
+        "leaky_relu", "stack_max", "segment_softmax",
+    ]
+)
+
+
+def _run_node(node: LazyNode, mats: Sequence[np.ndarray], out: Optional[np.ndarray]):
+    """Execute one node, writing into ``out`` when provided.
+
+    Every kernel reproduces the eager engine's exact ufunc sequence so
+    unfused values match bit for bit.
+    """
+    op = node.op
+    if op == "add":
+        return np.add(mats[0], mats[1], out=out) if out is not None else mats[0] + mats[1]
+    if op == "mul":
+        return np.multiply(mats[0], mats[1], out=out) if out is not None else mats[0] * mats[1]
+    if op == "pow":
+        return np.power(mats[0], node.arg, out=out) if out is not None else np.power(mats[0], node.arg)
+    if op == "matmul":
+        if out is not None and out.flags.c_contiguous:
+            return np.matmul(mats[0], mats[1], out=out)
+        return np.matmul(mats[0], mats[1])
+    if op == "exp":
+        out = np.clip(mats[0], -60.0, 60.0, out=out)
+        return np.exp(out, out=out)
+    if op == "log":
+        out = np.maximum(mats[0], 1e-12, out=out)
+        return np.log(out, out=out)
+    if op == "tanh":
+        return np.tanh(mats[0], out=out)
+    if op == "sigmoid":
+        out = np.clip(mats[0], -60.0, 60.0, out=out)
+        np.negative(out, out=out)
+        np.exp(out, out=out)
+        np.add(out, 1.0, out=out)
+        return np.divide(1.0, out, out=out)
+    if op == "relu":
+        return np.multiply(mats[0], mats[0] > 0, out=out)
+    if op == "leaky_relu":
+        slope = np.where(mats[0] > 0, 1.0, node.arg)
+        return np.multiply(mats[0], slope, out=out)
+    if op == "elu":
+        a = mats[0]
+        mask = a > 0
+        out = np.clip(a, -60.0, 0.0, out=out)
+        np.exp(out, out=out)
+        np.subtract(out, 1.0, out=out)
+        np.multiply(out, node.arg, out=out)
+        np.copyto(out, a, where=mask)
+        return out
+    if op == "sum":
+        axis, keepdims = node.arg
+        if out is not None:
+            return mats[0].sum(axis=axis, keepdims=keepdims, out=out)
+        return mats[0].sum(axis=axis, keepdims=keepdims)
+    if op == "reshape":
+        # astype is a view unless a mixed-dtype source slipped in (the
+        # eager engine would cast there too, on Tensor construction).
+        return mats[0].astype(node.dtype, copy=False).reshape(node.arg)
+    if op == "transpose":
+        return mats[0].astype(node.dtype, copy=False).transpose(node.arg)
+    if op == "gather":
+        index = node.arg.index if isinstance(node.arg, IndexPlan) else node.arg
+        if out is not None and out.flags.c_contiguous:
+            return np.take(mats[0], index, axis=0, out=out, mode="clip")
+        return mats[0][index]
+    if op == "segment_sum":
+        segments: Segments = node.arg
+        return segments.sum(mats[0]).astype(node.dtype, copy=False)
+    if op == "segment_softmax":
+        # Replays the eager composite exactly: (a - expand(max)) ->
+        # clipped exp -> CSR segment sum -> per-row denom + 1e-16 ->
+        # pow(-1) -> multiply.  Bit-identical to the eager path, one
+        # scheduled node, no mid-graph sync.
+        segments = node.arg
+        a = mats[0].astype(node.dtype, copy=False)
+        out = np.subtract(a, segments.expand(segments.max(a)), out=out)
+        np.clip(out, -60.0, 60.0, out=out)
+        np.exp(out, out=out)
+        denom = segments.sum(out).astype(node.dtype, copy=False)
+        d = denom[segments.plan.index]
+        np.add(d, 1e-16, out=d)
+        np.power(d, -1.0, out=d)
+        return np.multiply(out, d, out=out)
+    if op == "concat":
+        if out is not None:
+            return np.concatenate(mats, axis=node.arg, out=out)
+        return np.concatenate(mats, axis=node.arg)
+    if op == "stack_max":
+        out = np.maximum(mats[0], mats[1], out=out)
+        for m in mats[2:]:
+            out = np.maximum(out, m, out=out)
+        return out
+    raise NNError(f"lazy engine has no kernel for op {node.op!r}")
+
+
+# ---------------------------------------------------------------------------
+# scheduling + execution
+
+
+def _schedule(outputs: Sequence[LazyNode]) -> List[LazyNode]:
+    """Iterative postorder over unrealized nodes (sources excluded)."""
+    order: List[LazyNode] = []
+    seen = set()
+    stack: List[Tuple[LazyNode, bool]] = [(n, False) for n in reversed(outputs)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            order.append(node)
+            continue
+        if id(node) in seen or node.mat is not None:
+            continue
+        seen.add(id(node))
+        stack.append((node, True))
+        for src in reversed(node.srcs):
+            if src.mat is None and id(src) not in seen:
+                stack.append((src, False))
+    return order
+
+
+def _matmul_groups(schedule: List[LazyNode]) -> Dict[int, List[LazyNode]]:
+    """Same-LHS constant-weight matmul nodes, grouped for stacking."""
+    by_lhs: Dict[int, List[LazyNode]] = {}
+    for node in schedule:
+        if node.op != "matmul" or len(node.shape) != 2:
+            continue
+        lhs, rhs = node.srcs
+        if rhs.mat is None or rhs.mat.ndim != 2 or len(lhs.shape) != 2:
+            continue
+        by_lhs.setdefault(id(lhs), []).append(node)
+    groups: Dict[int, List[LazyNode]] = {}
+    for members in by_lhs.values():
+        if len(members) < 2:
+            continue
+        if len({m.dtype.str for m in members}) != 1:
+            continue
+        for member in members:
+            groups[id(member)] = members
+    return groups
+
+
+def realize(outputs: Sequence[LazyNode]) -> None:
+    """Execute the graphs below ``outputs``, setting each ``node.mat``."""
+    schedule = _schedule(outputs)
+    if not schedule:
+        return
+    prof = _profile.collector()
+    t_start = perf_counter() if prof is not None else 0.0
+
+    refs: Dict[int, int] = {}
+    for node in schedule:
+        for src in node.srcs:
+            if src.mat is None or id(src) in refs:
+                refs[id(src)] = refs.get(id(src), 0) + 1
+    for node in outputs:
+        refs[id(node)] = refs.get(id(node), 0) + 1
+
+    scheduled = {id(n): n for n in schedule}
+    groups = _matmul_groups(schedule)
+    # Per-base-buffer liveness: a buffer is recyclable once every node
+    # viewing it has died; buffers allocated by this engine (pool or
+    # fresh) are the only recycle candidates — sources never are.
+    buf_users: Dict[int, int] = {}
+    owned: Dict[int, np.ndarray] = {}
+
+    def base_of(mat: np.ndarray) -> np.ndarray:
+        return mat if mat.base is None else mat.base
+
+    def attach(node: LazyNode, mat: np.ndarray) -> None:
+        node.mat = mat
+        b = base_of(mat)
+        buf_users[id(b)] = buf_users.get(id(b), 0) + 1
+
+    def release(node: LazyNode) -> None:
+        mat = node.mat
+        if mat is None:
+            return
+        b = base_of(mat)
+        remaining = buf_users.get(id(b), 0) - 1
+        buf_users[id(b)] = remaining
+        if remaining <= 0 and id(b) in owned:
+            _POOL.give(owned.pop(id(b)))
+        node.mat = None
+
+    def out_buffer(node: LazyNode, mats: Sequence[np.ndarray]) -> Optional[np.ndarray]:
+        if node.op in ("reshape", "transpose", "segment_sum"):
+            return None  # view ops / ops that allocate internally
+        shape, dtype = node.shape, node.dtype
+        if node.op in _INPLACE_SAFE:
+            for src, mat in zip(node.srcs, mats):
+                if (
+                    refs.get(id(src), 0) == 1
+                    and id(src) in scheduled
+                    and mat.shape == shape
+                    and mat.dtype == dtype
+                    and buf_users.get(id(base_of(mat)), 0) == 1
+                    and id(base_of(mat)) in owned
+                ):
+                    return mat
+        buf = _POOL.take(shape, dtype)
+        owned.setdefault(id(base_of(buf)), base_of(buf))
+        return buf
+
+    for node in schedule:
+        if node.mat is not None:  # filled by an earlier stacked gemm
+            for src in node.srcs:
+                if refs.get(id(src), 0) > 0:
+                    refs[id(src)] -= 1
+                    if refs[id(src)] == 0 and id(src) in scheduled:
+                        release(src)
+            continue
+        t0 = perf_counter() if prof is not None else 0.0
+        members = groups.get(id(node))
+        if members is not None:
+            lhs = node.srcs[0].mat
+            cat, offsets = _stacked_weights([m.srcs[1].mat for m in members], node.dtype)
+            wide = _POOL.take((lhs.shape[0], cat.shape[1]), node.dtype)
+            owned.setdefault(id(wide), wide)
+            if wide.flags.c_contiguous:
+                np.matmul(lhs, cat, out=wide)
+            else:  # pragma: no cover - pool always hands back contiguous
+                wide = lhs @ cat
+            for member, start, stop in zip(members, offsets[:-1], offsets[1:]):
+                attach(member, wide[:, start:stop])
+            if prof is not None:
+                prof.add("matmul_stacked", perf_counter() - t0, count=len(members))
+        else:
+            mats = [src.mat for src in node.srcs]
+            out = out_buffer(node, mats)
+            result = _run_node(node, mats, out)
+            b = base_of(result)
+            if out is not None and b is not base_of(out) and id(base_of(out)) in owned:
+                # kernel declined the buffer (shape/contiguity); recycle it
+                users = buf_users.get(id(base_of(out)), 0)
+                if users == 0:
+                    _POOL.give(owned.pop(id(base_of(out))))
+            if result.base is None and id(b) not in owned and node.op != "source":
+                if not any(result is m or result.base is m for m in mats):
+                    owned.setdefault(id(b), b)
+            attach(node, result)
+            if prof is not None:
+                prof.add(node.op, perf_counter() - t0)
+        for src in node.srcs:
+            if refs.get(id(src), 0) > 0:
+                refs[id(src)] -= 1
+                if refs[id(src)] == 0 and id(src) in scheduled:
+                    release(src)
+
+    if prof is not None:
+        prof.add_realize(perf_counter() - t_start, len(schedule))

@@ -1,0 +1,315 @@
+"""Lazy op recording over the eager :class:`~repro.nn.tensor.Tensor` API.
+
+A :class:`LazyTensor` is a drop-in stand-in for an inference-mode
+Tensor: every op records a :class:`LazyNode` into an op graph instead
+of computing, and the graph only executes when a value is demanded
+(``.data`` / ``.numpy()`` / ``.item()``).  Execution lives in
+:mod:`repro.nn.lazy.engine`, which fuses elementwise chains in place,
+recycles intermediate buffers, and batches same-input GEMMs into one
+wide GEMM.
+
+Mixing engines is free: ``eager op lazy`` stays lazy because Python
+prefers the subclass's reflected operators, and eager operands are
+wrapped as source nodes *by reference* (mutating the source array and
+re-recording sees the new values — the fused DSE template relies on
+this).  Numerics mirror the eager engine operation for operation —
+same clips, same epsilons, same derived-op decompositions (``div`` is
+``mul``+``pow(-1)``, ``mean`` is ``sum``×``1/n``) — so unfused
+execution is bit-identical and fused execution differs only by
+documented GEMM re-associations (tolerance policy:
+:mod:`repro.nn.lazy.equiv`).
+
+LazyTensors are forward-only: they never require grad and
+``backward()`` raises.  Training stays on the eager engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...errors import NNError
+from ..tensor import IndexPlan, Segments, Tensor, _as_array, get_default_dtype
+
+__all__ = ["LazyNode", "LazyTensor", "lazy_concat", "lazy_stack_max"]
+
+
+class LazyNode:
+    """One recorded op: sources, static arg, and inferred shape/dtype.
+
+    ``mat`` holds the realized ndarray — set at construction for source
+    nodes (by reference), and by the engine after execution.  The
+    engine may null it back out for dead intermediates whose buffer was
+    recycled; demanding such a node again recomputes from its sources.
+    """
+
+    __slots__ = ("op", "srcs", "arg", "shape", "dtype", "mat")
+
+    def __init__(self, op: str, srcs: Tuple["LazyNode", ...], arg, shape, dtype, mat=None):
+        self.op = op
+        self.srcs = srcs
+        self.arg = arg
+        self.shape = tuple(int(d) for d in shape)
+        self.dtype = np.dtype(dtype)
+        self.mat: Optional[np.ndarray] = mat
+
+    @staticmethod
+    def source(array: np.ndarray) -> "LazyNode":
+        return LazyNode("source", (), None, array.shape, array.dtype, mat=array)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LazyNode({self.op}, shape={self.shape}, dtype={self.dtype})"
+
+
+# -- shape inference ---------------------------------------------------------
+
+
+def _sum_shape(shape: Tuple[int, ...], axis, keepdims: bool) -> Tuple[int, ...]:
+    if axis is None:
+        return tuple(1 for _ in shape) if keepdims else ()
+    axes = axis if isinstance(axis, tuple) else (axis,)
+    axes = tuple(a % len(shape) for a in axes)
+    if keepdims:
+        return tuple(1 if i in axes else d for i, d in enumerate(shape))
+    return tuple(d for i, d in enumerate(shape) if i not in axes)
+
+
+def _reshape_shape(old: Tuple[int, ...], new) -> Tuple[int, ...]:
+    new = list(new)
+    total = int(np.prod(old)) if old else 1
+    if new.count(-1) > 1:
+        raise NNError("reshape accepts at most one -1 dimension")
+    if -1 in new:
+        rest = int(np.prod([d for d in new if d != -1])) or 1
+        if rest == 0 or total % rest:
+            raise NNError(f"cannot reshape {old} into {tuple(new)}")
+        new[new.index(-1)] = total // rest
+    if int(np.prod(new)) != total:
+        raise NNError(f"cannot reshape {old} into {tuple(new)}")
+    return tuple(int(d) for d in new)
+
+
+def _matmul_shape(a: Tuple[int, ...], b: Tuple[int, ...]) -> Tuple[int, ...]:
+    if not a or not b:
+        raise NNError("matmul operands must be at least 1-D")
+    aa = a if len(a) > 1 else (1,) + a
+    bb = b if len(b) > 1 else b + (1,)
+    if aa[-1] != bb[-2]:
+        raise NNError(f"matmul shape mismatch: {a} @ {b}")
+    out = tuple(np.broadcast_shapes(aa[:-2], bb[:-2])) + (aa[-2], bb[-1])
+    if len(a) == 1:
+        out = out[:-2] + out[-1:]
+    if len(b) == 1:
+        out = out[:-1]
+    return out
+
+
+class LazyTensor(Tensor):
+    """A Tensor whose value is a recorded op graph (see module docs)."""
+
+    __slots__ = ("_node",)
+    is_lazy = True
+
+    def __init__(self, data=None, node: Optional[LazyNode] = None):
+        if node is None:
+            node = LazyNode.source(_as_array(data))
+        self._node = node
+        self.grad = None
+        self._grad_owned = False
+        self.requires_grad = False
+        self._parents = ()
+        self._backward = None
+
+    # -- realization ----------------------------------------------------------
+
+    @property
+    def data(self) -> np.ndarray:  # type: ignore[override]
+        node = self._node
+        if node.mat is None:
+            from .engine import realize
+
+            realize([node])
+        return node.mat
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self._node.shape
+
+    @property
+    def ndim(self) -> int:
+        return len(self._node.shape)
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self._node.shape)) if self._node.shape else 1
+
+    def realize(self) -> "LazyTensor":
+        """Force execution of the recorded graph (idempotent)."""
+        self.data
+        return self
+
+    def backward(self, grad=None) -> None:  # type: ignore[override]
+        raise NNError(
+            "LazyTensor is inference-only: record on the eager engine "
+            "(repro.nn.Tensor) to differentiate"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "realized" if self._node.mat is not None else "pending"
+        return f"LazyTensor(shape={self.shape}, dtype={self._node.dtype}, {state})"
+
+    # -- recording helpers ----------------------------------------------------
+
+    @staticmethod
+    def _coerce(value) -> LazyNode:
+        if isinstance(value, LazyTensor):
+            return value._node
+        if isinstance(value, Tensor):
+            return LazyNode.source(value.data)
+        return LazyNode.source(_as_array(value))
+
+    @staticmethod
+    def _record(op, srcs, arg, shape) -> "LazyTensor":
+        # The eager engine routes every op result through
+        # ``Tensor.__init__`` → ``_as_array``, which casts to the
+        # process default dtype — so every recorded (non-source) node
+        # gets the default dtype at record time, and the executor casts
+        # on store exactly where eager casts on construction.
+        return LazyTensor(node=LazyNode(op, srcs, arg, shape, get_default_dtype()))
+
+    def _binary(self, op: str, other) -> "LazyTensor":
+        a, b = self._node, self._coerce(other)
+        shape = np.broadcast_shapes(a.shape, b.shape)
+        return self._record(op, (a, b), None, shape)
+
+    def _unary(self, op: str, arg) -> "LazyTensor":
+        n = self._node
+        return self._record(op, (n,), arg, n.shape)
+
+    # -- arithmetic -----------------------------------------------------------
+    # __neg__/__sub__/__rsub__/__truediv__/__rtruediv__/sqrt/mean and the
+    # softmax family are inherited: the base class defines them in terms
+    # of the ops below, so they decompose into the same lazy graph the
+    # eager engine would compute (and the softmax max-stabilizer, which
+    # reads ``self.data``, realizes mid-graph exactly like the eager op).
+
+    def __add__(self, other) -> "LazyTensor":
+        return self._binary("add", other)
+
+    __radd__ = __add__
+
+    def __mul__(self, other) -> "LazyTensor":
+        return self._binary("mul", other)
+
+    __rmul__ = __mul__
+
+    def pow(self, exponent: float) -> "LazyTensor":
+        return self._unary("pow", float(exponent))
+
+    def __matmul__(self, other) -> "LazyTensor":
+        a, b = self._node, self._coerce(other)
+        return self._record("matmul", (a, b), None, _matmul_shape(a.shape, b.shape))
+
+    def __rmatmul__(self, other) -> "LazyTensor":
+        a, b = self._coerce(other), self._node
+        return self._record("matmul", (a, b), None, _matmul_shape(a.shape, b.shape))
+
+    # -- elementwise nonlinearities -------------------------------------------
+
+    def exp(self) -> "LazyTensor":
+        return self._unary("exp", None)
+
+    def log(self) -> "LazyTensor":
+        return self._unary("log", None)
+
+    def tanh(self) -> "LazyTensor":
+        return self._unary("tanh", None)
+
+    def sigmoid(self) -> "LazyTensor":
+        return self._unary("sigmoid", None)
+
+    def relu(self) -> "LazyTensor":
+        return self._unary("relu", None)
+
+    def leaky_relu(self, alpha: float = 0.01) -> "LazyTensor":
+        return self._unary("leaky_relu", float(alpha))
+
+    def elu(self, alpha: float = 1.0) -> "LazyTensor":
+        return self._unary("elu", float(alpha))
+
+    # -- reductions / shaping -------------------------------------------------
+
+    def sum(self, axis=None, keepdims: bool = False) -> "LazyTensor":
+        n = self._node
+        shape = _sum_shape(n.shape, axis, keepdims)
+        return self._record("sum", (n,), (axis, keepdims), shape)
+
+    def reshape(self, *shape) -> "LazyTensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        n = self._node
+        new = _reshape_shape(n.shape, shape)
+        return self._record("reshape", (n,), new, new)
+
+    def transpose(self, axes=None) -> "LazyTensor":
+        n = self._node
+        if axes is None:
+            new = n.shape[::-1]
+        else:
+            new = tuple(n.shape[a] for a in axes)
+        return self._record("transpose", (n,), axes, new)
+
+    # -- gather / segment ops -------------------------------------------------
+
+    def gather_rows(self, index) -> "LazyTensor":
+        n = self._node
+        if isinstance(index, IndexPlan):
+            rows = index.index.shape[0]
+        else:
+            index = np.asarray(index, dtype=np.int64)
+            rows = index.shape[0]
+        return self._record("gather", (n,), index, (rows,) + n.shape[1:])
+
+    def segment_sum(self, segments: Segments) -> "LazyTensor":
+        n = self._node
+        if n.shape[0] != segments.ids.size:
+            raise NNError(
+                f"segment_sum: {n.shape[0]} rows vs {segments.ids.size} segment ids"
+            )
+        return self._record(
+            "segment_sum", (n,), segments, (segments.num_segments,) + n.shape[1:]
+        )
+
+    def segment_softmax(self, segments: Segments) -> "LazyTensor":
+        # Overrides the inherited composite, which reads ``self.data``
+        # for the detached max stabiliser and would force a mid-graph
+        # realize per attention layer.  The engine kernel replays the
+        # composite's exact eager sequence (max-shift, clipped exp,
+        # CSR segment sum, +1e-16, reciprocal multiply) in one node.
+        n = self._node
+        if n.shape[0] != segments.ids.size:
+            raise NNError(
+                f"segment_softmax: {n.shape[0]} rows vs {segments.ids.size} segment ids"
+            )
+        return self._record("segment_softmax", (n,), segments, n.shape)
+
+
+def lazy_concat(tensors: Sequence[Tensor], axis: int = -1) -> LazyTensor:
+    """Lazy counterpart of :func:`repro.nn.tensor.concat`."""
+    nodes = tuple(LazyTensor._coerce(t) for t in tensors)
+    ndim = len(nodes[0].shape)
+    ax = axis % ndim
+    shape = list(nodes[0].shape)
+    shape[ax] = sum(n.shape[ax] for n in nodes)
+    return LazyTensor(
+        node=LazyNode("concat", nodes, ax, tuple(shape), get_default_dtype())
+    )
+
+
+def lazy_stack_max(tensors: Sequence[Tensor]) -> LazyTensor:
+    """Lazy counterpart of :func:`repro.nn.tensor.stack_max`."""
+    nodes = tuple(LazyTensor._coerce(t) for t in tensors)
+    return LazyTensor(
+        node=LazyNode("stack_max", nodes, None, nodes[0].shape, get_default_dtype())
+    )

@@ -1,0 +1,165 @@
+"""Op-level profiler for the fused engine (``DEBUG=1``).
+
+Disabled by default: the executor asks for :func:`collector` once per
+realize and gets ``None``, so the hot path carries no per-op timer
+calls — keeping the <0.2% disabled-overhead budget of the obs layer.
+When enabled (``DEBUG=1`` in the environment, or the
+:func:`profiled` context manager / :func:`set_profiling`), every
+executed op accrues a count and wall-clock milliseconds here, and the
+same samples feed :mod:`repro.obs` (counters ``engine.fused.op.<op>``
+and histogram ``engine.fused.realize_ms``) so they show up in
+``metrics_text()`` / ``/metrics`` next to the pipeline's counters.
+
+Export: :func:`op_profile` returns a schema-versioned payload
+(validated by :func:`validate_profile`) that EXPERIMENTS.md and future
+PRs use to see where the milliseconds go.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Dict, Optional
+
+from ...errors import NNError
+
+__all__ = [
+    "PROFILE_SCHEMA_VERSION",
+    "op_profile",
+    "profiled",
+    "profiling_enabled",
+    "reset_profile",
+    "set_profiling",
+    "validate_profile",
+]
+
+PROFILE_SCHEMA_VERSION = 1
+
+_lock = threading.Lock()
+_override: Optional[bool] = None
+_ops: Dict[str, list] = {}  # op -> [count, seconds]
+_realizes = 0
+_realize_seconds = 0.0
+_nodes_executed = 0
+
+
+def profiling_enabled() -> bool:
+    """True when op-level profiling is active (DEBUG=1 or override)."""
+    if _override is not None:
+        return _override
+    try:
+        return int(os.environ.get("DEBUG", "0") or "0") >= 1
+    except ValueError:
+        return False
+
+
+def set_profiling(enabled: Optional[bool]) -> None:
+    """Force profiling on/off; ``None`` restores the DEBUG env check."""
+    global _override
+    _override = enabled
+
+
+@contextmanager
+def profiled():
+    """Enable profiling (and reset stats) for the duration of a block."""
+    prev = _override
+    reset_profile()
+    set_profiling(True)
+    try:
+        yield
+    finally:
+        set_profiling(prev)
+
+
+class _Collector:
+    """Accumulates one realize call's samples into the global stats."""
+
+    __slots__ = ()
+
+    def add(self, op: str, seconds: float, count: int = 1) -> None:
+        global _nodes_executed
+        with _lock:
+            entry = _ops.setdefault(op, [0, 0.0])
+            entry[0] += count
+            entry[1] += seconds
+            _nodes_executed += count
+        from ...obs import counter
+
+        counter(f"engine.fused.op.{op}").inc(count)
+
+    def add_realize(self, seconds: float, nodes: int) -> None:
+        global _realizes, _realize_seconds
+        with _lock:
+            _realizes += 1
+            _realize_seconds += seconds
+        from ...obs import histogram
+
+        histogram("engine.fused.realize_ms").observe(seconds * 1000.0)
+
+
+_COLLECTOR = _Collector()
+
+
+def collector() -> Optional[_Collector]:
+    """The active collector, or ``None`` when profiling is disabled."""
+    return _COLLECTOR if profiling_enabled() else None
+
+
+def reset_profile() -> None:
+    """Zero the accumulated op stats (not the obs registry)."""
+    global _realizes, _realize_seconds, _nodes_executed
+    with _lock:
+        _ops.clear()
+        _realizes = 0
+        _realize_seconds = 0.0
+        _nodes_executed = 0
+
+
+def op_profile() -> Dict:
+    """Schema-versioned snapshot of accumulated per-op counts/ms."""
+    with _lock:
+        ops = {
+            op: {"count": int(count), "ms": seconds * 1000.0}
+            for op, (count, seconds) in sorted(
+                _ops.items(), key=lambda kv: kv[1][1], reverse=True
+            )
+        }
+        return {
+            "schema_version": PROFILE_SCHEMA_VERSION,
+            "engine": "fused",
+            "realizes": int(_realizes),
+            "total_ms": _realize_seconds * 1000.0,
+            "nodes_executed": int(_nodes_executed),
+            "ops": ops,
+        }
+
+
+def validate_profile(payload: Dict) -> None:
+    """Raise :class:`NNError` unless ``payload`` matches the export schema."""
+    if not isinstance(payload, dict):
+        raise NNError("profile payload must be a dict")
+    for key, kind in (
+        ("schema_version", int),
+        ("engine", str),
+        ("realizes", int),
+        ("total_ms", (int, float)),
+        ("nodes_executed", int),
+        ("ops", dict),
+    ):
+        if key not in payload:
+            raise NNError(f"profile payload missing {key!r}")
+        if not isinstance(payload[key], kind):
+            raise NNError(f"profile payload field {key!r} has wrong type")
+    if payload["schema_version"] != PROFILE_SCHEMA_VERSION:
+        raise NNError(
+            f"unsupported profile schema version {payload['schema_version']!r}"
+        )
+    if payload["engine"] != "fused":
+        raise NNError(f"unexpected profile engine {payload['engine']!r}")
+    for op, stats in payload["ops"].items():
+        if not isinstance(op, str) or not isinstance(stats, dict):
+            raise NNError("profile ops entries must map str -> dict")
+        for field in ("count", "ms"):
+            if not isinstance(stats.get(field), (int, float)):
+                raise NNError(f"profile op {op!r} missing numeric {field!r}")

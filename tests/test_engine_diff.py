@@ -1,0 +1,467 @@
+"""Differential testing: the fused lazy engine against the eager reference.
+
+Three layers of evidence that ``repro.nn.lazy`` computes what
+``repro.nn.tensor`` computes:
+
+1. **Per-op bit-exactness** — every executor kernel, run unfused on the
+   same inputs, must match the eager op *bit for bit* (the module-level
+   guarantee the engine documents).
+2. **Property-based fuzzing** — seeded random op-graph programs
+   (elementwise chains, broadcasts, matmuls, reductions, gathers,
+   segment ops, engine-mixing reflected ops) interpreted on both
+   engines, with per-dtype max-abs/max-rel error bounds from
+   :mod:`repro.nn.lazy.equiv`.  Failures are *shrunk*: the harness
+   greedily deletes ops while the disagreement persists and reports the
+   minimal failing sequence.
+3. **End-to-end forwards** — the paper's GNN models over every encoded
+   kernel graph, eager vs fused, plus the predictor façade's two
+   engines agreeing on :class:`Prediction` level.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import Segments, Tensor, concat, stack_max
+from repro.nn.lazy import (
+    LazyTensor,
+    assert_allclose,
+    max_errors,
+    tolerance_for,
+)
+from repro.nn.tensor import set_default_dtype
+
+# ---------------------------------------------------------------------------
+# Program representation: a list of (op-name, params) steps interpreted
+# identically on either engine.  Params carry concrete arrays so both
+# interpretations see byte-identical operands.
+# ---------------------------------------------------------------------------
+
+
+class Step:
+    __slots__ = ("name", "params")
+
+    def __init__(self, name, **params):
+        self.name = name
+        self.params = params
+
+    def __repr__(self):
+        parts = []
+        for key, value in self.params.items():
+            if isinstance(value, np.ndarray):
+                parts.append(f"{key}=ndarray{value.shape}")
+            elif isinstance(value, Segments):
+                parts.append(f"{key}=Segments(n={value.num_segments})")
+            else:
+                parts.append(f"{key}={value!r}")
+        return f"{self.name}({', '.join(parts)})"
+
+
+def _segments_for(rng, rows):
+    """Random sorted segment ids covering ``rows`` rows."""
+    num_segments = int(rng.integers(1, rows + 1))
+    ids = np.sort(rng.integers(0, num_segments, size=rows))
+    # Segments requires every id < num_segments; compress to the used range.
+    return Segments(ids.astype(np.int64), num_segments=num_segments)
+
+
+_APPLY = {
+    "add_scalar": lambda t, p: t + p["value"],
+    "radd": lambda t, p: Tensor(p["other"]) + t,  # reflected: eager op lazy
+    "sub": lambda t, p: t - Tensor(p["other"]),
+    "mul": lambda t, p: t * Tensor(p["other"]),
+    "rmul": lambda t, p: Tensor(p["other"]) * t,
+    "div": lambda t, p: t / Tensor(p["other"]),
+    "square": lambda t, p: t * t,
+    "pow_frac": lambda t, p: (t * t + 0.5).pow(p["exponent"]),
+    "exp": lambda t, p: t.exp(),
+    "log": lambda t, p: (t * t + 1.0).log(),
+    "sqrt": lambda t, p: (t * t + 0.25).sqrt(),
+    "tanh": lambda t, p: t.tanh(),
+    "sigmoid": lambda t, p: t.sigmoid(),
+    "relu": lambda t, p: t.relu(),
+    "leaky_relu": lambda t, p: t.leaky_relu(p["alpha"]),
+    "elu": lambda t, p: t.elu(p["alpha"]),
+    "softmax": lambda t, p: t.softmax(axis=-1),
+    "matmul": lambda t, p: t @ Tensor(p["weight"]),
+    "rmatmul": lambda t, p: Tensor(p["left"]) @ t,
+    "center": lambda t, p: t + t.sum(axis=0, keepdims=True) * p["scale"],
+    "mean_cols": lambda t, p: t - t.mean(axis=1, keepdims=True),
+    "transpose": lambda t, p: t.T,
+    "flatten_restore": lambda t, p: t.reshape(-1).reshape(p["shape"]),
+    "gather_rows": lambda t, p: t.gather_rows(p["index"]),
+    "segment_sum": lambda t, p: t.segment_sum(p["segments"]),
+    "segment_softmax": lambda t, p: t.segment_softmax(p["segments"]),
+    "concat_self": lambda t, p: concat([t, Tensor(p["other"])], axis=1),
+    "stack_max": lambda t, p: stack_max([t, Tensor(p["other"])]),
+}
+
+
+def _gen_step(rng, shape):
+    """Draw one applicable random step for the current 2-D ``shape``."""
+    rows, cols = shape
+    choices = [
+        "add_scalar", "radd", "sub", "mul", "rmul", "div", "square",
+        "pow_frac", "exp", "log", "sqrt", "tanh", "sigmoid", "relu",
+        "leaky_relu", "elu", "softmax", "center", "mean_cols",
+        "flatten_restore", "segment_softmax",
+    ]
+    if cols <= 16:
+        choices.append("concat_self")
+    if rows > 1:
+        choices += ["gather_rows", "segment_sum", "rmatmul"]
+    choices += ["matmul", "stack_max", "transpose"]
+    name = rng.choice(choices)
+
+    def arr(s):
+        return rng.normal(size=s)
+
+    if name == "add_scalar":
+        return Step(name, value=float(rng.normal())), shape
+    if name in ("radd", "sub", "mul", "rmul"):
+        other = arr((1, cols)) if rng.random() < 0.3 else arr(shape)
+        return Step(name, other=other), shape
+    if name == "div":
+        other = rng.uniform(0.5, 1.5, size=shape) * np.where(
+            rng.random(size=shape) < 0.5, -1.0, 1.0
+        )
+        return Step(name, other=other), shape
+    if name == "pow_frac":
+        return Step(name, exponent=float(rng.choice([0.5, 1.5, 2.0]))), shape
+    if name in ("leaky_relu", "elu"):
+        return Step(name, alpha=float(rng.uniform(0.05, 1.0))), shape
+    if name == "matmul":
+        out = int(rng.integers(1, 17))
+        return Step(name, weight=arr((cols, out))), (rows, out)
+    if name == "rmatmul":
+        out = int(rng.integers(1, 17))
+        return Step(name, left=arr((out, rows))), (out, cols)
+    if name == "center":
+        return Step(name, scale=-1.0 / rows), shape
+    if name == "transpose":
+        return Step(name), (cols, rows)
+    if name == "flatten_restore":
+        return Step(name, shape=shape), shape
+    if name == "gather_rows":
+        new_rows = int(rng.integers(1, rows + 1))
+        index = rng.integers(0, rows, size=new_rows).astype(np.int64)
+        return Step(name, index=index), (new_rows, cols)
+    if name == "segment_sum":
+        seg = _segments_for(rng, rows)
+        return Step(name, segments=seg), (seg.num_segments, cols)
+    if name == "segment_softmax":
+        return Step(name, segments=_segments_for(rng, rows)), shape
+    if name == "concat_self":
+        return Step(name, other=arr(shape)), (rows, 2 * cols)
+    if name == "stack_max":
+        return Step(name, other=arr(shape)), shape
+    # param-less elementwise ops: square/exp/log/sqrt/tanh/sigmoid/relu/
+    # softmax/mean_cols preserve shape
+    return Step(name), shape
+
+
+def gen_program(seed, length=8):
+    rng = np.random.default_rng(seed)
+    rows = int(rng.integers(2, 12))
+    cols = int(rng.integers(1, 12))
+    x0 = rng.normal(size=(rows, cols))
+    steps, shape = [], (rows, cols)
+    for _ in range(length):
+        step, shape = _gen_step(rng, shape)
+        steps.append(step)
+    return x0, steps
+
+
+def run_program(x0, steps, engine):
+    t = LazyTensor(x0) if engine == "fused" else Tensor(x0)
+    for step in steps:
+        t = _APPLY[step.name](t, step.params)
+    return np.array(t.data, copy=True)
+
+
+# ---------------------------------------------------------------------------
+# Shrinking: greedily delete steps while the program still disagrees.
+# ---------------------------------------------------------------------------
+
+
+def _disagrees(x0, steps, rtol, atol):
+    try:
+        eager = run_program(x0, steps, "eager")
+        fused = run_program(x0, steps, "fused")
+    except Exception:
+        return False  # deletion broke shape validity: not a valid shrink
+    if eager.shape != fused.shape:
+        return True
+    return not np.allclose(fused, eager, rtol=rtol, atol=atol, equal_nan=True)
+
+
+def shrink_program(x0, steps, rtol, atol):
+    """Minimal failing subsequence under greedy single-step deletion."""
+    current = list(steps)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(current)):
+            candidate = current[:i] + current[i + 1 :]
+            if _disagrees(x0, candidate, rtol, atol):
+                current = candidate
+                changed = True
+                break
+    return current
+
+
+def _report_failure(x0, steps, dtype):
+    rtol, atol = tolerance_for(dtype)
+    minimal = shrink_program(x0, steps, rtol, atol)
+    eager = run_program(x0, minimal, "eager")
+    fused = run_program(x0, minimal, "fused")
+    abs_err, rel_err = max_errors(fused, eager)
+    lines = [
+        f"engines disagree for dtype={np.dtype(dtype).name} "
+        f"(max_abs={abs_err:.3e}, max_rel={rel_err:.3e}, "
+        f"rtol={rtol}, atol={atol})",
+        f"minimal failing program ({len(minimal)} of {len(steps)} ops), "
+        f"input shape {x0.shape}:",
+    ]
+    lines += [f"  {i}: {step!r}" for i, step in enumerate(minimal)]
+    pytest.fail("\n".join(lines))
+
+
+# ---------------------------------------------------------------------------
+# 1. Per-op bit-exactness (the engine's documented unfused guarantee).
+# ---------------------------------------------------------------------------
+
+_SINGLE_OPS = [
+    "add_scalar", "radd", "sub", "mul", "rmul", "div", "square", "pow_frac",
+    "exp", "log", "sqrt", "tanh", "sigmoid", "relu", "leaky_relu", "elu",
+    "softmax", "matmul", "rmatmul", "center", "mean_cols", "transpose",
+    "flatten_restore", "gather_rows", "segment_sum", "segment_softmax",
+    "concat_self", "stack_max",
+]
+
+
+class TestSingleOpBitExact:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64], ids=["f32", "f64"])
+    @pytest.mark.parametrize("name", _SINGLE_OPS)
+    def test_op_bitexact(self, name, dtype):
+        """One op, unfused, must match eager bit for bit in both dtypes."""
+        set_default_dtype(dtype)
+        import zlib
+
+        rng = np.random.default_rng(zlib.crc32(name.encode()))
+        x0 = rng.normal(size=(6, 5))
+        step = Step(name, **_params_for(name, rng))
+        eager = run_program(x0, [step], "eager")
+        fused = run_program(x0, [step], "fused")
+        assert eager.dtype == fused.dtype
+        np.testing.assert_array_equal(fused, eager)
+
+
+def _params_for(name, rng):
+    """Deterministic fallback params for ops the sampler rarely draws."""
+    if name == "matmul":
+        return {"weight": rng.normal(size=(5, 3))}
+    if name == "rmatmul":
+        return {"left": rng.normal(size=(4, 6))}
+    if name in ("radd", "sub", "mul", "rmul", "stack_max", "concat_self"):
+        return {"other": rng.normal(size=(6, 5))}
+    if name == "div":
+        return {"other": rng.uniform(0.5, 1.5, size=(6, 5))}
+    if name == "add_scalar":
+        return {"value": float(rng.normal())}
+    if name == "pow_frac":
+        return {"exponent": 1.5}
+    if name in ("leaky_relu", "elu"):
+        return {"alpha": 0.2}
+    if name == "center":
+        return {"scale": -1.0 / 6}
+    if name == "flatten_restore":
+        return {"shape": (6, 5)}
+    if name == "gather_rows":
+        return {"index": rng.integers(0, 6, size=4).astype(np.int64)}
+    if name in ("segment_sum", "segment_softmax"):
+        return {"segments": _segments_for(rng, 6)}
+    return {}
+
+
+# ---------------------------------------------------------------------------
+# 2. Property-based fuzzing with shrinking.
+# ---------------------------------------------------------------------------
+
+
+class TestFuzzPrograms:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64], ids=["f32", "f64"])
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_program_agrees(self, seed, dtype):
+        set_default_dtype(dtype)
+        x0, steps = gen_program(seed)
+        eager = run_program(x0, steps, "eager")
+        fused = run_program(x0, steps, "fused")
+        rtol, atol = tolerance_for(dtype)
+        if eager.shape != fused.shape or not np.allclose(
+            fused, eager, rtol=rtol, atol=atol, equal_nan=True
+        ):
+            _report_failure(x0, steps, dtype)
+
+    def test_long_chain_agrees(self):
+        """A 40-op chain stresses buffer reuse / in-place fusion."""
+        set_default_dtype(np.float32)
+        x0, steps = gen_program(seed=1234, length=40)
+        eager = run_program(x0, steps, "eager")
+        fused = run_program(x0, steps, "fused")
+        rtol, atol = tolerance_for(np.float32)
+        if not np.allclose(fused, eager, rtol=rtol, atol=atol, equal_nan=True):
+            _report_failure(x0, steps, np.float32)
+
+    def test_shared_subgraph_agrees(self):
+        """Diamond reuse: one node feeding several consumers realizes once
+        but must still serve every consumer correctly."""
+        for dtype in (np.float32, np.float64):
+            set_default_dtype(dtype)
+            rng = np.random.default_rng(7)
+            x0 = rng.normal(size=(8, 6))
+            w = rng.normal(size=(6, 6))
+
+            def build(t):
+                h = (t @ Tensor(w)).relu()
+                return (h * h.sigmoid() + h.tanh()).sum(axis=1, keepdims=True)
+
+            eager = build(Tensor(x0)).data
+            fused = build(LazyTensor(x0)).data
+            assert_allclose(fused, eager, dtype=dtype, context="shared subgraph")
+
+    def test_shrinker_finds_minimal_sequence(self):
+        """The shrinker itself: with a synthetic failure predicate it must
+        reduce to exactly the interacting ops."""
+        steps = [Step(n) for n in ("a", "b", "c", "d", "e")]
+
+        def fails(names):
+            return "b" in names and "d" in names
+
+        current = list(steps)
+        changed = True
+        while changed:  # same greedy loop as shrink_program
+            changed = False
+            for i in range(len(current)):
+                candidate = current[:i] + current[i + 1 :]
+                if fails([s.name for s in candidate]):
+                    current = candidate
+                    changed = True
+                    break
+        assert [s.name for s in current] == ["b", "d"]
+
+
+# ---------------------------------------------------------------------------
+# 3. End-to-end: GNN forwards over every kernel graph; predictor façade.
+# ---------------------------------------------------------------------------
+
+
+def _small_gnn(config_name, task, seed=0):
+    from dataclasses import replace
+
+    from repro.graph.encoding import EDGE_DIM, NODE_DIM
+    from repro.model import MODEL_CONFIGS, REGRESSION_OBJECTIVES, build_model
+
+    base = MODEL_CONFIGS[config_name]
+    base = replace(base, hidden=16, num_layers=2)
+    objectives = REGRESSION_OBJECTIVES if task == "regression" else None
+    return build_model(base.for_task(task, objectives), NODE_DIM, EDGE_DIM, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def kernel_builder():
+    from repro.explorer.database import Database
+    from repro.model import GraphDatasetBuilder
+
+    return GraphDatasetBuilder(Database())
+
+
+class TestModelForwardDiff:
+    @pytest.mark.parametrize("config_name", ["M3", "M4", "M5", "M6", "M7"])
+    def test_gnn_variants_agree(self, config_name, kernel_builder):
+        """Every GNN variant (conv type / JKN mode / pooling) agrees."""
+        from repro.designspace import build_design_space
+        from repro.kernels import get_kernel
+        from repro.nn.data import Batch, GraphData
+        from repro.nn.tensor import no_grad
+
+        set_default_dtype(np.float32)
+        enc = kernel_builder.encoded_graph("atax")
+        space = build_design_space(get_kernel("atax"))
+        graphs = [
+            GraphData(
+                x=enc.fill(point),
+                edge_index=enc.edge_index,
+                edge_attr=enc.edge_attr,
+                kernel="atax",
+            )
+            for point in space.sample(__import__("random").Random(3), 4)
+        ]
+        model = _small_gnn(config_name, "regression")
+        model.eval()
+        with no_grad():
+            eager = model(Batch.from_graphs(graphs)).data
+            lazy_batch = Batch.from_graphs(graphs)
+            lazy_batch.x = LazyTensor(lazy_batch.x)
+            fused = model(lazy_batch).data
+        assert_allclose(fused, eager, context=f"model {config_name}")
+
+    def test_all_kernels_agree(self, kernel_builder):
+        """One M7 forward per encoded kernel graph, eager vs fused."""
+        from repro.kernels import list_kernels
+        from repro.nn.data import Batch, GraphData
+        from repro.nn.tensor import no_grad
+
+        set_default_dtype(np.float32)
+        kernels = list_kernels()
+        assert len(kernels) >= 16
+        model = _small_gnn("M7", "classification")
+        model.eval()
+        for kernel in kernels:
+            enc = kernel_builder.encoded_graph(kernel)
+            graph = GraphData(
+                x=enc.x_base,
+                edge_index=enc.edge_index,
+                edge_attr=enc.edge_attr,
+                kernel=kernel,
+            )
+            with no_grad():
+                eager = model(Batch.from_graphs([graph])).data
+                lazy_batch = Batch.from_graphs([graph])
+                lazy_batch.x = LazyTensor(lazy_batch.x)
+                fused = model(lazy_batch).data
+            assert_allclose(fused, eager, context=f"kernel {kernel}")
+
+
+class TestPredictorDiff:
+    def test_predictor_engines_agree(self):
+        """The façade's two engines agree at Prediction level."""
+        import random
+
+        from repro.designspace import build_design_space
+        from repro.explorer import generate_database
+        from repro.kernels import get_kernel
+        from repro.model import TrainConfig, train_predictor
+        from repro.nn.lazy import predictions_equivalent
+
+        set_default_dtype(np.float32)
+        db = generate_database(kernels=["atax"], scale=0.1, seed=0)
+        predictor = train_predictor(
+            db, config_name="M5", train_config=TrainConfig(epochs=2)
+        )
+        space = build_design_space(get_kernel("atax"))
+        points = space.sample(random.Random(0), 6)
+        eager = predictor.predict_batch("atax", points)
+        fused = predictor.predict_batch("atax", points, engine="fused")
+        problem = predictions_equivalent(fused, eager, dtype=np.float32)
+        assert problem is None, problem
+
+    def test_predictor_rejects_unknown_engine(self):
+        from repro.explorer import generate_database
+        from repro.model import TrainConfig, train_predictor
+
+        db = generate_database(kernels=["atax"], scale=0.1, seed=0)
+        predictor = train_predictor(
+            db, config_name="M1", train_config=TrainConfig(epochs=1)
+        )
+        with pytest.raises(ValueError):
+            predictor.predict_batch("atax", [], engine="jit")
