@@ -199,7 +199,9 @@ def _run_node(node: LazyNode, mats: Sequence[np.ndarray], out: Optional[np.ndarr
     if op == "gather":
         index = node.arg.index if isinstance(node.arg, IndexPlan) else node.arg
         if out is not None and out.flags.c_contiguous:
-            return np.take(mats[0], index, axis=0, out=out, mode="clip")
+            # mode="raise" (the np.take default) so out-of-bounds
+            # indices fail identically to the eager fancy-index path.
+            return np.take(mats[0], index, axis=0, out=out, mode="raise")
         return mats[0][index]
     if op == "segment_sum":
         segments: Segments = node.arg
@@ -324,7 +326,14 @@ def realize(outputs: Sequence[LazyNode]) -> None:
             return None  # view ops / ops that allocate internally
         shape, dtype = node.shape, node.dtype
         if node.op in _INPLACE_SAFE:
-            for src, mat in zip(node.srcs, mats):
+            candidates = list(zip(node.srcs, mats))
+            if node.op == "stack_max":
+                # Only operands 0/1 may alias the output: the kernel
+                # writes maximum(mats[0], mats[1]) into out before it
+                # reads mats[2:], so a dying operand at index >= 2
+                # would be clobbered before its contribution is taken.
+                candidates = candidates[:2]
+            for src, mat in candidates:
                 if (
                     refs.get(id(src), 0) == 1
                     and id(src) in scheduled
@@ -352,7 +361,7 @@ def realize(outputs: Sequence[LazyNode]) -> None:
             lhs = node.srcs[0].mat
             cat, offsets = _stacked_weights([m.srcs[1].mat for m in members], node.dtype)
             wide = _POOL.take((lhs.shape[0], cat.shape[1]), node.dtype)
-            owned.setdefault(id(wide), wide)
+            owned.setdefault(id(base_of(wide)), base_of(wide))
             if wide.flags.c_contiguous:
                 np.matmul(lhs, cat, out=wide)
             else:  # pragma: no cover - pool always hands back contiguous

@@ -49,6 +49,11 @@ class Step:
         for key, value in self.params.items():
             if isinstance(value, np.ndarray):
                 parts.append(f"{key}=ndarray{value.shape}")
+            elif isinstance(value, list):
+                items = ", ".join(
+                    "lazy" if v is None else f"ndarray{v.shape}" for v in value
+                )
+                parts.append(f"{key}=[{items}]")
             elif isinstance(value, Segments):
                 parts.append(f"{key}=Segments(n={value.num_segments})")
             else:
@@ -93,6 +98,15 @@ _APPLY = {
     "segment_softmax": lambda t, p: t.segment_softmax(p["segments"]),
     "concat_self": lambda t, p: concat([t, Tensor(p["other"])], axis=1),
     "stack_max": lambda t, p: stack_max([t, Tensor(p["other"])]),
+    # >=3 operands mixing eager sources and a lazy intermediate at a
+    # random position (None marks where the lazy chain is spliced in).
+    "stack_max_many": lambda t, p: stack_max(
+        [t * p["scale"] if o is None else Tensor(o) for o in p["operands"]]
+    ),
+    "concat_many": lambda t, p: concat(
+        [t * p["scale"] if o is None else Tensor(o) for o in p["operands"]],
+        axis=1,
+    ),
 }
 
 
@@ -107,9 +121,11 @@ def _gen_step(rng, shape):
     ]
     if cols <= 16:
         choices.append("concat_self")
+    if cols <= 8:
+        choices.append("concat_many")
     if rows > 1:
         choices += ["gather_rows", "segment_sum", "rmatmul"]
-    choices += ["matmul", "stack_max", "transpose"]
+    choices += ["matmul", "stack_max", "stack_max_many", "transpose"]
     name = rng.choice(choices)
 
     def arr(s):
@@ -154,6 +170,13 @@ def _gen_step(rng, shape):
         return Step(name, other=arr(shape)), (rows, 2 * cols)
     if name == "stack_max":
         return Step(name, other=arr(shape)), shape
+    if name in ("stack_max_many", "concat_many"):
+        n = int(rng.integers(3, 6))
+        lazy_pos = int(rng.integers(0, n))
+        operands = [None if i == lazy_pos else arr(shape) for i in range(n)]
+        scale = float(rng.uniform(0.5, 2.0))
+        out_shape = shape if name == "stack_max_many" else (rows, n * cols)
+        return Step(name, operands=operands, scale=scale), out_shape
     # param-less elementwise ops: square/exp/log/sqrt/tanh/sigmoid/relu/
     # softmax/mean_cols preserve shape
     return Step(name), shape
@@ -235,7 +258,7 @@ _SINGLE_OPS = [
     "exp", "log", "sqrt", "tanh", "sigmoid", "relu", "leaky_relu", "elu",
     "softmax", "matmul", "rmatmul", "center", "mean_cols", "transpose",
     "flatten_restore", "gather_rows", "segment_sum", "segment_softmax",
-    "concat_self", "stack_max",
+    "concat_self", "stack_max", "stack_max_many", "concat_many",
 ]
 
 
@@ -264,6 +287,10 @@ def _params_for(name, rng):
         return {"left": rng.normal(size=(4, 6))}
     if name in ("radd", "sub", "mul", "rmul", "stack_max", "concat_self"):
         return {"other": rng.normal(size=(6, 5))}
+    if name in ("stack_max_many", "concat_many"):
+        # lazy operand last: the alias-hazard position for stack_max
+        operands = [rng.normal(size=(6, 5)), rng.normal(size=(6, 5)), None]
+        return {"operands": operands, "scale": 2.0}
     if name == "div":
         return {"other": rng.uniform(0.5, 1.5, size=(6, 5))}
     if name == "add_scalar":
@@ -328,6 +355,21 @@ class TestFuzzPrograms:
             eager = build(Tensor(x0)).data
             fused = build(LazyTensor(x0)).data
             assert_allclose(fused, eager, dtype=dtype, context="shared subgraph")
+
+    def test_stack_max_eager_leading_lazy_trailing(self):
+        """Regression: >=3-operand stack_max whose only dying lazy
+        operand sits at index >= 2 must not be used as the in-place
+        output buffer — the kernel writes maximum(mats[0], mats[1])
+        into it before reading mats[2:]."""
+        for dtype in (np.float32, np.float64):
+            set_default_dtype(dtype)
+            ones = np.ones((4, 3))
+            result = stack_max(
+                [Tensor(ones), Tensor(2.0 * ones), LazyTensor(5.0 * ones) * 2.0]
+            )
+            np.testing.assert_array_equal(
+                np.asarray(result.data), np.full((4, 3), 10.0)
+            )
 
     def test_shrinker_finds_minimal_sequence(self):
         """The shrinker itself: with a synthetic failure predicate it must
