@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install lint test test-fast test-fused bench bench-fast bench-smoke serve-smoke bench-parallel-smoke trace-smoke ci examples clean
+.PHONY: install lint test test-fast test-fused bench bench-fast bench-smoke serve-smoke bench-parallel-smoke trace-smoke loop-smoke ci examples clean
 
 install:
 	$(PY) setup.py develop
@@ -55,14 +55,22 @@ bench-parallel-smoke:
 trace-smoke:
 	cd benchmarks && $(PY) trace_smoke.py
 
+# Two tiny active-learning rounds (estimator oracle) hot-swapping a
+# live server under background request load: asserts a new artifact
+# version per round, the server answers under both the baseline and
+# the final model, and zero requests fail across the swaps.
+loop-smoke:
+	$(PY) benchmarks/loop_smoke.py
+
 # Everything CI runs, in the same order: lint, the tier-1 suite, and
-# the four smoke gates.  `make ci` green locally = workflow green.
+# the five smoke gates.  `make ci` green locally = workflow green.
 ci: lint
 	$(PY) -m pytest tests/ -x -q
 	$(MAKE) bench-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) bench-parallel-smoke
 	$(MAKE) trace-smoke
+	$(MAKE) loop-smoke
 
 # Smoke-scale benchmark run (~minutes): tiny database + training budgets.
 bench-fast:

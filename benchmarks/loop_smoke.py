@@ -1,0 +1,159 @@
+"""End-to-end smoke test of the active-learning loop (``make loop-smoke``).
+
+Runs two tiny rounds of :class:`~repro.loop.active.ActiveLoop` against
+the deterministic estimator oracle while a **live** model server —
+booted from the same registry — answers a background stream of predict
+requests.  Checks the whole closed loop from the outside:
+
+- the loop publishes a new artifact version per round (baseline + 2);
+- the loop hot-swaps the live server after each publish, and the
+  server answers under BOTH the baseline and the final model version;
+- zero requests fail across the swaps (no 5xx, nothing dropped);
+- every model hash the server reported names a verifiable registry
+  version.
+
+Finishes in well under a minute on untrained weights; exits non-zero
+on any violation, so it can gate CI.
+"""
+
+import os
+import sys
+import tempfile
+import threading
+import time
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # standalone run from a source checkout, no install
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from serve_smoke import make_predictor
+
+from repro.designspace import build_design_space
+from repro.explorer.database import Database
+from repro.kernels import get_kernel
+from repro.loop import ActiveLoop, LoopConfig
+from repro.serve import ModelRegistry, PredictorService, ServeClient, start_server
+from repro.serve.registry import load_artifact, verify_artifact
+
+KERNEL = "gesummv"
+
+
+def fail(message):
+    print(f"loop-smoke: FAIL: {message}")
+    raise SystemExit(1)
+
+
+def main():
+    import random
+
+    with tempfile.TemporaryDirectory(prefix="loop-smoke-") as tmp:
+        registry = ModelRegistry(os.path.join(tmp, "registry"))
+        baseline = registry.publish(make_predictor(seed=0), created=0.0)
+        print(f"loop-smoke: baseline {baseline.version} ({baseline.sha256[:12]}…)")
+
+        service = PredictorService(
+            load_artifact(baseline.path),
+            batch_size=4,
+            max_delay_seconds=0.002,
+            model_info=baseline.payload(),
+            registry=registry,
+        )
+        server = start_server(service)  # ephemeral port
+        print(f"loop-smoke: server up at {server.url}")
+
+        client = ServeClient(server.url)
+        space = build_design_space(get_kernel(KERNEL))
+        points = space.sample(random.Random(7), 6)
+
+        seen_shas, errors = set(), []
+        done = threading.Event()
+        lock = threading.Lock()
+
+        def ask(point):
+            _, info = client.predict_with_model(KERNEL, [point])
+            with lock:
+                seen_shas.add(info["sha256"])
+
+        def load():
+            i = 0
+            while not done.is_set():
+                try:
+                    ask(points[i % len(points)])
+                except Exception as exc:  # noqa: BLE001 - the assertion
+                    with lock:
+                        errors.append(repr(exc))
+                    return
+                i += 1
+                time.sleep(0.01)
+
+        # Pin the baseline version in the observed set, then keep a
+        # background request stream running across both hot swaps.
+        ask(points[0])
+        worker = threading.Thread(target=load)
+        worker.start()
+        try:
+            loop = ActiveLoop(
+                load_artifact(baseline.path),
+                Database(),
+                registry,
+                LoopConfig(
+                    kernels=(KERNEL,),
+                    rounds=2,
+                    label_budget=5,
+                    scan=40,
+                    eval_points=24,
+                    epochs=1,
+                    gate_on_holdout=False,
+                ),
+                os.path.join(tmp, "loop-database.json"),
+                os.path.join(tmp, "loop-state.json"),
+                serve_url=server.url,
+                log=lambda msg: print(f"loop-smoke: {msg}"),
+            )
+            result = loop.run()
+            # One guaranteed post-swap request before stopping the load.
+            ask(points[0])
+        finally:
+            done.set()
+            worker.join()
+            server.stop()
+
+        if errors:
+            fail(f"{len(errors)} request(s) failed across the swaps: {errors[:3]}")
+        print(f"loop-smoke: zero failed requests, {len(seen_shas)} versions observed")
+
+        versions = registry.versions()
+        if len(versions) != 1 + len(result.rounds):
+            fail(
+                f"expected {1 + len(result.rounds)} artifact versions "
+                f"(baseline + one per round), found {len(versions)}"
+            )
+        final = registry.current()
+        if final.version == baseline.version:
+            fail("loop did not advance the registry's current pointer")
+        print(
+            f"loop-smoke: registry advanced {baseline.version} -> {final.version} "
+            f"over {len(result.rounds)} rounds"
+        )
+
+        if not {baseline.sha256, final.sha256} <= seen_shas:
+            fail(
+                "server did not answer under both the baseline and the "
+                f"final model (saw {sorted(s[:12] for s in seen_shas)})"
+            )
+        known = {v.sha256 for v in versions}
+        if not seen_shas <= known:
+            fail(f"server reported model hashes not in the registry: {seen_shas - known}")
+        for version in versions:
+            verify_artifact(version.path)
+        print(f"loop-smoke: all {len(versions)} artifact versions verify")
+
+        trajectory = " -> ".join(f"{r:.4f}" for r in result.rmse_trajectory())
+        print(f"loop-smoke: held-out RMSE {trajectory}")
+    print("loop-smoke: PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,7 +10,10 @@ Commands mirror the three operating modes of Fig. 1(a) plus utilities:
   predictor cached by ``train`` or a saved artifact);
 - ``save-model``  — package trained weights as a versioned artifact;
 - ``load-model``  — inspect/verify a saved artifact;
-- ``serve``       — serve predictions from an artifact over HTTP;
+- ``serve``       — serve predictions from an artifact (or registry) over HTTP;
+- ``loop``        — closed-loop active learning: DSE → HLS labels →
+  fine-tune → publish to a registry (→ hot-swap a live server);
+- ``artifacts``   — list and verify a model-registry directory;
 - ``autodse``     — run the HLS-in-the-loop bottleneck explorer;
 - ``experiment``  — regenerate one paper table/figure.
 
@@ -24,6 +27,9 @@ Examples::
     python -m repro save-model -d db.json -p predictor.npz -o artifact/
     python -m repro dse -k gesummv --model artifact/ --output top.json
     python -m repro serve --model artifact/ --port 8080
+    python -m repro loop -d db.json -p predictor.npz --registry registry/ \
+        --kernels bicg gesummv 2mm --rounds 3 --serve-url http://127.0.0.1:8080
+    python -m repro artifacts registry/
     python -m repro experiment table1
 """
 
@@ -145,7 +151,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("artifact", help="artifact directory written by `save-model`")
 
     p = sub.add_parser("serve", help="serve predictions over HTTP from an artifact")
-    p.add_argument("--model", required=True, help="artifact directory to serve")
+    p.add_argument("--model", required=True,
+                   help="artifact directory, or a registry directory (serves "
+                        "its `current` version and enables POST /v1/model/reload)")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8080)
     p.add_argument("--batch-size", type=int, default=16,
@@ -159,6 +167,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", action="store_true",
                    help="enable tracing so GET /v1/trace serves live "
                         "per-request spans")
+
+    p = sub.add_parser(
+        "loop",
+        help="closed-loop active learning: DSE, HLS labels, fine-tune, publish",
+    )
+    p.add_argument("-d", "--database", required=True,
+                   help="seed training database (JSON); augmented copies are "
+                        "written next to --state each round")
+    p.add_argument("-p", "--predictor", default=None,
+                   help="starting weights saved by `train` (with -d); omit to "
+                        "start from the registry's current artifact")
+    p.add_argument("--model", default="M7", help="model config (M1-M7)")
+    p.add_argument("--registry", required=True,
+                   help="model registry directory (created if missing); every "
+                        "accepted round publishes a new version here")
+    p.add_argument("--kernels", nargs="+", required=True,
+                   help="target kernels to explore and label")
+    p.add_argument("--rounds", type=int, default=3)
+    p.add_argument("--label-budget", type=int, default=15,
+                   help="HLS labels per kernel per round")
+    p.add_argument("--scan", type=int, default=300,
+                   help="design points scored per kernel per round")
+    p.add_argument("--eval-points", type=int, default=60,
+                   help="held-out evaluation points sampled per kernel")
+    p.add_argument("--epochs", type=int, default=6,
+                   help="warm-start fine-tune epochs per round")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--engine", choices=["auto", "compiled", "reference", "fused"],
+                   default="auto", help="surrogate engine for the DSE scan")
+    p.add_argument("--serve-url", default=None,
+                   help="live `repro serve` endpoint to hot-swap after each "
+                        "accepted publish (POST /v1/model/reload)")
+    p.add_argument("--state", default=None,
+                   help="resume journal path (default: <registry>/loop-state.json)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from --state, skipping completed rounds")
+    p.add_argument("--no-gate", action="store_true",
+                   help="publish every round even if held-out RMSE regressed")
+    p.add_argument("--wall-clock", action="store_true",
+                   help="stamp records/artifacts with wall-clock time instead "
+                        "of the deterministic logical clock (breaks bit-"
+                        "identical resume)")
+
+    p = sub.add_parser("artifacts", help="list and verify a model registry")
+    p.add_argument("registry", help="registry directory written by `repro loop` "
+                                    "(or a single artifact directory)")
 
     p = sub.add_parser("coverage", help="database coverage report for one kernel")
     p.add_argument("-k", "--kernel", required=True)
@@ -400,25 +454,50 @@ def _cmd_load_model(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    from .errors import ArtifactError
     from .model.predictor import GNNDSEPredictor
-    from .serve import PredictorService, ServeHTTPServer
+    from .serve import ModelRegistry, PredictorService, ServeHTTPServer
+    from .serve.registry import artifact_fingerprint, load_artifact, read_manifest
 
     if args.trace:
         from . import obs
 
         obs.enable()
-    predictor = GNNDSEPredictor.load(args.model)
+    registry = None
+    if ModelRegistry.is_registry(args.model):
+        registry = ModelRegistry(args.model)
+        current = registry.current()
+        if current is None:
+            raise ArtifactError(
+                f"registry {args.model} has no current version; "
+                "run `repro loop` (or ModelRegistry.publish) first"
+            )
+        predictor = load_artifact(current.path)
+        model_info = current.payload()
+        served = f"{args.model} ({current.version})"
+    else:
+        predictor = GNNDSEPredictor.load(args.model)
+        manifest = read_manifest(args.model)
+        model_info = {
+            "version": None,
+            "sha256": artifact_fingerprint(manifest),
+            "path": str(args.model),
+        }
+        served = str(args.model)
     service = PredictorService(
         predictor,
         batch_size=args.batch_size,
         max_delay_seconds=args.max_delay_ms / 1000.0,
         max_pending=args.max_queue,
         engine=args.engine,
+        model_info=model_info,
+        registry=registry,
     )
     server = ServeHTTPServer((args.host, args.port), service)
     host, port = server.server_address[:2]
-    print(f"serving {args.model} on http://{host}:{port} "
+    print(f"serving {served} on http://{host}:{port} "
           f"(batch={args.batch_size}, flush={args.max_delay_ms:g}ms"
+          f"{', hot-swappable' if registry else ''}"
           f"{', tracing' if args.trace else ''}) — Ctrl-C to stop")
     try:
         server.serve_forever()
@@ -428,6 +507,104 @@ def _cmd_serve(args) -> int:
         server.server_close()
         service.close(drain=True)
     return 0
+
+
+def _cmd_loop(args) -> int:
+    import os
+    import time
+
+    from .errors import LoopError
+    from .explorer import Database
+    from .loop import ActiveLoop, LoopConfig
+    from .serve import ModelRegistry
+    from .serve.registry import load_artifact
+
+    registry = ModelRegistry(args.registry)
+    database = Database.load(args.database)
+    if args.predictor is not None:
+        predictor = _load_predictor(args.database, args.predictor, args.model)
+    else:
+        current = registry.current()
+        if current is None:
+            raise LoopError(
+                "no --predictor given and the registry has no current "
+                "version to start from"
+            )
+        predictor = load_artifact(current.path)
+    state_path = args.state or os.path.join(args.registry, "loop-state.json")
+    database_path = os.path.join(
+        os.path.dirname(os.path.abspath(state_path)), "loop-database.json"
+    )
+    config = LoopConfig(
+        kernels=tuple(args.kernels),
+        rounds=args.rounds,
+        label_budget=args.label_budget,
+        scan=args.scan,
+        eval_points=args.eval_points,
+        config_name=args.model,
+        epochs=args.epochs,
+        seed=args.seed,
+        engine=args.engine,
+        gate_on_holdout=not args.no_gate,
+    )
+    loop = ActiveLoop(
+        predictor,
+        database,
+        registry,
+        config,
+        database_path,
+        state_path,
+        serve_url=args.serve_url,
+        clock=time.time if args.wall_clock else None,
+        log=print,
+    )
+    result = loop.run(resume=args.resume)
+    trajectory = " -> ".join(f"{v:.4f}" for v in result.rmse_trajectory())
+    print(f"held-out RMSE: {trajectory}")
+    final = result.final_metrics
+    print(
+        f"final: accuracy {final['classification']['accuracy']:.3f}, "
+        f"f1 {final['classification']['f1']:.3f}, "
+        f"database {len(loop.database)} records, "
+        f"current {registry.current_version_name()}"
+    )
+    return 0
+
+
+def _cmd_artifacts(args) -> int:
+    from .serve import ModelRegistry
+    from .serve.registry import artifact_fingerprint, verify_artifact
+
+    if not ModelRegistry.is_registry(args.registry):
+        # Grace for a bare artifact directory: verify it like load-model.
+        manifest = verify_artifact(args.registry)
+        sha = artifact_fingerprint(manifest)
+        print(f"{args.registry}: single artifact, schema "
+              f"v{manifest['schema_version']}, sha256:{sha[:12]}… verified")
+        return 0
+    registry = ModelRegistry(args.registry)
+    versions = registry.versions()
+    current_name = registry.current_version_name()
+    if not versions:
+        print(f"{args.registry}: empty registry")
+        return 0
+    print(f"{'version':9s} {'schema':>6s} {'created':>10s} {'sha256':14s} verified")
+    failures = 0
+    for version in versions:
+        try:
+            verify_artifact(version.path)
+            status = "ok"
+        except ReproError as exc:
+            status = f"FAILED: {exc}"
+            failures += 1
+        marker = "*" if version.version == current_name else " "
+        print(
+            f"{marker}{version.version:8s} {version.schema_version:6d} "
+            f"{version.created:10g} {version.sha256[:12] + '…':14s} {status}"
+        )
+    print(f"current: {current_name or '(none)'}; "
+          f"{len(versions)} version(s), {failures} failed verification")
+    return 1 if failures else 0
 
 
 def _cmd_coverage(args) -> int:
@@ -490,6 +667,8 @@ _COMMANDS = {
     "save-model": _cmd_save_model,
     "load-model": _cmd_load_model,
     "serve": _cmd_serve,
+    "loop": _cmd_loop,
+    "artifacts": _cmd_artifacts,
     "autodse": _cmd_autodse,
     "coverage": _cmd_coverage,
     "experiment": _cmd_experiment,

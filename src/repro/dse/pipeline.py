@@ -618,9 +618,9 @@ class EvaluationPipeline:
         self._compiled: Dict[tuple, Dict[str, object]] = {}
         self._compile_failed = False
         # One evaluation at a time: the compiled engines share workspace
-        # buffers and batch templates, the point caches are plain dicts,
-        # and ``no_grad`` toggles a process-global flag — none of which
-        # survive concurrent mutation.  The serving layer gets its
+        # buffers and batch templates, and the point caches are plain
+        # dicts — neither survives concurrent mutation.  The serving
+        # layer gets its
         # concurrency from micro-batching, not parallel forwards, so a
         # coarse reentrant lock keeps multi-threaded callers bit-exact.
         self._lock = threading.RLock()

@@ -104,3 +104,7 @@ class ArtifactError(ServeError):
 
 class BacklogFullError(ServeError):
     """Raised when the serving queue is full (shed load, HTTP 503)."""
+
+
+class LoopError(ReproError):
+    """Raised for active-learning loop failures (``repro.loop``)."""

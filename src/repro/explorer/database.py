@@ -55,6 +55,7 @@ class DesignRecord:
     invalid_reason: Optional[str] = None
     source: str = ""  # which explorer produced it
     round: int = 0  # 0 = initial DB; 1+ = DSE augmentation rounds
+    created: float = 0.0  # unix timestamp the label was committed (0 = unknown)
 
     @property
     def design_point(self) -> DesignPoint:
@@ -65,7 +66,11 @@ class DesignRecord:
 
     @staticmethod
     def from_result(
-        result: HLSResult, point: DesignPoint, source: str = "", round: int = 0
+        result: HLSResult,
+        point: DesignPoint,
+        source: str = "",
+        round: int = 0,
+        created: float = 0.0,
     ) -> "DesignRecord":
         return DesignRecord(
             kernel=result.kernel,
@@ -78,6 +83,7 @@ class DesignRecord:
             invalid_reason=result.invalid_reason,
             source=source,
             round=round,
+            created=created,
         )
 
 
@@ -86,6 +92,10 @@ class Database:
 
     def __init__(self):
         self._records: Dict[Tuple[str, str], DesignRecord] = {}
+        #: How many records a newer-round label has replaced (via
+        #: :meth:`add` or :meth:`merge`).  Not persisted — it describes
+        #: this in-memory instance's mutation history.
+        self.overwrites = 0
 
     def __len__(self) -> int:
         return len(self._records)
@@ -100,9 +110,22 @@ class Database:
         return (kernel, point_key(point)) in self._records
 
     def add(self, record: DesignRecord) -> bool:
-        """Insert a record; returns False when the point was already known."""
+        """Insert a record; returns False when the point was already known.
+
+        Conflict semantics: when the same (kernel, point) arrives again
+        from a *later* round — e.g. the active-learning loop re-labels a
+        point the seed database already had — the newer label wins and
+        :attr:`overwrites` is incremented.  A duplicate from the same or
+        an earlier round keeps the existing record (first-write-wins
+        within a round, so re-running a round is idempotent).  Returns
+        True only for genuinely new points.
+        """
         key = (record.kernel, record.point_key)
-        if key in self._records:
+        existing = self._records.get(key)
+        if existing is not None:
+            if record.round > existing.round:
+                self._records[key] = record
+                self.overwrites += 1
             return False
         self._records[key] = record
         return True
@@ -177,7 +200,12 @@ class Database:
         return db
 
     def merge(self, other: "Database") -> int:
-        """Add all records from ``other``; returns how many were new."""
+        """Add all records from ``other``; returns how many were new.
+
+        Conflicts follow :meth:`add`: a colliding record from a later
+        round replaces the existing label (counted in
+        :attr:`overwrites`) but does not count as new.
+        """
         added = 0
         for record in other:
             if self.add(record):

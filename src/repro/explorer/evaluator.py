@@ -49,6 +49,7 @@ class Evaluator:
         point: DesignPoint,
         source: str = "",
         round: int = 0,
+        created: float = 0.0,
     ) -> HLSResult:
         """Synthesize one point and commit the outcome to the database."""
         result = self.tool.synthesize(spec, point)
@@ -58,7 +59,9 @@ class Evaluator:
         slot = min(range(self.parallelism), key=lambda i: self._batch_slots[i])
         self._batch_slots[slot] += result.synth_seconds
         self.elapsed_seconds = max(self._batch_slots)
-        record = DesignRecord.from_result(result, point, source=source, round=round)
+        record = DesignRecord.from_result(
+            result, point, source=source, round=round, created=created
+        )
         self.database.add(record)
         return result
 
@@ -68,6 +71,7 @@ class Evaluator:
         points: Sequence[DesignPoint],
         source: str = "",
         round: int = 0,
+        created: float = 0.0,
     ) -> List[HLSResult]:
         """Synthesize a batch of points, scheduled over the worker slots.
 
@@ -77,7 +81,8 @@ class Evaluator:
         in one parallel synthesis round.
         """
         return [
-            self.evaluate(spec, point, source=source, round=round) for point in points
+            self.evaluate(spec, point, source=source, round=round, created=created)
+            for point in points
         ]
 
     @property

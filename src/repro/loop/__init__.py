@@ -1,0 +1,24 @@
+"""Closed-loop active learning: DSE → HLS labels → retrain → hot-swap.
+
+The paper's workflow is a loop — explore with the surrogate, validate
+the interesting candidates with the HLS tool, grow the database,
+retrain — and this package is that loop as a resumable, supervised
+process that publishes every accepted model into the serving registry:
+
+- :mod:`repro.loop.active` — :class:`~repro.loop.active.ActiveLoop`,
+  the per-round orchestrator (scan, select, label, warm-start
+  fine-tune, gate on held-out RMSE, publish + hot-swap);
+- :mod:`repro.loop.state` — :class:`~repro.loop.state.LoopState`, the
+  sha256-fingerprinted resume journal.
+"""
+
+from .active import ActiveLoop, LoopConfig, LoopResult
+from .state import LOOP_STATE_SCHEMA_VERSION, LoopState
+
+__all__ = [
+    "ActiveLoop",
+    "LoopConfig",
+    "LoopResult",
+    "LoopState",
+    "LOOP_STATE_SCHEMA_VERSION",
+]

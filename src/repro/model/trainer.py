@@ -96,10 +96,20 @@ class Trainer:
         model: Module,
         train_data: Sequence,
         val_data: Optional[Sequence] = None,
+        init_model: Optional[Module] = None,
     ) -> TrainHistory:
-        """Train ``model`` in place; returns the loss history."""
+        """Train ``model`` in place; returns the loss history.
+
+        ``init_model`` warm-starts the fit: its weights are copied into
+        ``model`` before the optimizer is created, so ``init_model``
+        itself is never mutated.  This is the fine-tuning path the
+        active-learning loop uses — a live serving model stays frozen
+        while its clone continues training on an augmented dataset.
+        """
         if not train_data:
             raise ModelError("empty training set")
+        if init_model is not None:
+            model.load_state_dict(init_model.state_dict())
         cfg = self.config
         loader = DataLoader(train_data, batch_size=cfg.batch_size, shuffle=True, seed=cfg.seed)
         val_loader = (

@@ -21,6 +21,7 @@ Design notes
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -40,7 +41,15 @@ __all__ = [
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
-_grad_enabled = True
+# Graph construction is toggled per *thread*: a server thread running
+# inference under ``no_grad`` must not silently zero the gradients of a
+# training loop in another thread (the active-learning loop fine-tunes
+# while the same process serves requests).
+_grad_state = threading.local()
+
+
+def _grad_enabled() -> bool:
+    return getattr(_grad_state, "enabled", True)
 
 #: float32 keeps the message-passing hot path memory-bandwidth friendly;
 #: numerical gradient checks switch to float64 via set_default_dtype.
@@ -62,17 +71,15 @@ def get_default_dtype():
 
 
 class no_grad:
-    """Context manager disabling graph construction (inference mode)."""
+    """Context manager disabling graph construction (this thread only)."""
 
     def __enter__(self):
-        global _grad_enabled
-        self._prev = _grad_enabled
-        _grad_enabled = False
+        self._prev = _grad_enabled()
+        _grad_state.enabled = False
         return self
 
     def __exit__(self, *exc):
-        global _grad_enabled
-        _grad_enabled = self._prev
+        _grad_state.enabled = self._prev
         return False
 
 
@@ -228,9 +235,10 @@ class Tensor:
         self.data = _as_array(data)
         self.grad: Optional[np.ndarray] = None
         self._grad_owned = False
-        self.requires_grad = requires_grad and _grad_enabled
-        self._parents = _parents if _grad_enabled else ()
-        self._backward = _backward if _grad_enabled else None
+        grad_enabled = _grad_enabled()
+        self.requires_grad = requires_grad and grad_enabled
+        self._parents = _parents if grad_enabled else ()
+        self._backward = _backward if grad_enabled else None
 
     # -- plumbing -----------------------------------------------------------
 
@@ -295,7 +303,7 @@ class Tensor:
 
     @staticmethod
     def _make(data, parents, backward, requires: bool) -> "Tensor":
-        requires = requires and _grad_enabled
+        requires = requires and _grad_enabled()
         return Tensor(
             data,
             requires_grad=requires,

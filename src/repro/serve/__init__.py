@@ -7,7 +7,10 @@ package turns the batched evaluation pipeline into exactly that:
 
 - :mod:`repro.serve.registry` — versioned, content-addressed save/load
   of a complete trained predictor stack (weights, normalizer, configs,
-  vocabulary fingerprint) with manifest/schema checks;
+  vocabulary fingerprint) with manifest/schema checks, plus
+  :class:`~repro.serve.registry.ModelRegistry`: a directory of artifact
+  versions behind an atomic ``current`` pointer for zero-downtime
+  hot swaps;
 - :mod:`repro.serve.batcher` — a thread-safe micro-batching scheduler
   that coalesces concurrent predict requests into engine-sized batches
   (flush on batch-size or deadline) behind a bounded queue;
@@ -28,6 +31,9 @@ from .http import ServeHTTPServer, start_server
 from .metrics import ServeMetrics
 from .registry import (
     ARTIFACT_SCHEMA_VERSION,
+    ArtifactVersion,
+    ModelRegistry,
+    artifact_fingerprint,
     load_artifact,
     read_manifest,
     save_artifact,
@@ -38,12 +44,15 @@ from .service import PredictorService
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
+    "ArtifactVersion",
     "MicroBatcher",
+    "ModelRegistry",
     "PredictorService",
     "ServeClient",
     "ServeClientError",
     "ServeHTTPServer",
     "ServeMetrics",
+    "artifact_fingerprint",
     "load_artifact",
     "read_manifest",
     "save_artifact",

@@ -80,6 +80,19 @@ class ServeClient:
     def metrics(self) -> Dict[str, object]:
         return self._request("GET", "/metrics")
 
+    def model(self) -> Dict[str, object]:
+        """Identity of the artifact currently serving (version/sha256/path)."""
+        return self._request("GET", "/v1/model")
+
+    def reload_model(self) -> Dict[str, object]:
+        """Ask a registry-backed server to follow its ``current`` pointer.
+
+        Returns ``{"model": {...}, "swapped": bool}``; raises
+        :class:`ServeClientError` (400) when the server was not started
+        from a registry directory.
+        """
+        return self._request("POST", "/v1/model/reload", {})
+
     def predict(
         self,
         kernel: str,
@@ -98,6 +111,31 @@ class ServeClient:
             payload["objectives_for"] = objectives_for
         response = self._request("POST", "/v1/predict", payload)
         return [prediction_from_payload(p) for p in response["predictions"]]
+
+    def predict_with_model(
+        self,
+        kernel: str,
+        points: Sequence[DesignPoint],
+        valid_threshold: Optional[float] = None,
+        objectives_for: Optional[str] = None,
+    ):
+        """Like :meth:`predict`, also returning the server's model identity.
+
+        Returns ``(predictions, model_info)`` where ``model_info`` names
+        the artifact version that computed this batch — stable within a
+        response even when the server hot-swaps mid-stream.
+        """
+        payload: Dict[str, object] = {
+            "kernel": kernel,
+            "points": [point_payload(p) for p in points],
+        }
+        if valid_threshold is not None:
+            payload["valid_threshold"] = valid_threshold
+        if objectives_for is not None:
+            payload["objectives_for"] = objectives_for
+        response = self._request("POST", "/v1/predict", payload)
+        predictions = [prediction_from_payload(p) for p in response["predictions"]]
+        return predictions, response.get("model", {})
 
     def predict_one(
         self,

@@ -6,8 +6,15 @@ Endpoints::
                         {"kernel": ..., "points": [{...}, ...]}    batch
                         optional: "valid_threshold", "objectives_for"
     POST /v1/dse/top    {"kernel": ..., "top": 10, "time_limit": 10}
+    GET  /v1/model      identity of the artifact currently serving
+    POST /v1/model/reload   follow the registry "current" pointer and
+                        hot-swap if it moved (registry-backed servers)
     GET  /healthz
     GET  /metrics
+
+Prediction and DSE responses carry a ``"model"`` object (version,
+sha256, path) naming the artifact that computed them, so clients can
+pin results to a model version across hot swaps.
     GET  /v1/trace      debug: the process trace buffer as trace JSON
                         (empty unless tracing is enabled, e.g.
                         ``repro serve --trace``)
@@ -132,6 +139,11 @@ class _Handler(BaseHTTPRequestHandler):
             self._dispatch("/metrics", lambda s: (200, s.metrics_snapshot()))
         elif self.path == "/v1/trace":
             self._dispatch("/v1/trace", lambda s: (200, _trace_snapshot()))
+        elif self.path == "/v1/model":
+            self._dispatch(
+                "/v1/model",
+                lambda s: (200, {"model": s.model_info, "swaps": s.swaps}),
+            )
         else:
             self._send_json(
                 404,
@@ -143,6 +155,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._dispatch("/v1/predict", self._predict)
         elif self.path == "/v1/dse/top":
             self._dispatch("/v1/dse/top", self._dse_top)
+        elif self.path == "/v1/model/reload":
+            self._dispatch("/v1/model/reload", self._reload_model)
         else:
             self._send_json(
                 404,
@@ -169,10 +183,13 @@ class _Handler(BaseHTTPRequestHandler):
                 400, "bad_request", "'valid_threshold' must be a number"
             ) from None
         objectives_for = body.get("objectives_for", "all")
-        predictions = service.predict(kernel, points, threshold, objectives_for)
+        predictions, model_info = service.predict_versioned(
+            kernel, points, threshold, objectives_for
+        )
         return 200, {
             "kernel": kernel,
             "predictions": [prediction_payload(p) for p in predictions],
+            "model": model_info,
         }
 
     def _dse_top(self, service: PredictorService) -> Tuple[int, Dict[str, object]]:
@@ -192,6 +209,11 @@ class _Handler(BaseHTTPRequestHandler):
         return 200, service.dse_top(
             kernel, top=top, time_limit_seconds=time_limit, workers=workers
         )
+
+    def _reload_model(self, service: PredictorService) -> Tuple[int, Dict[str, object]]:
+        self._read_json()  # accept (and ignore) an empty JSON body
+        info, swapped = service.reload()
+        return 200, {"model": info, "swapped": swapped}
 
 
 def _trace_snapshot() -> Dict[str, object]:

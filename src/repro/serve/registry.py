@@ -20,6 +20,21 @@ mismatches all raise :class:`~repro.errors.ArtifactError` (a
 Model parameters are rebuilt at the dtype recorded in the manifest, so
 a loaded predictor is bit-identical to the one saved regardless of the
 process's current engine default dtype.
+
+:class:`ModelRegistry` stacks artifacts into a *versioned registry*
+directory with an atomic ``current`` pointer::
+
+    registry/
+      versions/
+        v0001/                      # one artifact dir per version
+        v0002/
+      current                       # symlink (or pointer file) -> versions/vNNNN
+
+``publish`` writes the artifact completely (manifest last), verifies
+it, then flips ``current`` with a temp-link + ``os.replace`` + directory
+fsync — so a reader resolving ``current`` always sees a *complete*
+artifact, before or after the swap but never in between, and a crash
+mid-swap leaves the old pointer intact.
 """
 
 from __future__ import annotations
@@ -28,9 +43,10 @@ import hashlib
 import io
 import json
 import os
-from dataclasses import asdict
+import time
+from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -47,6 +63,9 @@ from ..nn.tensor import get_default_dtype, set_default_dtype
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
     "ARTIFACT_FORMAT",
+    "ArtifactVersion",
+    "ModelRegistry",
+    "artifact_fingerprint",
     "save_artifact",
     "load_artifact",
     "read_manifest",
@@ -282,3 +301,227 @@ def load_artifact(path, database: Optional[Database] = None):
         normalizer,
         builder,
     )
+
+
+def artifact_fingerprint(manifest: Dict[str, object]) -> str:
+    """Stable content identity of one artifact (the *model version hash*).
+
+    Derived only from what determines the predictions — the per-role
+    weight-blob hashes, the normalization factor, and the schema/vocab
+    pins — so re-saving identical weights yields the same fingerprint
+    and any weight change yields a new one.  This is the hash served in
+    ``/v1/model`` and stamped on every prediction response.
+    """
+    payload = json.dumps(
+        {
+            "schema_version": manifest["schema_version"],
+            "vocab_sha256": manifest["vocab_sha256"],
+            "normalization_factor": manifest["normalization_factor"],
+            "models": {
+                role: entry["sha256"]
+                for role, entry in manifest["models"].items()
+            },
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# versioned registry with an atomic `current` pointer
+
+
+_VERSIONS_DIR = "versions"
+_CURRENT = "current"
+_VERSION_META = "registry-meta.json"
+
+
+@dataclass
+class ArtifactVersion:
+    """One published version in a :class:`ModelRegistry`."""
+
+    version: str  # "v0001"
+    path: Path  # artifact directory
+    sha256: str  # artifact_fingerprint of the manifest
+    created: float  # unix timestamp recorded at publish time
+    schema_version: int
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "version": self.version,
+            "sha256": self.sha256,
+            "created": self.created,
+            "schema_version": self.schema_version,
+            "path": str(self.path),
+        }
+
+
+def _fsync_dir(path: Path) -> None:
+    """Force a directory entry update (a rename) to stable storage."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class ModelRegistry:
+    """Versioned artifact directory with an atomic ``current`` pointer.
+
+    Writers only ever *add* version directories and then flip the
+    pointer (symlink when the platform supports it, an atomically
+    replaced pointer file otherwise).  Readers resolve the pointer and
+    load a complete artifact; a crash between "artifact written" and
+    "pointer flipped" leaves the previous version current.
+    """
+
+    def __init__(self, root):
+        self.root = Path(root)
+
+    # -- layout ----------------------------------------------------------------
+
+    @property
+    def versions_dir(self) -> Path:
+        return self.root / _VERSIONS_DIR
+
+    @property
+    def current_pointer(self) -> Path:
+        return self.root / _CURRENT
+
+    @staticmethod
+    def is_registry(path) -> bool:
+        """Does ``path`` look like a registry (vs a bare artifact dir)?"""
+        path = Path(path)
+        return (path / _VERSIONS_DIR).is_dir() or (path / _CURRENT).exists() or (
+            path / _CURRENT
+        ).is_symlink()
+
+    def _version_info(self, path: Path) -> ArtifactVersion:
+        manifest = read_manifest(path)
+        created = 0.0
+        meta_path = path / _VERSION_META
+        if meta_path.is_file():
+            try:
+                created = float(json.loads(meta_path.read_text())["created"])
+            except (ValueError, KeyError, json.JSONDecodeError):
+                created = 0.0
+        return ArtifactVersion(
+            version=path.name,
+            path=path,
+            sha256=artifact_fingerprint(manifest),
+            created=created,
+            schema_version=int(manifest["schema_version"]),
+        )
+
+    # -- reads -----------------------------------------------------------------
+
+    def versions(self) -> List[ArtifactVersion]:
+        """All published versions, oldest first."""
+        if not self.versions_dir.is_dir():
+            return []
+        out = []
+        for path in sorted(self.versions_dir.iterdir()):
+            if path.is_dir() and (path / _MANIFEST).is_file():
+                out.append(self._version_info(path))
+        return out
+
+    def current_version_name(self) -> Optional[str]:
+        """The version name ``current`` points at, or None."""
+        pointer = self.current_pointer
+        if pointer.is_symlink():
+            return Path(os.readlink(pointer)).name
+        if pointer.is_file():
+            name = pointer.read_text().strip()
+            return name or None
+        return None
+
+    def current(self) -> Optional[ArtifactVersion]:
+        """Resolve the ``current`` pointer to a complete artifact."""
+        name = self.current_version_name()
+        if name is None:
+            return None
+        path = self.versions_dir / name
+        if not (path / _MANIFEST).is_file():
+            raise ArtifactError(
+                f"registry {self.root}: current points at {name!r} "
+                f"but no artifact manifest exists there"
+            )
+        return self._version_info(path)
+
+    # -- writes ----------------------------------------------------------------
+
+    def _next_version_name(self) -> str:
+        taken = []
+        if self.versions_dir.is_dir():
+            for path in self.versions_dir.iterdir():
+                name = path.name
+                if name.startswith("v") and name[1:].isdigit():
+                    taken.append(int(name[1:]))
+        return f"v{(max(taken) + 1 if taken else 1):04d}"
+
+    def set_current(self, version: str) -> None:
+        """Atomically flip ``current`` to ``version`` (symlink-or-rename).
+
+        The new pointer is created under a temp name and moved over the
+        old one with ``os.replace``; the registry directory is fsynced
+        so the rename is durable.  Readers therefore observe either the
+        old pointer or the new one — never a missing or torn pointer.
+        """
+        target = self.versions_dir / version
+        if not (target / _MANIFEST).is_file():
+            raise ArtifactError(f"registry {self.root}: no artifact at {target}")
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.root / f".{_CURRENT}.tmp{os.getpid()}"
+        tmp.unlink(missing_ok=True)
+        try:
+            try:
+                os.symlink(os.path.join(_VERSIONS_DIR, version), tmp)
+            except (OSError, NotImplementedError):
+                # Filesystems without symlinks get a pointer file with
+                # identical atomic-replace semantics.
+                with open(tmp, "w") as handle:
+                    handle.write(version)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            os.replace(tmp, self.current_pointer)
+        finally:
+            tmp.unlink(missing_ok=True)
+        _fsync_dir(self.root)
+
+    def publish(
+        self,
+        predictor,
+        activate: bool = True,
+        created: Optional[float] = None,
+    ) -> ArtifactVersion:
+        """Write ``predictor`` as the next version; optionally activate it.
+
+        The artifact is fully written and hash-verified *before* the
+        ``current`` pointer moves, so concurrent readers can never load
+        a half-written model.
+        """
+        self.versions_dir.mkdir(parents=True, exist_ok=True)
+        version = self._next_version_name()
+        path = self.versions_dir / version
+        manifest = save_artifact(predictor, path)
+        verify_artifact(path)
+        meta = {
+            "version": version,
+            "created": float(created if created is not None else time.time()),
+            "sha256": artifact_fingerprint(manifest),
+        }
+        tmp = path / f"{_VERSION_META}.tmp{os.getpid()}"
+        try:
+            with open(tmp, "w") as handle:
+                json.dump(meta, handle, indent=1)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path / _VERSION_META)
+        finally:
+            tmp.unlink(missing_ok=True)
+        if activate:
+            self.set_current(version)
+        return self._version_info(path)

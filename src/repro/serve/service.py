@@ -7,6 +7,14 @@ tests) talk to it in domain terms — kernels, design points,
 validation, point completion, batching, per-request deadlines, and
 server-side DSE.
 
+The predictor is held in a *generation*: predictor + pipeline +
+micro-batcher + model identity, swapped atomically by
+:meth:`PredictorService.swap`.  Each request pins the generation it
+entered with (an in-flight refcount), so every response is computed
+end-to-end by exactly one model version — the one whose hash it
+reports — and a swap drains in-flight work on the old generation
+before closing its batcher, dropping zero requests.
+
 Validation errors raise :class:`~repro.errors.ReproError` subclasses
 the HTTP layer maps to structured 4xx responses; overload raises
 :class:`~repro.errors.BacklogFullError` (503).
@@ -16,7 +24,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import threading
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..designspace import DesignSpace, build_design_space
 from ..designspace.space import DesignPoint
@@ -31,6 +39,46 @@ from .metrics import ServeMetrics
 from .schemas import dse_result_payload
 
 __all__ = ["PredictorService"]
+
+
+class _Generation:
+    """One model version's serving state: pipeline, batcher, identity.
+
+    ``acquire``/``release`` bracket every request served by this
+    generation; ``retire`` blocks new entries and waits for the
+    in-flight count to drain.  That handshake is what makes a swap
+    both zero-drop (nothing is rejected mid-flight) and bit-consistent
+    (no request straddles two model versions).
+    """
+
+    def __init__(self, predictor, pipeline, batcher, info: Dict[str, object]):
+        self.predictor = predictor
+        self.pipeline = pipeline
+        self.batcher = batcher
+        self.info = dict(info)
+        self._cond = threading.Condition()
+        self._inflight = 0
+        self._retired = False
+
+    def acquire(self) -> bool:
+        with self._cond:
+            if self._retired:
+                return False
+            self._inflight += 1
+            return True
+
+    def release(self) -> None:
+        with self._cond:
+            self._inflight -= 1
+            if self._inflight <= 0:
+                self._cond.notify_all()
+
+    def retire(self) -> None:
+        """Refuse new requests, then wait for in-flight ones to finish."""
+        with self._cond:
+            self._retired = True
+            while self._inflight > 0:
+                self._cond.wait()
 
 
 class PredictorService:
@@ -52,6 +100,14 @@ class PredictorService:
         Per-request wait bound inside :meth:`predict`.
     max_dse_seconds:
         Cap on client-supplied ``time_limit`` for server-side DSE.
+    model_info:
+        Identity of the served model (``version``, ``sha256``,
+        ``path``), reported by ``/v1/model`` and stamped on every
+        response; defaults to an anonymous identity.
+    registry:
+        Optional :class:`~repro.serve.registry.ModelRegistry` this
+        service can :meth:`reload` from (follows the ``current``
+        pointer and hot-swaps on change).
     """
 
     def __init__(
@@ -64,24 +120,120 @@ class PredictorService:
         cache: bool = True,
         request_timeout_seconds: float = 30.0,
         max_dse_seconds: float = 60.0,
+        model_info: Optional[Dict[str, object]] = None,
+        registry=None,
     ):
-        self.predictor = predictor
-        self.pipeline = EvaluationPipeline(
-            predictor, batch_size=batch_size, engine=engine, cache=cache
-        )
         self.metrics = ServeMetrics()
         self.request_timeout_seconds = float(request_timeout_seconds)
         self.max_dse_seconds = float(max_dse_seconds)
-        self.batcher = MicroBatcher(
-            self.pipeline.predict_batch,
-            batch_size=batch_size,
-            max_delay_seconds=max_delay_seconds,
-            max_pending=max_pending,
-            metrics=self.metrics,
-        )
+        self.registry = registry
+        self._batch_size = int(batch_size)
+        self._max_delay_seconds = float(max_delay_seconds)
+        self._max_pending = int(max_pending)
+        self._engine = engine
+        self._cache = cache
         self._spaces: Dict[str, DesignSpace] = {}
         self._spaces_lock = threading.Lock()
+        self._swap_lock = threading.Lock()
         self._closed = False
+        self.swaps = 0
+        self._gen = self._make_generation(predictor, model_info)
+
+    def _make_generation(
+        self, predictor, model_info: Optional[Dict[str, object]]
+    ) -> _Generation:
+        pipeline = EvaluationPipeline(
+            predictor,
+            batch_size=self._batch_size,
+            engine=self._engine,
+            cache=self._cache,
+        )
+        batcher = MicroBatcher(
+            pipeline.predict_batch,
+            batch_size=self._batch_size,
+            max_delay_seconds=self._max_delay_seconds,
+            max_pending=self._max_pending,
+            metrics=self.metrics,
+        )
+        info = {"version": None, "sha256": None, "path": None}
+        info.update(model_info or {})
+        return _Generation(predictor, pipeline, batcher, info)
+
+    # -- generation access (kept as attributes for callers and tests) ----------
+
+    @property
+    def predictor(self):
+        return self._gen.predictor
+
+    @property
+    def pipeline(self) -> EvaluationPipeline:
+        return self._gen.pipeline
+
+    @property
+    def batcher(self) -> MicroBatcher:
+        return self._gen.batcher
+
+    @batcher.setter
+    def batcher(self, batcher: MicroBatcher) -> None:
+        # Tests replace the batcher to instrument dispatch; the swap
+        # machinery owns it otherwise.
+        self._gen.batcher = batcher
+
+    @property
+    def model_info(self) -> Dict[str, object]:
+        return dict(self._gen.info)
+
+    # -- hot swap ---------------------------------------------------------------
+
+    def swap(self, predictor, model_info: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+        """Hot-swap to a new predictor with zero dropped requests.
+
+        Builds the new generation first (same batching/engine knobs),
+        flips the service to it, then retires the old generation:
+        requests already inside it finish on the old model (and report
+        the old hash); everything arriving after the flip runs on the
+        new one.  Only after the drain does the old batcher shut down.
+        """
+        if self._closed:
+            raise ServeError("service is shut down")
+        new_gen = self._make_generation(predictor, model_info)
+        with self._swap_lock:
+            old_gen = self._gen
+            self._gen = new_gen
+            self.swaps += 1
+        old_gen.retire()
+        old_gen.batcher.close(drain=True)
+        return dict(new_gen.info)
+
+    def reload(self) -> Tuple[Dict[str, object], bool]:
+        """Follow the registry's ``current`` pointer; swap if it moved.
+
+        Returns ``(model_info, swapped)``.  Raises
+        :class:`~repro.errors.ServeError` when the service was not
+        started from a registry.
+        """
+        if self.registry is None:
+            raise ServeError(
+                "service is not backed by a model registry; "
+                "restart `repro serve` with a registry directory to enable reload"
+            )
+        current = self.registry.current()
+        if current is None:
+            raise ServeError(f"registry {self.registry.root} has no current version")
+        if current.sha256 == self._gen.info.get("sha256"):
+            return self.model_info, False
+        from .registry import load_artifact
+
+        predictor = load_artifact(current.path)
+        info = self.swap(predictor, current.payload())
+        return info, True
+
+    def _acquired_generation(self) -> _Generation:
+        """Pin the serving generation for one request (retry over swaps)."""
+        while True:
+            gen = self._gen
+            if gen.acquire():
+                return gen
 
     # -- request validation ----------------------------------------------------
 
@@ -116,6 +268,43 @@ class PredictorService:
 
     # -- prediction ------------------------------------------------------------
 
+    def predict_versioned(
+        self,
+        kernel: str,
+        points: Sequence[DesignPoint],
+        valid_threshold: float = DEFAULT_VALID_THRESHOLD,
+        objectives_for: str = "all",
+    ) -> Tuple[List[Prediction], Dict[str, object]]:
+        """Like :meth:`predict`, also returning which model answered.
+
+        The generation is pinned before the first point is enqueued and
+        held until the last future resolves, so the whole batch — and
+        the identity reported with it — belongs to one model version
+        even when a hot swap lands mid-request.
+        """
+        if self._closed:
+            raise ServeError("service is shut down")
+        if objectives_for not in ("all", "valid"):
+            raise ServeError(f"unknown objectives_for {objectives_for!r}")
+        completed = [self.complete_point(kernel, p) for p in points]
+        gen = self._acquired_generation()
+        try:
+            futures = [
+                gen.batcher.submit(kernel, p, valid_threshold, objectives_for)
+                for p in completed
+            ]
+            try:
+                predictions = [
+                    f.result(timeout=self.request_timeout_seconds) for f in futures
+                ]
+            except concurrent.futures.TimeoutError:
+                raise ServeError(
+                    f"prediction timed out after {self.request_timeout_seconds:g}s"
+                ) from None
+        finally:
+            gen.release()
+        return predictions, dict(gen.info)
+
     def predict(
         self,
         kernel: str,
@@ -129,23 +318,9 @@ class PredictorService:
         concurrent callers' singles and small batches coalesce into
         engine-sized forwards.
         """
-        if self._closed:
-            raise ServeError("service is shut down")
-        if objectives_for not in ("all", "valid"):
-            raise ServeError(f"unknown objectives_for {objectives_for!r}")
-        completed = [self.complete_point(kernel, p) for p in points]
-        futures = [
-            self.batcher.submit(kernel, p, valid_threshold, objectives_for)
-            for p in completed
-        ]
-        try:
-            return [
-                f.result(timeout=self.request_timeout_seconds) for f in futures
-            ]
-        except concurrent.futures.TimeoutError:
-            raise ServeError(
-                f"prediction timed out after {self.request_timeout_seconds:g}s"
-            ) from None
+        return self.predict_versioned(
+            kernel, points, valid_threshold, objectives_for
+        )[0]
 
     # -- server-side DSE ---------------------------------------------------------
 
@@ -182,45 +357,57 @@ class PredictorService:
         if time_limit <= 0:
             raise ServeError(f"time_limit must be > 0, got {time_limit_seconds}")
         space = self.space(kernel)  # raises ServeError on unknown kernels
-        if workers > 1:
-            parallel = ParallelDSE(
-                self.predictor,
-                get_kernel(kernel),
-                space,
-                workers=workers,
-                top_m=int(top),
-            )
-            return dse_result_payload(parallel.run(time_limit_seconds=time_limit))
-        dse = ModelDSE(
-            self.predictor,
-            get_kernel(kernel),
-            space,
-            top_m=int(top),
-            pipeline=self.pipeline,
-        )
-        result = dse.run(time_limit_seconds=time_limit)
-        return dse_result_payload(result)
+        gen = self._acquired_generation()
+        try:
+            if workers > 1:
+                parallel = ParallelDSE(
+                    gen.predictor,
+                    get_kernel(kernel),
+                    space,
+                    workers=workers,
+                    top_m=int(top),
+                )
+                payload = dse_result_payload(
+                    parallel.run(time_limit_seconds=time_limit)
+                )
+            else:
+                dse = ModelDSE(
+                    gen.predictor,
+                    get_kernel(kernel),
+                    space,
+                    top_m=int(top),
+                    pipeline=gen.pipeline,
+                )
+                result = dse.run(time_limit_seconds=time_limit)
+                payload = dse_result_payload(result)
+            payload["model"] = dict(gen.info)
+        finally:
+            gen.release()
+        return payload
 
     # -- health / metrics --------------------------------------------------------
 
     def health(self) -> Dict[str, object]:
+        gen = self._gen
         return {
             "status": "ok" if not self._closed else "draining",
             "kernels": list_kernels(),
-            "engine": self.pipeline.stats.engine or self.pipeline.engine_mode,
-            "batch_size": self.batcher.batch_size,
-            "pending_requests": self.batcher.pending(),
+            "engine": gen.pipeline.stats.engine or gen.pipeline.engine_mode,
+            "batch_size": gen.batcher.batch_size,
+            "pending_requests": gen.batcher.pending(),
+            "model": dict(gen.info),
+            "swaps": self.swaps,
         }
 
     def metrics_snapshot(self) -> Dict[str, object]:
-        return self.metrics.snapshot(self.pipeline.stats_snapshot())
+        return self.metrics.snapshot(self._gen.pipeline.stats_snapshot())
 
     # -- lifecycle ---------------------------------------------------------------
 
     def close(self, drain: bool = True) -> None:
         """Stop accepting work; with ``drain`` finish in-flight batches."""
         self._closed = True
-        self.batcher.close(drain=drain)
+        self._gen.batcher.close(drain=drain)
 
     def __enter__(self) -> "PredictorService":
         return self

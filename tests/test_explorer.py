@@ -200,3 +200,84 @@ class TestGenerateDatabase:
         assert set(db.kernels()) == {"atax", "spmv-crs"}
         sources = {r.source for r in db}
         assert "random" in sources
+
+
+class TestConflictSemantics:
+    """`add`/`merge` when the same point arrives from different rounds."""
+
+    def _record(self, atax, atax_space, round=0, latency=None, source=""):
+        tool = MerlinHLSTool()
+        point = atax_space.default_point()
+        result = tool.synthesize(atax, point)
+        record = DesignRecord.from_result(result, point, source=source, round=round)
+        if latency is not None:
+            record.latency = latency
+        return record
+
+    def test_newer_round_wins(self, atax, atax_space):
+        db = Database()
+        old = self._record(atax, atax_space, round=0, latency=100, source="seed")
+        new = self._record(atax, atax_space, round=2, latency=90, source="loop:r2")
+        assert db.add(old)
+        assert not db.add(new)  # not a NEW point…
+        stored = db.get(atax.name, new.point_key)
+        assert stored.latency == 90  # …but the newer label replaced the old
+        assert stored.source == "loop:r2"
+        assert db.overwrites == 1
+        assert len(db) == 1
+
+    def test_same_round_first_write_wins(self, atax, atax_space):
+        db = Database()
+        first = self._record(atax, atax_space, round=1, latency=100)
+        second = self._record(atax, atax_space, round=1, latency=90)
+        db.add(first)
+        assert not db.add(second)
+        assert db.get(atax.name, first.point_key).latency == 100
+        assert db.overwrites == 0
+
+    def test_older_round_does_not_clobber(self, atax, atax_space):
+        db = Database()
+        new = self._record(atax, atax_space, round=3, latency=90)
+        old = self._record(atax, atax_space, round=1, latency=100)
+        db.add(new)
+        assert not db.add(old)
+        assert db.get(atax.name, new.point_key).latency == 90
+        assert db.overwrites == 0
+
+    def test_merge_counts_overwrites_not_added(self, atax, atax_space):
+        db = Database()
+        db.add(self._record(atax, atax_space, round=0, latency=100))
+        other = Database()
+        other.add(self._record(atax, atax_space, round=2, latency=80))
+        added = db.merge(other)
+        assert added == 0
+        assert db.overwrites == 1
+        assert db.get(atax.name, next(iter(other)).point_key).latency == 80
+
+    def test_created_provenance_roundtrips(self, tmp_path, atax, atax_space):
+        db = Database()
+        record = self._record(atax, atax_space, round=2, source="loop:r2")
+        record.created = 1700000000.25
+        db.add(record)
+        path = tmp_path / "db.json"
+        db.save(path)
+        loaded = Database.load(path)
+        stored = loaded.get(atax.name, record.point_key)
+        assert stored.created == 1700000000.25
+        assert stored.round == 2
+        assert stored.source == "loop:r2"
+
+    def test_load_accepts_records_without_created(self, tmp_path, atax, atax_space):
+        """Databases saved before the `created` field still load."""
+        import json
+
+        db = Database()
+        db.add(self._record(atax, atax_space))
+        path = tmp_path / "db.json"
+        db.save(path)
+        raw = json.loads(path.read_text())
+        for entry in raw:
+            entry.pop("created")
+        path.write_text(json.dumps(raw))
+        loaded = Database.load(path)
+        assert next(iter(loaded)).created == 0.0

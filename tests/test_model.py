@@ -189,6 +189,45 @@ class TestTraining:
         )
         assert model is not None
 
+    def test_warm_start_copies_weights_without_mutating_init(self, tiny_samples):
+        config = MODEL_CONFIGS["M1"].for_task("classification")
+        init = build_model(config, NODE_DIM, EDGE_DIM, seed=0)
+        Trainer(TrainConfig(epochs=2)).fit(init, tiny_samples)
+        init_state = {k: v.copy() for k, v in init.state_dict().items()}
+
+        # epochs=0: fit only performs the warm-start copy, proving the
+        # clone starts bit-exactly from the init weights.
+        clone = build_model(config, NODE_DIM, EDGE_DIM, seed=99)
+        Trainer(TrainConfig(epochs=0)).fit(clone, tiny_samples, init_model=init)
+        for key, value in clone.state_dict().items():
+            np.testing.assert_array_equal(value, init_state[key])
+
+        # A real fine-tune moves the clone but never touches init.
+        tuned = build_model(config, NODE_DIM, EDGE_DIM, seed=99)
+        history = Trainer(TrainConfig(epochs=2)).fit(
+            tuned, tiny_samples, init_model=init
+        )
+        assert len(history.train_loss) == 2
+        assert any(
+            not np.array_equal(tuned.state_dict()[k], init_state[k])
+            for k in init_state
+        )
+        for key, value in init.state_dict().items():
+            np.testing.assert_array_equal(value, init_state[key])
+
+    def test_warm_start_resumes_from_trained_loss(self, tiny_samples):
+        config = MODEL_CONFIGS["M5"].for_task("regression", REGRESSION_OBJECTIVES)
+        valid = [s for s in tiny_samples if s.label == 1]
+        base = build_model(config, NODE_DIM, EDGE_DIM, seed=0)
+        history = Trainer(TrainConfig(epochs=5)).fit(base, valid)
+        clone = build_model(config, NODE_DIM, EDGE_DIM, seed=7)
+        resumed = Trainer(TrainConfig(epochs=1, lr=0.0004)).fit(
+            clone, valid, init_model=base
+        )
+        # Starting from trained weights, the first epoch's loss is far
+        # below a cold start's first epoch.
+        assert resumed.train_loss[0] < history.train_loss[0]
+
     def test_metrics_structure(self, tiny_samples):
         config = MODEL_CONFIGS["M1"].for_task("regression", REGRESSION_OBJECTIVES)
         model = build_model(config, NODE_DIM, EDGE_DIM, seed=0)

@@ -201,3 +201,51 @@ class TestAutogradMechanics:
         b = t * 4.0
         (a * b).backward()  # d/dt (8 t^2) = 16 t = 48
         np.testing.assert_allclose(t.grad, [48.0])
+
+
+class TestNoGradThreadIsolation:
+    """``no_grad`` is per-thread: a serving thread running inference must
+    not zero out a concurrently-training thread's graph (the active
+    learning loop fine-tunes while the same process serves requests)."""
+
+    def test_no_grad_does_not_leak_across_threads(self):
+        import threading
+
+        entered = threading.Event()
+        release = threading.Event()
+
+        def hold_no_grad():
+            with no_grad():
+                entered.set()
+                release.wait(5.0)
+
+        holder = threading.Thread(target=hold_no_grad)
+        holder.start()
+        try:
+            assert entered.wait(5.0)
+            # While the other thread is inside no_grad, this thread
+            # still records the graph.
+            t = Tensor([2.0], requires_grad=True)
+            out = t * 3.0
+            assert out.requires_grad
+            assert out._parents != ()
+            out.backward()
+            np.testing.assert_allclose(t.grad, [3.0])
+        finally:
+            release.set()
+            holder.join()
+
+    def test_no_grad_still_disables_in_its_own_thread(self):
+        results = {}
+
+        def infer():
+            with no_grad():
+                t = Tensor([1.0], requires_grad=True)
+                results["requires_grad"] = (t * 2.0).requires_grad
+
+        import threading
+
+        worker = threading.Thread(target=infer)
+        worker.start()
+        worker.join()
+        assert results["requires_grad"] is False

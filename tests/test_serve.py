@@ -601,3 +601,172 @@ class TestFusedServing:
             assert predictions_equivalent(first, eager, dtype=np.float64) is None
         finally:
             http.stop()
+
+
+# ---------------------------------------------------------------------------
+# model identity + zero-downtime hot swap
+
+
+class TestModelIdentity:
+    def test_model_endpoint_and_response_stamp(self, predictor):
+        info = {"version": "v0007", "sha256": "cafe" * 16, "path": "reg/versions/v0007"}
+        service = PredictorService(predictor, batch_size=4, model_info=info)
+        http = start_server(service)
+        try:
+            client = ServeClient(http.url)
+            model = client.model()
+            assert model["model"]["version"] == "v0007"
+            assert model["model"]["sha256"] == info["sha256"]
+            assert model["swaps"] == 0
+            predictions, stamped = client.predict_with_model(
+                "fir", sample_points("fir", 2, seed=5)
+            )
+            assert len(predictions) == 2
+            assert stamped["sha256"] == info["sha256"]
+            assert client.healthz()["model"]["version"] == "v0007"
+            top = client.dse_top("fir", top=2, time_limit=5.0)
+            assert top["model"]["sha256"] == info["sha256"]
+        finally:
+            http.stop()
+
+    def test_anonymous_service_reports_null_identity(self, predictor):
+        with PredictorService(predictor, batch_size=2) as service:
+            assert service.model_info == {"version": None, "sha256": None, "path": None}
+
+    def test_reload_without_registry_is_a_client_error(self, predictor):
+        service = PredictorService(predictor, batch_size=2)
+        http = start_server(service)
+        try:
+            client = ServeClient(http.url)
+            with pytest.raises(ServeClientError) as err:
+                client.reload_model()
+            assert err.value.status == 400
+            assert "registry" in str(err.value)
+        finally:
+            http.stop()
+
+
+class TestHotSwap:
+    """The acceptance contract: a hot swap under concurrent load drops
+    nothing, and every response is bit-identical to a fresh offline
+    prediction from the artifact version its reported hash names."""
+
+    def test_swap_under_load_zero_drops_bit_identical(self, tmp_path):
+        from repro.serve import ModelRegistry
+        from repro.serve.registry import load_artifact
+
+        registry = ModelRegistry(tmp_path / "reg")
+        v1 = registry.publish(make_predictor(seed=0), created=1.0)
+        points = sample_points("fir", 10, seed=3)
+
+        service = PredictorService(
+            load_artifact(v1.path),
+            batch_size=4,
+            max_delay_seconds=0.001,
+            engine="compiled",
+            model_info=v1.payload(),
+            registry=registry,
+        )
+        http = start_server(service)
+        client = ServeClient(http.url)
+
+        threads_n = 8
+        results, errors = [], []
+        done = threading.Event()
+        lock = threading.Lock()
+
+        def count(sha):
+            with lock:
+                return sum(1 for _, _, got in results if got == sha)
+
+        def worker(worker_index):
+            i = 0
+            # Keep traffic flowing until the main thread has seen enough
+            # responses from BOTH versions (so the load provably spans
+            # the swap), then drain.
+            while not done.is_set():
+                point_index = (worker_index + i) % len(points)
+                i += 1
+                try:
+                    predictions, info = client.predict_with_model(
+                        "fir", [points[point_index]]
+                    )
+                    with lock:
+                        results.append((point_index, predictions[0], info["sha256"]))
+                except Exception as exc:  # noqa: BLE001 - the assertion
+                    with lock:
+                        errors.append(repr(exc))
+                    return
+
+        threads = [
+            threading.Thread(target=worker, args=(w,)) for w in range(threads_n)
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            # Let a chunk of traffic land on v1, then swap mid-stream.
+            while count(v1.sha256) < 100 and not errors:
+                time.sleep(0.001)
+            v2 = registry.publish(make_predictor(seed=1), created=2.0)
+            info, swapped = service.reload()
+            assert swapped and info["sha256"] == v2.sha256
+            while count(v2.sha256) < 100 and not errors:
+                time.sleep(0.001)
+            done.set()
+            for thread in threads:
+                thread.join()
+        finally:
+            done.set()
+            http.stop()
+
+        # Zero dropped / error responses across the swap.
+        assert errors == []
+        assert len(results) >= 200
+        seen_shas = {sha for _, _, sha in results}
+        assert seen_shas == {v1.sha256, v2.sha256}, "load must span the swap"
+
+        # Bit-identity: group responses by reported hash and compare to a
+        # fresh offline prediction from that exact artifact version.
+        by_sha = {v.sha256: v for v in registry.versions()}
+        for sha in seen_shas:
+            offline = EvaluationPipeline(
+                load_artifact(by_sha[sha].path), batch_size=4, engine="compiled"
+            )
+            expected = offline.predict_batch("fir", points)
+            for point_index, prediction, got_sha in results:
+                if got_sha == sha:
+                    assert prediction == expected[point_index]
+
+    def test_swap_drains_old_generation(self, predictor):
+        """In-flight requests finish on the generation they entered."""
+        service = PredictorService(
+            predictor, batch_size=2, model_info={"version": "v1", "sha256": "a"}
+        )
+        try:
+            points = sample_points("fir", 4, seed=11)
+            results = {}
+
+            def requester():
+                results["predictions"], results["info"] = service.predict_versioned(
+                    "fir", points
+                )
+
+            thread = threading.Thread(target=requester)
+            thread.start()
+            service.swap(make_predictor(seed=1), {"version": "v2", "sha256": "b"})
+            thread.join()
+            # The in-flight request reports whichever generation it
+            # entered — never a mix — and the service now serves v2.
+            assert results["info"]["version"] in ("v1", "v2")
+            assert service.model_info["version"] == "v2"
+            assert service.swaps == 1
+            predictions, info = service.predict_versioned("fir", points)
+            assert info["version"] == "v2"
+        finally:
+            service.close()
+
+    def test_swap_on_closed_service_raises(self, predictor):
+        service = PredictorService(predictor, batch_size=2)
+        service.close()
+        with pytest.raises(ServeError):
+            service.swap(predictor)
