@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install lint test test-fast test-fused bench bench-fast bench-smoke serve-smoke bench-parallel-smoke trace-smoke loop-smoke ci examples clean
+.PHONY: install lint test test-fast test-fused bench bench-fast bench-smoke serve-smoke bench-parallel-smoke trace-smoke loop-smoke serve-load-smoke ci examples clean
 
 install:
 	$(PY) setup.py develop
@@ -62,8 +62,15 @@ trace-smoke:
 loop-smoke:
 	$(PY) benchmarks/loop_smoke.py
 
+# Open-loop load test against the multi-worker pool: Poisson + burst
+# arrivals with per-request deadlines.  Asserts zero 5xx, bounded p99,
+# bit-identical predictions across workers, fleet-wide hot-swap
+# convergence under load, and a drop-free rolling restart.
+serve-load-smoke:
+	$(PY) benchmarks/bench_serve_load.py --smoke
+
 # Everything CI runs, in the same order: lint, the tier-1 suite, and
-# the five smoke gates.  `make ci` green locally = workflow green.
+# the six smoke gates.  `make ci` green locally = workflow green.
 ci: lint
 	$(PY) -m pytest tests/ -x -q
 	$(MAKE) bench-smoke
@@ -71,6 +78,7 @@ ci: lint
 	$(MAKE) bench-parallel-smoke
 	$(MAKE) trace-smoke
 	$(MAKE) loop-smoke
+	$(MAKE) serve-load-smoke
 
 # Smoke-scale benchmark run (~minutes): tiny database + training budgets.
 bench-fast:

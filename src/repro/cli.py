@@ -38,6 +38,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
 from .designspace import build_design_space
@@ -161,9 +162,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-delay-ms", type=float, default=5.0,
                    help="partial-batch flush deadline")
     p.add_argument("--max-queue", type=int, default=1024,
-                   help="pending-request bound before 503 load shedding")
+                   help="pending-request bound before 429 load shedding")
     p.add_argument("--engine", choices=["auto", "compiled", "reference", "fused"],
                    default="auto")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes behind one shared listener; "
+                        ">1 enables the pre-fork pool (respawn, rolling "
+                        "restart, fleet-wide hot-swap)")
     p.add_argument("--trace", action="store_true",
                    help="enable tracing so GET /v1/trace serves live "
                         "per-request spans")
@@ -484,15 +489,37 @@ def _cmd_serve(args) -> int:
             "path": str(args.model),
         }
         served = str(args.model)
-    service = PredictorService(
-        predictor,
-        batch_size=args.batch_size,
-        max_delay_seconds=args.max_delay_ms / 1000.0,
-        max_pending=args.max_queue,
-        engine=args.engine,
-        model_info=model_info,
-        registry=registry,
-    )
+    def make_service():
+        return PredictorService(
+            predictor,
+            batch_size=args.batch_size,
+            max_delay_seconds=args.max_delay_ms / 1000.0,
+            max_pending=args.max_queue,
+            engine=args.engine,
+            model_info=model_info,
+            registry=registry,
+        )
+
+    if args.workers > 1:
+        from .serve import WorkerPool
+
+        pool = WorkerPool(
+            make_service, workers=args.workers, host=args.host, port=args.port
+        ).start()
+        print(f"serving {served} on {pool.url} "
+              f"({args.workers} workers, batch={args.batch_size}, "
+              f"flush={args.max_delay_ms:g}ms"
+              f"{', hot-swappable' if registry else ''}) — Ctrl-C to stop")
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            print("draining workers…")
+        finally:
+            pool.stop()
+        return 0
+
+    service = make_service()
     server = ServeHTTPServer((args.host, args.port), service)
     host, port = server.server_address[:2]
     print(f"serving {served} on http://{host}:{port} "
@@ -511,7 +538,6 @@ def _cmd_serve(args) -> int:
 
 def _cmd_loop(args) -> int:
     import os
-    import time
 
     from .errors import LoopError
     from .explorer import Database

@@ -52,6 +52,7 @@ from ..explorer.database import deserialize_point, serialize_point
 from ..frontend.pragmas import PipelineOption
 from ..model.predictor import Prediction
 from ..obs import TRACER, counter, histogram, span
+from ..workers import ForkSupervisor, SupervisedWorker, drain_queue
 from .pareto import pareto_merge
 from .pipeline import EvaluationPipeline, PipelineStats
 from .search import PARETO_KEYS, DSECandidate, DSEResult, ModelDSE, _candidate_objectives
@@ -393,19 +394,22 @@ def _worker_main(worker_id, predictor, spec, space, config, task_q, result_q, ho
             result_q.put(("error", worker_id, index, traceback.format_exc()))
 
 
-class _WorkerHandle:
-    """Orchestrator-side state for one live worker process."""
+class _WorkerHandle(SupervisedWorker):
+    """Orchestrator-side state for one live worker process.
 
-    def __init__(self, worker_id, process, task_queue):
-        self.worker_id = worker_id
-        self.process = process
-        self.task_queue = task_queue
+    The process/heartbeat mechanics come from
+    :class:`~repro.workers.SupervisedWorker` (shared with the serving
+    pool); this subclass adds the DSE-side scheduling state.
+    """
+
+    def __init__(self, worker_id, process, channel=None):
+        super().__init__(worker_id, process, channel)
         self.assigned: Optional[int] = None
-        # Monotonic arrival time of the last sign of life; stall
-        # detection differences this against ``time.monotonic()`` only,
-        # so a stepped wall clock cannot fake (or hide) a stall.
-        self.last_heartbeat = time.monotonic()
         self.assigned_at: Optional[float] = None  # tracer-epoch seconds
+
+    @property
+    def task_queue(self):
+        return self.channel
 
 
 # ---------------------------------------------------------------------------
@@ -704,10 +708,13 @@ class ParallelDSE:
 
     def _run_workers(self, shards, pending, completed, fingerprint,
                      shard_size, num_shards, total, prior_retries, deadline):
-        import multiprocessing
-
-        ctx = multiprocessing.get_context(self.mp_context)
-        result_queue = ctx.Queue()
+        supervisor = ForkSupervisor(
+            _worker_main,
+            mp_context=self.mp_context,
+            name_prefix="repro-dse-worker",
+            worker_class=_WorkerHandle,
+        )
+        result_queue = supervisor.context.Queue()
         config = _WorkerConfig(
             top_m=self.top_m,
             fit_threshold=self.fit_threshold,
@@ -718,24 +725,15 @@ class ParallelDSE:
         )
         queue: deque = deque(pending)
         attempts: Dict[int, int] = {}
-        handles: Dict[int, _WorkerHandle] = {}
-        next_worker_id = 0
         retries = 0
 
         def spawn() -> None:
-            nonlocal next_worker_id
-            worker_id = next_worker_id
-            next_worker_id += 1
-            task_queue = ctx.Queue()
-            process = ctx.Process(
-                target=_worker_main,
-                args=(worker_id, self.predictor, self.spec, self.space,
-                      config, task_queue, result_queue, self.hooks),
-                daemon=True,
-                name=f"repro-dse-worker-{worker_id}",
+            task_queue = supervisor.context.Queue()
+            supervisor.spawn(
+                self.predictor, self.spec, self.space,
+                config, task_queue, result_queue, self.hooks,
+                channel=task_queue,
             )
-            process.start()
-            handles[worker_id] = _WorkerHandle(worker_id, process, task_queue)
 
         def drain(block_seconds: float = 0.0) -> bool:
             """Process every queued message; returns True if any arrived."""
@@ -749,21 +747,22 @@ class ParallelDSE:
                 kind = message[0]
                 if kind == "hb":
                     _, worker_id, _index, stamp = message
-                    handle = handles.get(worker_id)
+                    handle = supervisor.get(worker_id)
                     if handle is not None:
                         # Liveness keys off the orchestrator's own
                         # monotonic arrival clock; the worker's stamp
                         # (same CLOCK_MONOTONIC epoch under fork) only
                         # feeds the queue-lag histogram.
-                        now = time.monotonic()
-                        handle.last_heartbeat = now
-                        _HEARTBEAT_LAG.observe(max(now - stamp, 0.0))
+                        handle.beat()
+                        _HEARTBEAT_LAG.observe(
+                            max(handle.last_heartbeat - stamp, 0.0)
+                        )
                 elif kind == "result":
                     _, worker_id, shard = message
-                    handle = handles.get(worker_id)
+                    handle = supervisor.get(worker_id)
                     if handle is not None and handle.assigned == shard.index:
                         handle.assigned = None
-                        handle.last_heartbeat = time.monotonic()
+                        handle.beat()
                         if handle.assigned_at is not None:
                             TRACER.record(
                                 "dse.shard",
@@ -787,15 +786,15 @@ class ParallelDSE:
                     )
                 elif kind == "exit":
                     _, worker_id = message
-                    handle = handles.get(worker_id)
+                    handle = supervisor.get(worker_id)
                     if handle is not None:
-                        handle.last_heartbeat = time.monotonic()
+                        handle.beat()
 
         def retry_shard(handle: _WorkerHandle, reason: str) -> None:
             nonlocal retries
             index = handle.assigned
             handle.assigned = None
-            handles.pop(handle.worker_id, None)
+            supervisor.discard(handle.worker_id)
             if index is None or index in completed:
                 return
             if attempts.get(index, 0) >= self.max_attempts:
@@ -819,8 +818,8 @@ class ParallelDSE:
             out_of_time = False
             while True:
                 # Assign one shard per idle worker.
-                for handle in list(handles.values()):
-                    if handle.assigned is not None or not handle.process.is_alive():
+                for handle in supervisor.handles():
+                    if handle.assigned is not None or not handle.alive():
                         continue
                     if not queue or time.monotonic() > deadline:
                         break
@@ -829,32 +828,32 @@ class ParallelDSE:
                     handle.task_queue.put((index, attempts[index], shards[index]))
                     handle.assigned = index
                     handle.assigned_at = TRACER.now()
-                    handle.last_heartbeat = time.monotonic()
-                in_flight = [h for h in handles.values() if h.assigned is not None]
+                    handle.beat()
+                in_flight = [
+                    h for h in supervisor.handles() if h.assigned is not None
+                ]
                 if time.monotonic() > deadline:
                     out_of_time = True
                 if not in_flight and (not queue or out_of_time):
                     break
                 drain(block_seconds=0.05)
                 # Liveness: a dead worker with an assigned shard lost it.
-                now = time.monotonic()
-                for handle in list(handles.values()):
+                for handle in supervisor.handles():
                     if handle.assigned is None:
                         continue
-                    if not handle.process.is_alive():
+                    if not handle.alive():
                         drain()  # absorb any result that raced the crash
                         if handle.assigned is not None:
                             _WORKER_CRASHES.inc()
                             exitcode = handle.process.exitcode
                             retry_shard(handle, f"died (exit code {exitcode})")
-                            if queue and len(handles) < self.workers:
+                            if queue and len(supervisor) < self.workers:
                                 spawn()
                     elif (
                         self.heartbeat_timeout_seconds is not None
-                        and now - handle.last_heartbeat > self.heartbeat_timeout_seconds
+                        and handle.heartbeat_age() > self.heartbeat_timeout_seconds
                     ):
-                        handle.process.terminate()
-                        handle.process.join(timeout=5.0)
+                        supervisor.kill(handle)
                         drain()
                         if handle.assigned is not None:
                             retry_shard(
@@ -862,32 +861,21 @@ class ParallelDSE:
                                 f"stalled (no heartbeat for "
                                 f"{self.heartbeat_timeout_seconds:g}s)",
                             )
-                            if queue and len(handles) < self.workers:
+                            if queue and len(supervisor) < self.workers:
                                 spawn()
             drain()
         finally:
-            for handle in handles.values():
-                try:
-                    handle.task_queue.put_nowait(None)
-                except queue_mod.Full:
-                    # Expected when a wedged worker never drained its
-                    # queue; termination below still reaps the process.
-                    pass
-                except Exception as exc:
-                    _TEARDOWN_ERRORS.inc()
-                    logger.warning(
-                        "failed to send shutdown sentinel to worker %d: %s",
-                        handle.worker_id, exc,
-                    )
-            for handle in handles.values():
-                handle.process.join(timeout=5.0)
-                if handle.process.is_alive():
-                    handle.process.terminate()
-                    handle.process.join(timeout=5.0)
-            try:
-                while True:
-                    result_queue.get_nowait()
-            except queue_mod.Empty:
-                pass
+            def _count_notify_error(handle, exc):
+                _TEARDOWN_ERRORS.inc()
+                logger.warning(
+                    "failed to send shutdown sentinel to worker %d: %s",
+                    handle.worker_id, exc,
+                )
+
+            supervisor.shutdown(
+                notify=lambda handle: handle.task_queue.put_nowait(None),
+                on_notify_error=_count_notify_error,
+            )
+            drain_queue(result_queue)
             result_queue.close()
         return retries

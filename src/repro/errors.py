@@ -103,7 +103,30 @@ class ArtifactError(ServeError):
 
 
 class BacklogFullError(ServeError):
-    """Raised when the serving queue is full (shed load, HTTP 503)."""
+    """Raised when the serving queue sheds load (HTTP 429 + Retry-After).
+
+    ``retry_after_seconds`` is the server's estimate of when capacity
+    will free up; the HTTP layer surfaces it as a ``Retry-After``
+    header.
+    """
+
+    def __init__(self, message: str, retry_after_seconds: float = 0.1):
+        super().__init__(message)
+        self.retry_after_seconds = float(retry_after_seconds)
+
+
+class DeadlineExceededError(ServeError):
+    """Raised when a request's deadline passed before it was computed.
+
+    Deadline-aware scheduling rejects such work up front (admission
+    control) or at flush time (the batcher skips expired requests
+    instead of spending a forward pass on answers nobody is waiting
+    for).  Maps to HTTP 429 + ``Retry-After``.
+    """
+
+    def __init__(self, message: str, retry_after_seconds: float = 0.05):
+        super().__init__(message)
+        self.retry_after_seconds = float(retry_after_seconds)
 
 
 class LoopError(ReproError):

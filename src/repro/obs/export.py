@@ -165,6 +165,6 @@ def metrics_text(registry: Optional[MetricsRegistry] = None) -> str:
         base = flat(name)
         lines.append(f"{base}_count {snap['count']}")
         lines.append(f"{base}_sum {snap['total']:.9g}")
-        for q in ("p50", "p95", "p99"):
+        for q in ("p50", "p95", "p99", "p999"):
             lines.append(f'{base}{{quantile="{q[1:]}"}} {snap[q]:.9g}')
     return "\n".join(lines) + "\n"

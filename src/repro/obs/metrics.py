@@ -139,6 +139,7 @@ class Histogram:
             "p50": nearest_rank_quantile(values, 0.50),
             "p95": nearest_rank_quantile(values, 0.95),
             "p99": nearest_rank_quantile(values, 0.99),
+            "p999": nearest_rank_quantile(values, 0.999),
         }
 
     def reset(self) -> None:

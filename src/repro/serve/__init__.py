@@ -18,7 +18,11 @@ package turns the batched evaluation pipeline into exactly that:
   batching, server-side DSE, metrics;
 - :mod:`repro.serve.http` — a stdlib-only ``ThreadingHTTPServer`` JSON
   API (``/v1/predict``, ``/v1/dse/top``, ``/healthz``, ``/metrics``);
-- :mod:`repro.serve.client` — the matching Python client.
+- :mod:`repro.serve.pool` — pre-fork multi-process scale-out: N workers
+  accepting from one shared listener, with heartbeat supervision,
+  respawn, fleet-wide hot-swap, and zero-gap rolling restarts;
+- :mod:`repro.serve.client` — the matching Python client (connect/read
+  timeouts, bounded retry with backoff).
 
 Server predictions are bit-identical to in-process
 :class:`~repro.dse.pipeline.EvaluationPipeline` predictions for the
@@ -29,6 +33,7 @@ from .batcher import MicroBatcher
 from .client import ServeClient, ServeClientError
 from .http import ServeHTTPServer, start_server
 from .metrics import ServeMetrics
+from .pool import PoolHooks, WorkerPool
 from .registry import (
     ARTIFACT_SCHEMA_VERSION,
     ArtifactVersion,
@@ -47,11 +52,13 @@ __all__ = [
     "ArtifactVersion",
     "MicroBatcher",
     "ModelRegistry",
+    "PoolHooks",
     "PredictorService",
     "ServeClient",
     "ServeClientError",
     "ServeHTTPServer",
     "ServeMetrics",
+    "WorkerPool",
     "artifact_fingerprint",
     "load_artifact",
     "read_manifest",

@@ -10,10 +10,24 @@ when it reaches ``batch_size`` **or** its oldest request has waited
 up front with :class:`~repro.errors.BacklogFullError` instead of
 letting the queue (and every client's latency) grow without bound.
 
+Admission control is deadline-aware.  A request may carry an absolute
+deadline (monotonic-clock seconds): one that arrives already expired is
+rejected at :meth:`submit`; one that expires while queued is rejected
+at flush time with :class:`~repro.errors.DeadlineExceededError` instead
+of spending forward-pass time on an answer nobody is waiting for; and a
+group containing deadline-bound requests flushes no later than its
+tightest deadline, even when the batch is not full.  Both rejection
+paths carry a ``Retry-After`` hint derived from the queue depth and a
+running estimate of dispatch cost.
+
 Results are delivered through :class:`concurrent.futures.Future`, so
 callers block only for their own request.  Because the evaluation
 pipeline itself is bit-exact for any batch composition, coalescing
 changes throughput but never values.
+
+All scheduling math runs on an injectable monotonic ``clock`` — tests
+drive the flush/expiry decisions with a fake clock and zero wall-clock
+sleeps (see ``tests/test_serve.py``).
 """
 
 from __future__ import annotations
@@ -25,7 +39,7 @@ from concurrent.futures import Future
 from typing import Callable, List, Optional, Tuple
 
 from ..designspace.space import DesignPoint
-from ..errors import BacklogFullError, ServeError
+from ..errors import BacklogFullError, DeadlineExceededError, ServeError
 from ..model.predictor import DEFAULT_VALID_THRESHOLD, Prediction
 
 __all__ = ["MicroBatcher"]
@@ -36,13 +50,15 @@ _GroupKey = Tuple[str, float, str]
 
 
 class _Request:
-    __slots__ = ("key", "point", "future", "enqueued")
+    __slots__ = ("key", "point", "future", "enqueued", "deadline")
 
-    def __init__(self, key: _GroupKey, point: DesignPoint):
+    def __init__(self, key: _GroupKey, point: DesignPoint, enqueued: float,
+                 deadline: Optional[float]):
         self.key = key
         self.point = point
         self.future: Future = Future()
-        self.enqueued = time.monotonic()
+        self.enqueued = enqueued
+        self.deadline = deadline
 
 
 class MicroBatcher:
@@ -65,7 +81,15 @@ class MicroBatcher:
         :class:`~repro.errors.BacklogFullError` beyond it.
     metrics:
         Optional :class:`~repro.serve.metrics.ServeMetrics` that
-        receives batch-fill and rejection counts.
+        receives batch-fill, rejection, and deadline-expiry counts.
+    clock:
+        Monotonic time source for every enqueue/deadline/flush decision
+        (default :func:`time.monotonic`); injectable for deterministic
+        tests.
+    start_worker:
+        With ``False`` the flushing thread is not started and the
+        scheduling core (:meth:`_select_locked`) can be driven
+        synchronously — test-only.
     """
 
     def __init__(
@@ -75,6 +99,8 @@ class MicroBatcher:
         max_delay_seconds: float = 0.005,
         max_pending: int = 1024,
         metrics=None,
+        clock: Callable[[], float] = time.monotonic,
+        start_worker: bool = True,
     ):
         if batch_size < 1:
             raise ServeError(f"batch_size must be >= 1, got {batch_size}")
@@ -85,14 +111,20 @@ class MicroBatcher:
         self.max_delay_seconds = float(max_delay_seconds)
         self.max_pending = int(max_pending)
         self.metrics = metrics
+        self._clock = clock
         self._queue: deque = deque()
         self._cond = threading.Condition()
         self._closing = False
         self._drain_on_close = True
-        self._worker = threading.Thread(
-            target=self._run, name="repro-serve-batcher", daemon=True
-        )
-        self._worker.start()
+        # EWMA of recent dispatch durations: feeds the Retry-After hint
+        # so shed clients back off roughly one queue-drain, not a guess.
+        self._dispatch_ewma = 0.0
+        self._worker: Optional[threading.Thread] = None
+        if start_worker:
+            self._worker = threading.Thread(
+                target=self._run, name="repro-serve-batcher", daemon=True
+            )
+            self._worker.start()
 
     # -- client side ---------------------------------------------------------
 
@@ -102,18 +134,37 @@ class MicroBatcher:
         point: DesignPoint,
         valid_threshold: float = DEFAULT_VALID_THRESHOLD,
         objectives_for: str = "all",
+        deadline: Optional[float] = None,
     ) -> Future:
-        """Enqueue one prediction request; returns its future."""
-        request = _Request((kernel, float(valid_threshold), objectives_for), point)
+        """Enqueue one prediction request; returns its future.
+
+        ``deadline`` is an absolute clock value (same epoch as the
+        batcher's ``clock``); a request admitted after its deadline is
+        rejected immediately, one that expires while queued fails with
+        :class:`~repro.errors.DeadlineExceededError` at flush time.
+        """
+        now = self._clock()
         with self._cond:
             if self._closing:
                 raise ServeError("batcher is shut down")
+            if deadline is not None and now > deadline:
+                if self.metrics is not None:
+                    self.metrics.record_expired()
+                raise DeadlineExceededError(
+                    f"deadline passed {now - deadline:.3f}s before admission",
+                    retry_after_seconds=self._retry_after_locked(),
+                )
             if len(self._queue) >= self.max_pending:
                 if self.metrics is not None:
                     self.metrics.record_rejection()
                 raise BacklogFullError(
-                    f"serving queue full ({self.max_pending} pending requests)"
+                    f"serving queue full ({self.max_pending} pending requests)",
+                    retry_after_seconds=self._retry_after_locked(),
                 )
+            request = _Request(
+                (kernel, float(valid_threshold), objectives_for),
+                point, now, deadline,
+            )
             self._queue.append(request)
             self._cond.notify()
         return request.future
@@ -121,6 +172,11 @@ class MicroBatcher:
     def pending(self) -> int:
         with self._cond:
             return len(self._queue)
+
+    def retry_after_hint(self) -> float:
+        """Estimated seconds until queued work drains (Retry-After)."""
+        with self._cond:
+            return self._retry_after_locked()
 
     def close(self, drain: bool = True) -> None:
         """Stop the worker; with ``drain`` (default) finish queued work
@@ -131,7 +187,8 @@ class MicroBatcher:
             self._closing = True
             self._drain_on_close = drain
             self._cond.notify_all()
-        self._worker.join()
+        if self._worker is not None:
+            self._worker.join()
 
     def __enter__(self) -> "MicroBatcher":
         return self
@@ -139,45 +196,93 @@ class MicroBatcher:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    # -- scheduling core (pure given queue state + ``now``) -------------------
+
+    def _retry_after_locked(self) -> float:
+        """Retry-After hint: queue depth in groups × per-group cost."""
+        groups = max(len(self._queue), 1) / self.batch_size
+        per_group = max(self._dispatch_ewma, self.max_delay_seconds, 0.01)
+        return max(0.05, groups * per_group)
+
+    def _select_locked(
+        self, now: float
+    ) -> Tuple[Optional[List[_Request]], List[_Request], Optional[float]]:
+        """One flush decision at time ``now``; callers hold the lock.
+
+        Returns ``(group, expired, wait)``: a group ready to dispatch
+        (or None), requests whose deadline already passed (removed from
+        the queue, not yet failed), and how long to wait before the
+        next decision (None = until new work arrives).  The head
+        request's group key decides the batch: groups flush in arrival
+        order, so one kernel's traffic cannot starve another's.
+        """
+        expired = [
+            r for r in self._queue
+            if r.deadline is not None and now > r.deadline
+        ]
+        if expired:
+            dead = set(map(id, expired))
+            remaining = [r for r in self._queue if id(r) not in dead]
+            self._queue.clear()
+            self._queue.extend(remaining)
+        if not self._queue:
+            return None, expired, None
+        head = self._queue[0]
+        matching = [r for r in self._queue if r.key == head.key]
+        flush_at = head.enqueued + self.max_delay_seconds
+        # Deadline-aware flush: a group with deadline-bound members
+        # dispatches no later than its tightest deadline, so a request
+        # never expires merely because its batch was not full.
+        for request in matching:
+            if request.deadline is not None and request.deadline < flush_at:
+                flush_at = request.deadline
+        if len(matching) >= self.batch_size or now >= flush_at or self._closing:
+            group = matching[: self.batch_size]
+            taken = set(map(id, group))
+            remaining = [r for r in self._queue if id(r) not in taken]
+            self._queue.clear()
+            self._queue.extend(remaining)
+            return group, expired, 0.0
+        return None, expired, flush_at - now
+
     # -- worker side ---------------------------------------------------------
 
-    def _take_group(self) -> Optional[List[_Request]]:
-        """Block until a group is ready to flush; None when shut down.
+    def _fail_expired(self, expired: List[_Request]) -> None:
+        for request in expired:
+            if self.metrics is not None:
+                self.metrics.record_expired()
+            request.future.set_exception(
+                DeadlineExceededError(
+                    "deadline passed before the batch flushed; "
+                    "request was not computed",
+                    retry_after_seconds=self.retry_after_hint(),
+                )
+            )
 
-        The head request's group key decides the batch: groups flush in
-        arrival order, so one kernel's traffic cannot starve another's.
-        """
-        with self._cond:
-            while True:
-                if not self._queue:
-                    if self._closing:
+    def _take_group(self) -> Optional[List[_Request]]:
+        """Block until a group is ready to flush; None when shut down."""
+        while True:
+            with self._cond:
+                while True:
+                    if self._closing and not self._drain_on_close:
+                        failed = list(self._queue)
+                        self._queue.clear()
+                        for request in failed:
+                            request.future.set_exception(
+                                ServeError("batcher shut down before request ran")
+                            )
                         return None
-                    self._cond.wait()
-                    continue
-                if self._closing and not self._drain_on_close:
-                    failed = list(self._queue)
-                    self._queue.clear()
-                    for request in failed:
-                        request.future.set_exception(
-                            ServeError("batcher shut down before request ran")
-                        )
-                    return None
-                head = self._queue[0]
-                matching = [r for r in self._queue if r.key == head.key]
-                deadline = head.enqueued + self.max_delay_seconds
-                timeout = deadline - time.monotonic()
-                if (
-                    len(matching) >= self.batch_size
-                    or timeout <= 0
-                    or self._closing
-                ):
-                    group = matching[: self.batch_size]
-                    taken = set(map(id, group))
-                    remaining = [r for r in self._queue if id(r) not in taken]
-                    self._queue.clear()
-                    self._queue.extend(remaining)
-                    return group
-                self._cond.wait(timeout=timeout)
+                    group, expired, wait = self._select_locked(self._clock())
+                    if group is not None or expired:
+                        break
+                    if self._closing:
+                        return None  # queue drained
+                    self._cond.wait(timeout=wait)
+            # Deliver expiry failures outside the lock: waiters wake
+            # without contending for the scheduling mutex.
+            self._fail_expired(expired)
+            if group is not None:
+                return group
 
     def _run(self) -> None:
         while True:
@@ -185,6 +290,7 @@ class MicroBatcher:
             if group is None:
                 return
             kernel, threshold, objectives_for = group[0].key
+            started = self._clock()
             try:
                 predictions = self._predict_fn(
                     kernel,
@@ -196,6 +302,12 @@ class MicroBatcher:
                 for request in group:
                     request.future.set_exception(exc)
                 continue
+            elapsed = max(self._clock() - started, 0.0)
+            with self._cond:
+                self._dispatch_ewma = (
+                    elapsed if self._dispatch_ewma == 0.0
+                    else 0.8 * self._dispatch_ewma + 0.2 * elapsed
+                )
             if self.metrics is not None:
                 self.metrics.record_batch(len(group))
             for request, prediction in zip(group, predictions):

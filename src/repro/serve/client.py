@@ -4,14 +4,25 @@ Rebuilds :class:`~repro.model.predictor.Prediction` objects from the
 server's JSON, so a client-side prediction compares ``==`` (bit-
 identical floats) with the in-process pipeline's output for the same
 artifact.
+
+Transport runs on :mod:`http.client` with *separate* connect and read
+timeouts — the old ``urllib`` transport had a single socket timeout, so
+a stalled handler could hold a caller for the full connect budget and a
+dead host for the full read budget.  Optional bounded retries with
+exponential backoff cover transient transport failures and 429
+shed responses (predictions are pure functions of the artifact and the
+point, so replaying one is always safe); a 429's ``Retry-After`` header
+is honored as the backoff floor.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
-import urllib.error
-import urllib.request
-from typing import Dict, List, Optional, Sequence
+import socket
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+from urllib.parse import urlsplit
 
 from ..designspace.space import DesignPoint
 from ..errors import ServeError
@@ -24,13 +35,16 @@ __all__ = ["ServeClient", "ServeClientError"]
 class ServeClientError(ServeError):
     """An HTTP error response, carrying the server's structured payload."""
 
-    def __init__(self, status: int, payload: Dict[str, object]):
+    def __init__(self, status: int, payload: Dict[str, object],
+                 retry_after_seconds: Optional[float] = None):
         error = payload.get("error", {}) if isinstance(payload, dict) else {}
         message = error.get("message") or f"HTTP {status}"
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.payload = payload
         self.error_type = error.get("type", "unknown")
+        #: Parsed ``Retry-After`` header on 429 shed responses, if any.
+        self.retry_after_seconds = retry_after_seconds
 
 
 class ServeClient:
@@ -41,36 +55,139 @@ class ServeClient:
     base_url:
         e.g. ``http://127.0.0.1:8080`` (trailing slash optional).
     timeout:
-        Socket timeout per request, in seconds.
+        Default for both ``connect_timeout`` and ``read_timeout``.
+    connect_timeout, read_timeout:
+        Separate budgets for establishing the TCP connection and for
+        each socket read of the response; a stalled handler fails the
+        request after ``read_timeout`` instead of hanging the caller.
+    retries:
+        Extra attempts after a transport failure (connect refused/timed
+        out, read timed out, connection dropped) or a 429 shed
+        response.  0 (default) preserves fail-fast behavior.
+    backoff_seconds:
+        First retry delay; doubles per attempt up to
+        ``backoff_cap_seconds``.  A 429's ``Retry-After`` raises the
+        floor for that wait.
     """
 
-    def __init__(self, base_url: str, timeout: float = 60.0):
+    #: HTTP statuses worth replaying: admission-control sheds only.
+    RETRY_STATUSES = frozenset({429})
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        connect_timeout: Optional[float] = None,
+        read_timeout: Optional[float] = None,
+        retries: int = 0,
+        backoff_seconds: float = 0.05,
+        backoff_cap_seconds: float = 2.0,
+    ):
         self.base_url = base_url.rstrip("/")
+        split = urlsplit(self.base_url)
+        if split.scheme not in ("http", ""):
+            raise ServeError(f"unsupported URL scheme {split.scheme!r} (http only)")
+        self._host = split.hostname or "127.0.0.1"
+        self._port = split.port or 80
+        self._base_path = split.path.rstrip("/")
         self.timeout = timeout
+        self.connect_timeout = float(
+            connect_timeout if connect_timeout is not None else timeout
+        )
+        self.read_timeout = float(
+            read_timeout if read_timeout is not None else timeout
+        )
+        if retries < 0:
+            raise ServeError(f"retries must be >= 0, got {retries}")
+        self.retries = int(retries)
+        self.backoff_seconds = float(backoff_seconds)
+        self.backoff_cap_seconds = float(backoff_cap_seconds)
 
     # -- transport ---------------------------------------------------------------
+
+    def _request_once(
+        self, method: str, path: str, payload: Optional[Dict[str, object]]
+    ) -> Dict[str, object]:
+        body = None if payload is None else json.dumps(payload).encode()
+        conn = http.client.HTTPConnection(
+            self._host, self._port, timeout=self.connect_timeout
+        )
+        try:
+            try:
+                conn.connect()
+            except (socket.timeout, TimeoutError) as exc:
+                raise ServeError(
+                    f"connect to {self.base_url} timed out "
+                    f"after {self.connect_timeout:g}s"
+                ) from exc
+            except OSError as exc:
+                raise ServeError(f"cannot reach {self.base_url}: {exc}") from exc
+            conn.sock.settimeout(self.read_timeout)
+            try:
+                conn.request(
+                    method,
+                    self._base_path + path,
+                    body=body,
+                    headers={"Content-Type": "application/json",
+                             "Connection": "close"},
+                )
+                response = conn.getresponse()
+                raw = response.read()
+            except (socket.timeout, TimeoutError) as exc:
+                raise ServeError(
+                    f"{method} {path} to {self.base_url} timed out "
+                    f"after {self.read_timeout:g}s waiting for the response"
+                ) from exc
+            except (http.client.HTTPException, OSError) as exc:
+                raise ServeError(
+                    f"transport error talking to {self.base_url}: {exc}"
+                ) from exc
+        finally:
+            conn.close()
+        if 200 <= response.status < 300:
+            try:
+                return json.loads(raw)
+            except ValueError as exc:
+                raise ServeError(
+                    f"non-JSON {response.status} response from {self.base_url}: {exc}"
+                ) from None
+        try:
+            error_payload = json.loads(raw)
+        except ValueError:
+            error_payload = {
+                "error": {"type": "http", "message": f"HTTP {response.status}"}
+            }
+        retry_after = None
+        header = response.getheader("Retry-After")
+        if header is not None:
+            try:
+                retry_after = float(header)
+            except ValueError:
+                pass
+        raise ServeClientError(response.status, error_payload, retry_after)
 
     def _request(
         self, method: str, path: str, payload: Optional[Dict[str, object]] = None
     ) -> Dict[str, object]:
-        body = None if payload is None else json.dumps(payload).encode()
-        request = urllib.request.Request(
-            self.base_url + path,
-            data=body,
-            method=method,
-            headers={"Content-Type": "application/json"},
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read())
-        except urllib.error.HTTPError as exc:
+        delay = self.backoff_seconds
+        for attempt in range(self.retries + 1):
+            final = attempt == self.retries
             try:
-                error_payload = json.loads(exc.read())
-            except (ValueError, OSError):
-                error_payload = {"error": {"type": "http", "message": str(exc)}}
-            raise ServeClientError(exc.code, error_payload) from None
-        except urllib.error.URLError as exc:
-            raise ServeError(f"cannot reach {self.base_url}: {exc.reason}") from None
+                return self._request_once(method, path, payload)
+            except ServeClientError as exc:
+                if final or exc.status not in self.RETRY_STATUSES:
+                    raise
+                wait = max(delay, exc.retry_after_seconds or 0.0)
+            except ServeError:
+                # Transport failure.  Requests are idempotent (pure
+                # predictions), so replaying one that may have executed
+                # is safe.
+                if final:
+                    raise
+                wait = delay
+            time.sleep(min(wait, self.backoff_cap_seconds))
+            delay *= 2
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # -- API ---------------------------------------------------------------------
 
@@ -93,14 +210,14 @@ class ServeClient:
         """
         return self._request("POST", "/v1/model/reload", {})
 
-    def predict(
+    def _predict_payload(
         self,
         kernel: str,
         points: Sequence[DesignPoint],
-        valid_threshold: Optional[float] = None,
-        objectives_for: Optional[str] = None,
-    ) -> List[Prediction]:
-        """Predict a batch of design points."""
+        valid_threshold: Optional[float],
+        objectives_for: Optional[str],
+        deadline_ms: Optional[float],
+    ) -> Dict[str, object]:
         payload: Dict[str, object] = {
             "kernel": kernel,
             "points": [point_payload(p) for p in points],
@@ -109,7 +226,30 @@ class ServeClient:
             payload["valid_threshold"] = valid_threshold
         if objectives_for is not None:
             payload["objectives_for"] = objectives_for
-        response = self._request("POST", "/v1/predict", payload)
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return payload
+
+    def predict(
+        self,
+        kernel: str,
+        points: Sequence[DesignPoint],
+        valid_threshold: Optional[float] = None,
+        objectives_for: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> List[Prediction]:
+        """Predict a batch of design points.
+
+        ``deadline_ms`` is this request's latency budget: the server
+        sheds (429 + ``Retry-After``) any point it cannot start by then
+        instead of computing a stale answer.
+        """
+        response = self._request(
+            "POST", "/v1/predict",
+            self._predict_payload(
+                kernel, points, valid_threshold, objectives_for, deadline_ms
+            ),
+        )
         return [prediction_from_payload(p) for p in response["predictions"]]
 
     def predict_with_model(
@@ -118,22 +258,20 @@ class ServeClient:
         points: Sequence[DesignPoint],
         valid_threshold: Optional[float] = None,
         objectives_for: Optional[str] = None,
-    ):
+        deadline_ms: Optional[float] = None,
+    ) -> Tuple[List[Prediction], Dict[str, object]]:
         """Like :meth:`predict`, also returning the server's model identity.
 
         Returns ``(predictions, model_info)`` where ``model_info`` names
         the artifact version that computed this batch — stable within a
         response even when the server hot-swaps mid-stream.
         """
-        payload: Dict[str, object] = {
-            "kernel": kernel,
-            "points": [point_payload(p) for p in points],
-        }
-        if valid_threshold is not None:
-            payload["valid_threshold"] = valid_threshold
-        if objectives_for is not None:
-            payload["objectives_for"] = objectives_for
-        response = self._request("POST", "/v1/predict", payload)
+        response = self._request(
+            "POST", "/v1/predict",
+            self._predict_payload(
+                kernel, points, valid_threshold, objectives_for, deadline_ms
+            ),
+        )
         predictions = [prediction_from_payload(p) for p in response["predictions"]]
         return predictions, response.get("model", {})
 

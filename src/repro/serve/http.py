@@ -4,7 +4,9 @@ Endpoints::
 
     POST /v1/predict    {"kernel": ..., "point": {...}}            one point
                         {"kernel": ..., "points": [{...}, ...]}    batch
-                        optional: "valid_threshold", "objectives_for"
+                        optional: "valid_threshold", "objectives_for",
+                        "deadline_ms" (latency budget; expired work is
+                        shed with 429 instead of computed)
     POST /v1/dse/top    {"kernel": ..., "top": 10, "time_limit": 10}
     GET  /v1/model      identity of the artifact currently serving
     POST /v1/model/reload   follow the registry "current" pointer and
@@ -21,21 +23,32 @@ pin results to a model version across hot swaps.
 
 Errors come back as structured JSON ``{"error": {"type", "message"}}``:
 400 for malformed requests and invalid design points, 404 for unknown
-kernels and paths, 413 for oversized bodies, 503 when the serving
-queue sheds load, 500 for everything unexpected.  Shutdown is graceful:
-:meth:`ServeHTTPServer.stop` stops accepting connections, then drains
-the in-flight micro-batches before returning.
+kernels and paths, 413 for oversized bodies, 429 with a ``Retry-After``
+header when admission control sheds load (queue full or deadline
+already passed), 500 for everything unexpected.  Overload is by design
+never a 5xx: a shed request is the server *working correctly* at
+capacity, and load tests assert zero 5xx under sustained bursts.
+Shutdown is graceful: :meth:`ServeHTTPServer.stop` stops accepting
+connections, then drains the in-flight micro-batches before returning.
 """
 
 from __future__ import annotations
 
 import json
+import math
+import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
-from ..errors import BacklogFullError, DesignSpaceError, ReproError, ServeError
+from ..errors import (
+    BacklogFullError,
+    DeadlineExceededError,
+    DesignSpaceError,
+    ReproError,
+    ServeError,
+)
 from ..model.predictor import DEFAULT_VALID_THRESHOLD
 from ..obs import is_enabled, span, trace_payload
 from .schemas import point_from_payload, prediction_payload
@@ -50,17 +63,35 @@ MAX_BODY_BYTES = 4 * 1024 * 1024
 class _RequestError(Exception):
     """Internal: carries an HTTP status + structured error payload."""
 
-    def __init__(self, status: int, kind: str, message: str):
+    def __init__(self, status: int, kind: str, message: str,
+                 headers: Optional[Dict[str, str]] = None):
         super().__init__(message)
         self.status = status
         self.payload = {"error": {"type": kind, "message": message}}
+        self.headers = dict(headers or {})
+
+
+def _shed(kind: str, exc: Exception) -> _RequestError:
+    """429 + Retry-After for admission-control rejections.
+
+    RFC 9110 wants integer Retry-After seconds, so the server's
+    fractional drain estimate rounds *up* — a client that sleeps the
+    advertised time should find capacity, not another 429.
+    """
+    seconds = max(float(getattr(exc, "retry_after_seconds", 0.1)), 0.0)
+    return _RequestError(
+        429, kind, str(exc),
+        headers={"Retry-After": str(max(int(math.ceil(seconds)), 1))},
+    )
 
 
 def _error_for(exc: Exception) -> _RequestError:
     if isinstance(exc, _RequestError):
         return exc
     if isinstance(exc, BacklogFullError):
-        return _RequestError(503, "backlog_full", str(exc))
+        return _shed("backlog_full", exc)
+    if isinstance(exc, DeadlineExceededError):
+        return _shed("deadline_exceeded", exc)
     if isinstance(exc, DesignSpaceError):
         return _RequestError(400, "invalid_design_point", str(exc))
     if isinstance(exc, ServeError):
@@ -88,11 +119,14 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- plumbing --------------------------------------------------------------
 
-    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+    def _send_json(self, status: int, payload: Dict[str, object],
+                   headers: Optional[Dict[str, str]] = None) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -121,14 +155,15 @@ class _Handler(BaseHTTPRequestHandler):
         # everything the handler triggers (pipeline batches, DSE shards)
         # nests under it in the exported trace.
         with span("serve.request", endpoint=endpoint) as request_span:
+            headers: Dict[str, str] = {}
             try:
                 status, payload = handler(service)
             except Exception as exc:  # all failures become structured JSON
                 error = _error_for(exc)
-                status, payload = error.status, error.payload
+                status, payload, headers = error.status, error.payload, error.headers
             request_span.set(status=status)
         service.metrics.record_request(endpoint, time.perf_counter() - start, status)
-        self._send_json(status, payload)
+        self._send_json(status, payload, headers)
 
     # -- endpoints -------------------------------------------------------------
 
@@ -183,8 +218,20 @@ class _Handler(BaseHTTPRequestHandler):
                 400, "bad_request", "'valid_threshold' must be a number"
             ) from None
         objectives_for = body.get("objectives_for", "all")
+        deadline_seconds = None
+        if "deadline_ms" in body:
+            try:
+                deadline_ms = float(body["deadline_ms"])
+            except (TypeError, ValueError):
+                raise _RequestError(
+                    400, "bad_request", "'deadline_ms' must be a number"
+                ) from None
+            if deadline_ms <= 0:
+                raise _RequestError(400, "bad_request", "'deadline_ms' must be > 0")
+            deadline_seconds = deadline_ms / 1000.0
         predictions, model_info = service.predict_versioned(
-            kernel, points, threshold, objectives_for
+            kernel, points, threshold, objectives_for,
+            deadline_seconds=deadline_seconds,
         )
         return 200, {
             "kernel": kernel,
@@ -213,6 +260,12 @@ class _Handler(BaseHTTPRequestHandler):
     def _reload_model(self, service: PredictorService) -> Tuple[int, Dict[str, object]]:
         self._read_json()  # accept (and ignore) an empty JSON body
         info, swapped = service.reload()
+        # Fleet propagation: in a worker pool, the worker that happened
+        # to accept this request tells the pool parent, which broadcasts
+        # the reload to its siblings.
+        callback = getattr(self.server, "on_reload", None)
+        if swapped and callback is not None:
+            callback(info)
         return 200, {"model": info, "swapped": swapped}
 
 
@@ -224,15 +277,40 @@ def _trace_snapshot() -> Dict[str, object]:
 
 
 class ServeHTTPServer(ThreadingHTTPServer):
-    """Threading HTTP server bound to one :class:`PredictorService`."""
+    """Threading HTTP server bound to one :class:`PredictorService`.
+
+    With ``listener`` the server adopts an already-bound, already-
+    listening socket instead of binding ``address`` itself.  That is
+    how the pre-fork :class:`~repro.serve.pool.WorkerPool` scales out:
+    the parent binds once, every forked worker wraps the inherited fd,
+    and the kernel's shared accept queue load-balances connections —
+    no per-worker ports, no lost backlog during rolling restarts.
+
+    ``on_reload(model_info)`` is invoked after a ``/v1/model/reload``
+    actually swaps, so a pool worker can ask the parent to propagate
+    the reload fleet-wide.
+    """
 
     daemon_threads = True
 
     def __init__(self, address: Tuple[str, int], service: PredictorService,
-                 access_log: Optional[list] = None):
-        super().__init__(address, _Handler)
+                 access_log: Optional[list] = None,
+                 listener: Optional[socket.socket] = None,
+                 on_reload: Optional[Callable[[Dict[str, object]], None]] = None):
+        if listener is None:
+            super().__init__(address, _Handler)
+        else:
+            super().__init__(address, _Handler, bind_and_activate=False)
+            self.socket.close()  # replace the unbound socket wholesale
+            self.socket = listener
+            self.server_address = listener.getsockname()
+            # Mirror HTTPServer.server_bind: handlers may read these.
+            host, port = self.server_address[:2]
+            self.server_name = host
+            self.server_port = port
         self.service = service
         self.access_log = access_log
+        self.on_reload = on_reload
 
     @property
     def url(self) -> str:

@@ -47,6 +47,7 @@ class ServeMetrics:
         self._batch_fill: Counter = Counter()  # fill size -> batches
         self._points = 0
         self._rejected = 0
+        self._expired = 0
 
     # -- recording -----------------------------------------------------------
 
@@ -70,6 +71,11 @@ class ServeMetrics:
         with self._lock:
             self._rejected += 1
 
+    def record_expired(self) -> None:
+        """Count a request shed because its deadline had already passed."""
+        with self._lock:
+            self._expired += 1
+
     # -- reading -------------------------------------------------------------
 
     def mean_batch_fill(self) -> float:
@@ -88,6 +94,7 @@ class ServeMetrics:
                     "count": self._requests[endpoint],
                     "p50_ms": snap["p50"] * 1000.0,
                     "p99_ms": snap["p99"] * 1000.0,
+                    "p999_ms": snap["p999"] * 1000.0,
                     "max_ms": snap["max"] * 1000.0,
                 }
             out: Dict[str, object] = {
@@ -96,6 +103,7 @@ class ServeMetrics:
                 "requests": dict(self._requests),
                 "statuses": {str(k): v for k, v in self._statuses.items()},
                 "rejected_requests": self._rejected,
+                "expired_requests": self._expired,
                 "latency": latency,
                 "batches": batches,
                 "batched_points": self._points,

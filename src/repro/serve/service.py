@@ -17,13 +17,16 @@ before closing its batcher, dropping zero requests.
 
 Validation errors raise :class:`~repro.errors.ReproError` subclasses
 the HTTP layer maps to structured 4xx responses; overload raises
-:class:`~repro.errors.BacklogFullError` (503).
+:class:`~repro.errors.BacklogFullError` and expired deadlines raise
+:class:`~repro.errors.DeadlineExceededError`, both mapped to HTTP 429
+with a ``Retry-After`` hint.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import threading
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..designspace import DesignSpace, build_design_space
@@ -108,6 +111,12 @@ class PredictorService:
         Optional :class:`~repro.serve.registry.ModelRegistry` this
         service can :meth:`reload` from (follows the ``current``
         pointer and hot-swaps on change).
+    dispatch_overhead_seconds:
+        Modeled extra cost per batch dispatch (a sleep before the
+        forward pass).  Load tests use it to stand in for accelerator
+        inference latency, so worker-scaling measurements are about
+        scheduling — not this container's core count.  0 (default)
+        disables it.
     """
 
     def __init__(
@@ -122,6 +131,7 @@ class PredictorService:
         max_dse_seconds: float = 60.0,
         model_info: Optional[Dict[str, object]] = None,
         registry=None,
+        dispatch_overhead_seconds: float = 0.0,
     ):
         self.metrics = ServeMetrics()
         self.request_timeout_seconds = float(request_timeout_seconds)
@@ -132,6 +142,7 @@ class PredictorService:
         self._max_pending = int(max_pending)
         self._engine = engine
         self._cache = cache
+        self._dispatch_overhead_seconds = max(float(dispatch_overhead_seconds), 0.0)
         self._spaces: Dict[str, DesignSpace] = {}
         self._spaces_lock = threading.Lock()
         self._swap_lock = threading.Lock()
@@ -148,8 +159,16 @@ class PredictorService:
             engine=self._engine,
             cache=self._cache,
         )
+        predict_fn = pipeline.predict_batch
+        if self._dispatch_overhead_seconds > 0.0:
+            overhead = self._dispatch_overhead_seconds
+
+            def predict_fn(kernel, points, **kwargs):
+                time.sleep(overhead)
+                return pipeline.predict_batch(kernel, points, **kwargs)
+
         batcher = MicroBatcher(
-            pipeline.predict_batch,
+            predict_fn,
             batch_size=self._batch_size,
             max_delay_seconds=self._max_delay_seconds,
             max_pending=self._max_pending,
@@ -274,6 +293,7 @@ class PredictorService:
         points: Sequence[DesignPoint],
         valid_threshold: float = DEFAULT_VALID_THRESHOLD,
         objectives_for: str = "all",
+        deadline_seconds: Optional[float] = None,
     ) -> Tuple[List[Prediction], Dict[str, object]]:
         """Like :meth:`predict`, also returning which model answered.
 
@@ -281,16 +301,31 @@ class PredictorService:
         held until the last future resolves, so the whole batch — and
         the identity reported with it — belongs to one model version
         even when a hot swap lands mid-request.
+
+        ``deadline_seconds`` is the client's latency budget: one
+        absolute deadline is stamped for the whole request at admission,
+        and the batcher sheds any point still queued when it passes
+        (:class:`~repro.errors.DeadlineExceededError`) instead of
+        computing an answer nobody is waiting for.
         """
         if self._closed:
             raise ServeError("service is shut down")
         if objectives_for not in ("all", "valid"):
             raise ServeError(f"unknown objectives_for {objectives_for!r}")
+        deadline = None
+        if deadline_seconds is not None:
+            if deadline_seconds <= 0:
+                raise ServeError(
+                    f"deadline_seconds must be > 0, got {deadline_seconds}"
+                )
+            deadline = time.monotonic() + float(deadline_seconds)
         completed = [self.complete_point(kernel, p) for p in points]
         gen = self._acquired_generation()
         try:
             futures = [
-                gen.batcher.submit(kernel, p, valid_threshold, objectives_for)
+                gen.batcher.submit(
+                    kernel, p, valid_threshold, objectives_for, deadline=deadline
+                )
                 for p in completed
             ]
             try:

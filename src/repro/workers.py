@@ -1,0 +1,219 @@
+"""Shared fork-worker supervision for DSE sharding and serving scale-out.
+
+Both multi-process subsystems in this repo — the sharded DSE
+orchestrator (:class:`~repro.dse.parallel.ParallelDSE`) and the serving
+:class:`~repro.serve.pool.WorkerPool` — need the same operational core:
+fork-started child processes (so loaded predictors transfer by memory
+inheritance, never pickling), per-worker monotonic heartbeat tracking,
+liveness/stall detection, and best-effort teardown that never hangs the
+parent.  That core used to live privately inside ``ParallelDSE``; this
+module is the extraction, so one battle-tested lifecycle serves both.
+
+What stays with the callers is *policy*: ParallelDSE decides when a
+lost shard is retried, the serve pool decides when a dead worker is
+respawned.  What lives here is *mechanism*:
+
+- :class:`SupervisedWorker` — one child process plus its monotonic
+  ``last_heartbeat`` stamp and an opaque per-worker ``channel`` (task
+  queue, control pipe, …) chosen by the caller;
+- :class:`ForkSupervisor` — sequential worker ids, spawn with inherited
+  arguments, stall scans, kill-with-join, and a ``shutdown`` that
+  notifies, joins, and force-terminates without ever raising out of a
+  ``finally`` block;
+- :func:`drain_queue` — empty a multiprocessing queue so its feeder
+  thread can exit.
+
+All heartbeat/liveness math runs on ``time.monotonic()``; fork-started
+children share the parent's monotonic epoch, so stamps can be
+differenced across the process boundary (see PR 4's clock notes).
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import queue as queue_mod
+import time
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["ForkSupervisor", "SupervisedWorker", "drain_queue"]
+
+logger = logging.getLogger("repro.workers")
+
+
+class SupervisedWorker:
+    """One fork-started child process under supervision.
+
+    ``channel`` is whatever per-worker object the spawner attached (a
+    task queue for DSE workers, a control pipe for serve workers); the
+    supervisor never touches it except to hand it to ``notify`` during
+    shutdown.  Subclass to add caller-side state (assigned shard,
+    drain flags, …).
+    """
+
+    def __init__(self, worker_id: int, process, channel=None):
+        self.worker_id = worker_id
+        self.process = process
+        self.channel = channel
+        # Monotonic arrival time of the last sign of life; stall
+        # detection differences this against ``time.monotonic()`` only,
+        # so a stepped wall clock cannot fake (or hide) a stall.
+        self.last_heartbeat = time.monotonic()
+
+    def beat(self) -> None:
+        """Record a sign of life (heartbeat, result, exit message…)."""
+        self.last_heartbeat = time.monotonic()
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def heartbeat_age(self) -> float:
+        """Seconds since the last recorded sign of life."""
+        return time.monotonic() - self.last_heartbeat
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid
+
+
+class ForkSupervisor:
+    """Spawn and track a fleet of fork-started worker processes.
+
+    Parameters
+    ----------
+    target:
+        Worker entry point.  Called in the child as
+        ``target(worker_id, *args)`` — the supervisor always prepends
+        the sequential worker id.
+    mp_context:
+        Multiprocessing start method (``"fork"`` everywhere in this
+        repo: inherited memory, shared monotonic epoch).
+    name_prefix:
+        Process names become ``f"{name_prefix}-{worker_id}"``.
+    worker_class:
+        Handle class instantiated per spawn; subclass
+        :class:`SupervisedWorker` to carry caller-side state.
+    """
+
+    def __init__(
+        self,
+        target: Callable,
+        mp_context: str = "fork",
+        name_prefix: str = "repro-worker",
+        worker_class=SupervisedWorker,
+    ):
+        self.target = target
+        self.context = multiprocessing.get_context(mp_context)
+        self.name_prefix = name_prefix
+        self.worker_class = worker_class
+        self.workers: Dict[int, SupervisedWorker] = {}
+        self._next_id = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def spawn(self, *args, channel=None) -> SupervisedWorker:
+        """Fork one worker; returns its handle (already started)."""
+        worker_id = self._next_id
+        self._next_id += 1
+        process = self.context.Process(
+            target=self.target,
+            args=(worker_id, *args),
+            daemon=True,
+            name=f"{self.name_prefix}-{worker_id}",
+        )
+        process.start()
+        handle = self.worker_class(worker_id, process, channel)
+        self.workers[worker_id] = handle
+        return handle
+
+    def discard(self, worker_id: int) -> Optional[SupervisedWorker]:
+        """Forget a worker (dead or retired); returns its handle if known."""
+        return self.workers.pop(worker_id, None)
+
+    def get(self, worker_id: int) -> Optional[SupervisedWorker]:
+        return self.workers.get(worker_id)
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def handles(self) -> List[SupervisedWorker]:
+        """Stable snapshot of current handles (safe to mutate while iterating)."""
+        return list(self.workers.values())
+
+    # -- liveness --------------------------------------------------------------
+
+    def stalled(self, timeout_seconds: float) -> List[SupervisedWorker]:
+        """Workers alive but silent for longer than ``timeout_seconds``."""
+        now = time.monotonic()
+        return [
+            handle
+            for handle in self.workers.values()
+            if handle.alive() and now - handle.last_heartbeat > timeout_seconds
+        ]
+
+    def kill(self, handle: SupervisedWorker, join_timeout: float = 5.0) -> None:
+        """Terminate one worker and reap it (SIGKILL escalation)."""
+        handle.process.terminate()
+        handle.process.join(timeout=join_timeout)
+        if handle.process.is_alive():  # pragma: no cover - stuck in D state
+            try:
+                handle.process.kill()
+            except (OSError, AttributeError):
+                pass
+            handle.process.join(timeout=join_timeout)
+
+    # -- teardown --------------------------------------------------------------
+
+    def shutdown(
+        self,
+        notify: Optional[Callable[[SupervisedWorker], None]] = None,
+        on_notify_error: Optional[Callable[[SupervisedWorker, BaseException], None]] = None,
+        join_timeout: float = 5.0,
+    ) -> None:
+        """Notify, join, and force-terminate every worker; never raises.
+
+        ``notify`` is the caller's shutdown signal (a ``None`` sentinel
+        on a task queue, a ``stop`` message on a pipe).  A full queue on
+        a wedged worker is expected and silently ignored — termination
+        below still reaps the process; other notify failures go to
+        ``on_notify_error`` (default: a warning log).
+        """
+        for handle in self.handles():
+            if notify is None:
+                continue
+            try:
+                notify(handle)
+            except queue_mod.Full:
+                # Expected when a wedged worker never drained its
+                # queue; termination below still reaps the process.
+                pass
+            except Exception as exc:
+                if on_notify_error is not None:
+                    on_notify_error(handle, exc)
+                else:
+                    logger.warning(
+                        "failed to notify worker %d of shutdown: %s",
+                        handle.worker_id, exc,
+                    )
+        for handle in self.handles():
+            handle.process.join(timeout=join_timeout)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=join_timeout)
+        self.workers.clear()
+
+
+def drain_queue(queue) -> int:
+    """Empty a multiprocessing queue; returns how many items were dropped.
+
+    Draining lets the queue's feeder thread exit so ``close()`` (and the
+    owning process) cannot hang on unconsumed buffered items.
+    """
+    dropped = 0
+    try:
+        while True:
+            queue.get_nowait()
+            dropped += 1
+    except queue_mod.Empty:
+        pass
+    return dropped

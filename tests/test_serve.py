@@ -9,16 +9,24 @@ JSON transport must round-trip every float exactly.
 
 import json
 import random
+import socket
 import threading
 import time
 import urllib.error
 import urllib.request
+from contextlib import contextmanager
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 import pytest
 
 from repro.dse import EvaluationPipeline
-from repro.errors import BacklogFullError, DesignSpaceError, ServeError
+from repro.errors import (
+    BacklogFullError,
+    DeadlineExceededError,
+    DesignSpaceError,
+    ServeError,
+)
 from repro.model.predictor import Prediction
 from repro.nn.tensor import set_default_dtype
 from repro.serve import (
@@ -770,3 +778,354 @@ class TestHotSwap:
         service.close()
         with pytest.raises(ServeError):
             service.swap(predictor)
+
+
+# ---------------------------------------------------------------------------
+# deadline-aware scheduling (fake monotonic clock, zero wall-clock sleeps)
+
+
+class FakeClock:
+    """Injectable monotonic clock the tests advance by hand."""
+
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+        return self.now
+
+
+def make_scheduler(clock, **kwargs):
+    """A MicroBatcher with no worker thread: tests drive the scheduling
+    core (`_select_locked`) synchronously against the fake clock."""
+    kwargs.setdefault("batch_size", 4)
+    kwargs.setdefault("max_delay_seconds", 0.05)
+    return MicroBatcher(
+        lambda *a, **k: [], clock=clock, start_worker=False, **kwargs
+    )
+
+
+def select(mb):
+    with mb._cond:
+        return mb._select_locked(mb._clock())
+
+
+class TestMicroBatcherDeadlines:
+    def test_admission_rejects_already_expired(self):
+        clock = FakeClock(now=10.0)
+        metrics = ServeMetrics()
+        mb = make_scheduler(clock, metrics=metrics)
+        with pytest.raises(DeadlineExceededError) as info:
+            mb.submit("fir", {"a": 0}, deadline=9.5)
+        assert info.value.retry_after_seconds > 0
+        assert metrics.snapshot()["expired_requests"] == 1
+        # At exactly the deadline the request is still admissible.
+        future = mb.submit("fir", {"a": 0}, deadline=10.0)
+        assert not future.done()
+        assert mb.pending() == 1
+
+    def test_queued_request_expires_instead_of_dispatching(self):
+        clock = FakeClock()
+        mb = make_scheduler(clock, batch_size=4, max_delay_seconds=10.0)
+        doomed = mb.submit("fir", {"a": 0}, deadline=1.0)
+        group, expired, wait = select(mb)
+        assert group is None and expired == []
+        # The group must flush no later than its tightest deadline.
+        assert wait == pytest.approx(1.0)
+        clock.advance(1.5)
+        group, expired, wait = select(mb)
+        assert group is None
+        assert [r.future for r in expired] == [doomed]
+        assert mb.pending() == 0
+
+    def test_flush_at_is_min_of_delay_and_member_deadlines(self):
+        clock = FakeClock()
+        mb = make_scheduler(clock, batch_size=8, max_delay_seconds=10.0)
+        mb.submit("fir", {"a": 0})  # no deadline
+        clock.advance(0.5)
+        mb.submit("fir", {"a": 1}, deadline=2.0)
+        group, expired, wait = select(mb)
+        assert group is None
+        # Head enqueued at 0 with 10s delay; member deadline 2.0 wins.
+        assert wait == pytest.approx(1.5)
+        clock.advance(1.5)
+        group, expired, _ = select(mb)
+        assert expired == []
+        assert group is not None and len(group) == 2
+
+    def test_groups_flush_in_arrival_order_by_head_key(self):
+        clock = FakeClock()
+        mb = make_scheduler(clock, batch_size=8, max_delay_seconds=0.01)
+        mb.submit("fir", {"a": 0})
+        mb.submit("aes", {"a": 1})
+        mb.submit("fir", {"a": 2})
+        clock.advance(1.0)  # everything past its flush deadline
+        first, _, _ = select(mb)
+        second, _, _ = select(mb)
+        assert [r.key[0] for r in first] == ["fir", "fir"]
+        assert [r.key[0] for r in second] == ["aes"]
+        assert mb.pending() == 0
+
+    def test_queue_full_sheds_with_retry_after(self):
+        clock = FakeClock()
+        metrics = ServeMetrics()
+        mb = make_scheduler(clock, batch_size=2, max_pending=3, metrics=metrics)
+        for i in range(3):
+            mb.submit("fir", {"a": i})
+        with pytest.raises(BacklogFullError) as info:
+            mb.submit("fir", {"a": 99})
+        assert info.value.retry_after_seconds > 0
+        assert metrics.snapshot()["rejected_requests"] == 1
+
+    def test_randomized_schedule_accounts_for_every_request(self):
+        """Property: under a random arrival/deadline schedule, every
+        admitted request is either dispatched while its deadline still
+        holds or expired strictly after it passed — never both, never
+        lost, never in an oversized or mixed-kernel group."""
+        rng = random.Random(20240808)
+        clock = FakeClock()
+        mb = make_scheduler(
+            clock, batch_size=4, max_delay_seconds=0.05, max_pending=16
+        )
+        dispatched, expired_ids, admitted = {}, set(), {}
+        requests = []  # strong refs so id() keys stay unique
+        shed = 0
+
+        def drain():
+            nonlocal shed
+            while True:
+                group, expired, wait = select(mb)
+                for request in expired:
+                    assert clock.now > request.deadline
+                    assert id(request) not in dispatched
+                    expired_ids.add(id(request))
+                if group is not None:
+                    assert len(group) <= mb.batch_size
+                    assert len({r.key for r in group}) == 1
+                    for request in group:
+                        assert request.deadline is None or (
+                            clock.now <= request.deadline
+                        ) or (
+                            # Admitted into a group whose flush the
+                            # member's own deadline bounded.
+                            request.deadline >= clock.now - mb.max_delay_seconds
+                        )
+                        assert id(request) not in expired_ids
+                        dispatched[id(request)] = clock.now
+                if group is None and not expired:
+                    return wait
+
+        for _ in range(300):
+            clock.advance(rng.uniform(0.0, 0.04))
+            kernel = rng.choice(["fir", "aes"])
+            deadline = (
+                clock.now + rng.uniform(0.005, 0.2)
+                if rng.random() < 0.7 else None
+            )
+            try:
+                future = mb.submit(kernel, {"a": rng.random()}, deadline=deadline)
+            except BacklogFullError:
+                shed += 1
+                continue
+            requests.append(mb._queue[-1])
+            admitted[id(requests[-1])] = future
+            if rng.random() < 0.5:
+                drain()
+        clock.advance(10.0)  # past every deadline and flush timer
+        while mb.pending():
+            drain()
+        accounted = set(dispatched) | expired_ids
+        assert accounted == set(admitted)
+        assert not (set(dispatched) & expired_ids)
+        assert len(admitted) + shed == 300
+
+    def test_worker_thread_fails_expired_future(self):
+        """Integration (real clock): a request whose deadline passes
+        while the worker is busy fails with DeadlineExceededError and
+        its batch is never computed."""
+        computed = []
+        release = threading.Event()
+
+        def predict(kernel, points, valid_threshold, objectives_for):
+            computed.append([p["a"] for p in points])
+            release.wait(timeout=30)
+            return [constant_prediction() for _ in points]
+
+        mb = MicroBatcher(predict, batch_size=1, max_delay_seconds=0.0)
+        try:
+            first = mb.submit("fir", {"a": 0})
+            doomed = mb.submit(
+                "fir", {"a": 1}, deadline=time.monotonic() + 0.01
+            )
+            time.sleep(0.05)  # deadline passes while the worker is busy
+            release.set()
+            assert first.result(timeout=30).valid_prob == 0.75
+            with pytest.raises(DeadlineExceededError):
+                doomed.result(timeout=30)
+            assert [0] in computed and [1] not in computed
+        finally:
+            mb.close()
+
+    def test_service_deadline_maps_to_http_429_with_retry_after(self, predictor):
+        """End to end: a queued-past-deadline request comes back 429
+        with an integer Retry-After header, never a 5xx."""
+        service = PredictorService(
+            predictor, batch_size=1, max_delay_seconds=0.0,
+            dispatch_overhead_seconds=0.25,
+        )
+        server = start_server(service)
+        try:
+            point = sample_points("fir", 1, seed=21)[0]
+            body = json.dumps(
+                {"kernel": "fir", "point": {k: point[k] for k in point},
+                 "deadline_ms": 30.0}
+            ).encode()
+
+            def post():
+                request = urllib.request.Request(
+                    server.url + "/v1/predict", data=body, method="POST",
+                    headers={"Content-Type": "application/json"},
+                )
+                return urllib.request.urlopen(request, timeout=30)
+
+            statuses, retry_afters = [], []
+            results = []
+
+            def fire():
+                try:
+                    with post() as response:
+                        results.append((response.status, None))
+                except urllib.error.HTTPError as exc:
+                    results.append((exc.code, exc.headers.get("Retry-After")))
+
+            threads = [threading.Thread(target=fire) for _ in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            statuses = [status for status, _ in results]
+            retry_afters = [ra for status, ra in results if status == 429]
+            assert all(status in (200, 429) for status in statuses)
+            assert 429 in statuses  # 0.25s/batch serial: most must shed
+            assert all(
+                ra is not None and float(ra) >= 1 for ra in retry_afters
+            )
+            payload = service.metrics_snapshot()
+            assert payload["expired_requests"] >= 1
+        finally:
+            server.stop()
+
+
+# ---------------------------------------------------------------------------
+# client timeouts and bounded retry
+
+
+class _FlakyHandler(BaseHTTPRequestHandler):
+    """Scripted failures: each entry of ``script`` consumes one request."""
+
+    protocol_version = "HTTP/1.1"
+    script = []
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    def do_GET(self):
+        action = self.script.pop(0) if self.script else "ok"
+        if action == "drop":
+            self.connection.close()  # mid-response connection drop
+            return
+        if action == "shed":
+            body = json.dumps(
+                {"error": {"type": "backlog_full", "message": "shed"}}
+            ).encode()
+            self.send_response(429)
+            self.send_header("Retry-After", "1")
+        else:
+            body = json.dumps({"status": "ok"}).encode()
+            self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+@contextmanager
+def flaky_server(script):
+    _FlakyHandler.script = list(script)
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _FlakyHandler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        host, port = server.server_address[:2]
+        yield f"http://{host}:{port}"
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+@contextmanager
+def stalled_server():
+    """Accept connections but never answer (read-timeout trap)."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(8)
+    try:
+        host, port = listener.getsockname()
+        yield f"http://{host}:{port}"
+    finally:
+        listener.close()
+
+
+class TestServeClientTimeouts:
+    def test_read_timeout_against_stalled_handler(self):
+        with stalled_server() as url:
+            client = ServeClient(url, connect_timeout=5.0, read_timeout=0.2)
+            start = time.monotonic()
+            with pytest.raises(ServeError, match="timed out"):
+                client.healthz()
+            assert time.monotonic() - start < 3.0
+
+    def test_bounded_retries_then_give_up(self):
+        with stalled_server() as url:
+            client = ServeClient(
+                url, connect_timeout=5.0, read_timeout=0.1,
+                retries=2, backoff_seconds=0.01,
+            )
+            start = time.monotonic()
+            with pytest.raises(ServeError, match="timed out"):
+                client.healthz()
+            elapsed = time.monotonic() - start
+            # Three attempts' worth of read timeouts, not unbounded.
+            assert 0.3 <= elapsed < 3.0
+
+    def test_retry_recovers_from_connection_drop(self):
+        with flaky_server(["drop"]) as url:
+            strict = ServeClient(url, timeout=5.0)
+            with pytest.raises(ServeError):
+                strict.healthz()
+        with flaky_server(["drop"]) as url:
+            client = ServeClient(
+                url, timeout=5.0, retries=2, backoff_seconds=0.01
+            )
+            assert client.healthz() == {"status": "ok"}
+
+    def test_retry_honors_429_retry_after(self):
+        with flaky_server(["shed"]) as url:
+            strict = ServeClient(url, timeout=5.0)
+            with pytest.raises(ServeClientError) as info:
+                strict.healthz()
+            assert info.value.status == 429
+            assert info.value.retry_after_seconds == 1.0
+        with flaky_server(["shed"]) as url:
+            client = ServeClient(
+                url, timeout=5.0, retries=1,
+                backoff_seconds=0.01, backoff_cap_seconds=0.05,
+            )
+            assert client.healthz() == {"status": "ok"}
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ServeError):
+            ServeClient("http://127.0.0.1:1", retries=-1)

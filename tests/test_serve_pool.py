@@ -1,0 +1,279 @@
+"""Tests for the pre-fork serving worker pool (``repro.serve.pool``).
+
+The pool's contract extends the single-process serving contract across
+processes: every worker serves **bit-identical** predictions for the
+same artifact, a dead worker is respawned without surfacing a 5xx to
+clients, a fleet-wide hot-swap never exposes a torn generation (each
+response names exactly one published artifact and matches its offline
+predictions), and a rolling restart drops zero in-flight requests.
+
+Fault injection follows the ``WorkerHooks`` crash pattern from
+``tests/test_parallel_dse.py``: ``os._exit`` inside fork-inherited
+hooks, or a hard ``SIGKILL`` from the parent mid-request.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.designspace import build_design_space
+from repro.dse import EvaluationPipeline
+from repro.errors import ServeError
+from repro.kernels import get_kernel
+from repro.serve import (
+    ModelRegistry,
+    PoolHooks,
+    PredictorService,
+    ServeClient,
+    WorkerPool,
+    load_artifact,
+)
+from tests.test_pipeline import make_predictor, sample_points
+
+KERNEL = "fir"
+
+
+@pytest.fixture(scope="module")
+def registry(tmp_path_factory):
+    """A content-addressed registry with two published artifacts."""
+    root = tmp_path_factory.mktemp("pool-registry")
+    registry = ModelRegistry(root)
+    registry.publish(make_predictor(seed=0))
+    registry.publish(make_predictor(seed=7), activate=False)
+    return registry
+
+
+@pytest.fixture(scope="module")
+def versions(registry):
+    v1, v2 = registry.versions()
+    return v1, v2
+
+
+def pool_factory(registry, **service_kwargs):
+    """Fork-inheritable factory: each worker loads from the registry."""
+    root = str(registry.root)
+
+    def factory():
+        reg = ModelRegistry(root)
+        current = reg.current()
+        predictor = load_artifact(current.path)
+        return PredictorService(
+            predictor,
+            batch_size=4,
+            max_delay_seconds=0.002,
+            model_info=current.payload(),
+            registry=reg,
+            **service_kwargs,
+        )
+
+    return factory
+
+
+def offline_predictions(version, points):
+    """Ground truth: the artifact's in-process pipeline output."""
+    return EvaluationPipeline(load_artifact(version.path), batch_size=4).predict_batch(
+        KERNEL, points
+    )
+
+
+@pytest.fixture()
+def points():
+    return sample_points(KERNEL, 6, seed=3)
+
+
+class TestWorkerPool:
+    def test_requires_at_least_one_worker(self, registry):
+        with pytest.raises(ServeError):
+            WorkerPool(pool_factory(registry), workers=0)
+
+    def test_predictions_bit_identical_across_workers(
+        self, registry, versions, points
+    ):
+        registry.set_current(versions[0].version)
+        expected = offline_predictions(versions[0], points)
+        with WorkerPool(pool_factory(registry), workers=2) as pool:
+            client = ServeClient(pool.url, timeout=30.0, retries=2)
+            # Enough single-point requests that both workers answer some.
+            for _ in range(4):
+                served, info = client.predict_with_model(KERNEL, points)
+                assert served == expected
+                assert info["sha256"] == versions[0].sha256
+            assert pool.worker_count() == 2
+
+    def test_kill_worker_mid_request_retries_cleanly(self, registry, versions):
+        """SIGKILL a worker while it is computing: the client's bounded
+        retry resolves the request (no hang, no 5xx), and the pool
+        respawns back to full strength."""
+        registry.set_current(versions[0].version)
+        point = build_design_space(get_kernel(KERNEL)).default_point()
+        expected = offline_predictions(versions[0], [point])
+        # Slow dispatch so the victim is reliably mid-request when shot.
+        factory = pool_factory(registry, dispatch_overhead_seconds=0.4)
+        with WorkerPool(factory, workers=2) as pool:
+            client = ServeClient(
+                pool.url, timeout=30.0, retries=3, backoff_seconds=0.05
+            )
+            results, errors = [], []
+
+            def request():
+                try:
+                    results.append(client.predict(KERNEL, [point]))
+                except Exception as exc:  # surfaced below
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=request) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.15)  # let requests reach the slow dispatch
+            os.kill(pool.worker_pids()[0], signal.SIGKILL)
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not errors, f"requests failed: {errors!r}"
+            assert all(result == expected for result in results)
+            deadline = time.monotonic() + 30.0
+            while pool.worker_count() < 2 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert pool.worker_count() == 2
+            assert pool.respawns >= 1
+
+    def test_worker_crash_at_startup_is_respawned(self, registry, versions):
+        """WorkerHooks-style fault injection: worker 0 exits before its
+        ready handshake; the pool still reaches full strength."""
+        registry.set_current(versions[0].version)
+
+        def die_if_first(worker_id):
+            if worker_id == 0:
+                os._exit(13)
+
+        hooks = PoolHooks(on_worker_start=die_if_first)
+        with WorkerPool(
+            pool_factory(registry), workers=2, hooks=hooks
+        ) as pool:
+            assert pool.worker_count() == 2
+            assert pool.respawns >= 1
+            health = ServeClient(pool.url, timeout=30.0, retries=2).healthz()
+            assert health["status"] == "ok"
+
+    @pytest.mark.slow
+    def test_cross_worker_hot_swap_consistency_under_load(
+        self, registry, versions, points
+    ):
+        """During a reload under load, every response names one of the
+        two published artifacts and bit-matches that artifact's offline
+        predictions — no torn generation, fleet-wide."""
+        v1, v2 = versions
+        registry.set_current(v1.version)
+        expected = {
+            v1.sha256: offline_predictions(v1, points),
+            v2.sha256: offline_predictions(v2, points),
+        }
+        with WorkerPool(pool_factory(registry), workers=2) as pool:
+            client = ServeClient(pool.url, timeout=30.0, retries=2)
+            stop = threading.Event()
+            observed, errors = [], []
+
+            def load():
+                while not stop.is_set():
+                    try:
+                        served, info = client.predict_with_model(KERNEL, points)
+                        observed.append((info["sha256"], served))
+                    except Exception as exc:
+                        errors.append(exc)
+                        return
+
+            threads = [threading.Thread(target=load) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            try:
+                time.sleep(0.3)
+                registry.set_current(v2.version)
+                reload_result = client.reload_model()
+                assert reload_result["swapped"] is True
+                # Let the broadcast land and both workers converge.
+                deadline = time.monotonic() + 30.0
+                while time.monotonic() < deadline:
+                    shas = {
+                        client.model()["model"]["sha256"] for _ in range(6)
+                    }
+                    if shas == {v2.sha256}:
+                        break
+                    time.sleep(0.1)
+                else:
+                    pytest.fail("fleet did not converge on the new artifact")
+                time.sleep(0.3)
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=60)
+            assert not errors, f"load thread failed: {errors!r}"
+            assert observed
+            shas_seen = {sha for sha, _ in observed}
+            assert shas_seen <= {v1.sha256, v2.sha256}
+            assert v2.sha256 in shas_seen
+            for sha, served in observed:
+                assert served == expected[sha]
+
+    @pytest.mark.slow
+    def test_rolling_restart_under_load_drops_nothing(
+        self, registry, versions, points
+    ):
+        registry.set_current(versions[0].version)
+        expected = offline_predictions(versions[0], points)
+        with WorkerPool(pool_factory(registry), workers=2) as pool:
+            old_pids = set(pool.worker_pids())
+            client = ServeClient(pool.url, timeout=30.0)  # no retries:
+            # every in-flight request must succeed on the first try.
+            stop = threading.Event()
+            served_count, errors = [0], []
+
+            def load():
+                while not stop.is_set():
+                    try:
+                        assert client.predict(KERNEL, points) == expected
+                        served_count[0] += 1
+                    except Exception as exc:
+                        errors.append(exc)
+                        return
+
+            threads = [threading.Thread(target=load) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            try:
+                pool.rolling_restart(timeout_seconds=60.0)
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=60)
+            assert not errors, f"dropped request during restart: {errors!r}"
+            assert served_count[0] > 0
+            assert pool.worker_count() == 2
+            assert not (set(pool.worker_pids()) & old_pids)
+
+    def test_reload_all_converges_without_http(self, registry, versions):
+        """The control-plane path: parent-broadcast reload (no client
+        involvement) moves every worker to the registry current."""
+        v1, v2 = versions
+        registry.set_current(v1.version)
+        with WorkerPool(pool_factory(registry), workers=2) as pool:
+            client = ServeClient(pool.url, timeout=30.0, retries=2)
+            registry.set_current(v2.version)
+            pool.reload_all()
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                shas = {client.model()["model"]["sha256"] for _ in range(6)}
+                if shas == {v2.sha256}:
+                    return
+                time.sleep(0.1)
+            pytest.fail("reload_all did not converge the fleet")
+
+    def test_pool_stop_is_idempotent_and_clean(self, registry, versions):
+        registry.set_current(versions[0].version)
+        pool = WorkerPool(pool_factory(registry), workers=2).start()
+        url = pool.url
+        pool.stop()
+        with pytest.raises(ServeError):
+            ServeClient(url, timeout=2.0).healthz()
+        pool.stop()  # second stop is a no-op, never raises
