@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install lint test test-fast test-fused bench bench-fast bench-smoke serve-smoke bench-parallel-smoke trace-smoke loop-smoke serve-load-smoke ci examples clean
+.PHONY: install lint test test-fast test-fused bench bench-fast bench-smoke serve-smoke bench-parallel-smoke trace-smoke loop-smoke serve-load-smoke bench-dse-smoke ci examples clean
 
 install:
 	$(PY) setup.py develop
@@ -69,8 +69,14 @@ loop-smoke:
 serve-load-smoke:
 	$(PY) benchmarks/bench_serve_load.py --smoke
 
+# Search-quality gate: race vs the SA baseline at the same query
+# budget on three kernels — asserts race hypervolume >= SA and that a
+# rerun reproduces every number and ledger row bit-for-bit.
+bench-dse-smoke:
+	$(PY) benchmarks/bench_dse_quality.py --smoke
+
 # Everything CI runs, in the same order: lint, the tier-1 suite, and
-# the six smoke gates.  `make ci` green locally = workflow green.
+# the seven smoke gates.  `make ci` green locally = workflow green.
 ci: lint
 	$(PY) -m pytest tests/ -x -q
 	$(MAKE) bench-smoke
@@ -79,6 +85,7 @@ ci: lint
 	$(MAKE) trace-smoke
 	$(MAKE) loop-smoke
 	$(MAKE) serve-load-smoke
+	$(MAKE) bench-dse-smoke
 
 # Smoke-scale benchmark run (~minutes): tiny database + training budgets.
 bench-fast:

@@ -243,6 +243,16 @@ def check_clean(stats, label, expected_shas=None):
             fail(f"[{label}] responses carried unpublished model shas: {stray}")
 
 
+def write_report(args, phases):
+    """Dump per-phase latency/goodput JSON for CI artifact upload."""
+    if not getattr(args, "output", None):
+        return
+    with open(args.output, "w") as handle:
+        json.dump({"seed": args.seed, "phases": phases}, handle, indent=1)
+        handle.write("\n")
+    print(f"bench-serve-load: wrote {args.output}")
+
+
 def smoke(args):
     """CI profile: bursts, fleet hot-swap under load, rolling restart."""
     root = tempfile.mkdtemp(prefix="bench-serve-load-registry-")
@@ -264,6 +274,7 @@ def smoke(args):
             deadline_ms,
         )
         snap = stats.report("bursts", wall)
+        phases = {"bursts": snap}
         check_clean(stats, "bursts", expected_shas={v1.sha256})
         if snap["p99"] > 5.0:
             fail(f"p99 {snap['p99']:.3f}s exceeds the 5s smoke bound")
@@ -281,7 +292,7 @@ def smoke(args):
         swapper.start()
         stats, wall = run_load(pool.url, point, schedule, deadline_ms)
         swapper.join()
-        stats.report("hot-swap", wall)
+        phases["hot-swap"] = stats.report("hot-swap", wall)
         check_clean(stats, "hot-swap", expected_shas={v1.sha256, v2.sha256})
         if not result.get("reload", {}).get("swapped"):
             fail(f"reload did not swap: {result!r}")
@@ -315,12 +326,13 @@ def smoke(args):
         restarter.start()
         stats, wall = run_load(pool.url, point, schedule, deadline_ms)
         restarter.join()
-        stats.report("rolling-restart", wall)
+        phases["rolling-restart"] = stats.report("rolling-restart", wall)
         if restart_error:
             fail(f"rolling restart raised: {restart_error[0]}")
         check_clean(stats, "rolling-restart", expected_shas={v2.sha256})
         if pool.worker_count() != 2:
             fail(f"pool has {pool.worker_count()} workers after restart (want 2)")
+    write_report(args, phases)
     print("bench-serve-load: PASS")
 
 
@@ -354,6 +366,7 @@ def scaling(args):
         print(f"bench-serve-load: goodput 4w/1w = {ratio:.2f}x")
         if ratio < 2.5:
             fail(f"goodput ratio {ratio:.2f}x below the 2.5x floor")
+    write_report(args, {f"{w}w": report for w, report in results.items()})
     print("bench-serve-load: PASS")
 
 
@@ -374,6 +387,8 @@ def main():
     parser.add_argument("--overhead-ms", type=float, default=150.0,
                         help="modeled per-batch dispatch overhead")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", metavar="FILE",
+                        help="write per-phase latency/goodput stats as JSON")
     args = parser.parse_args()
     args.worker_counts = [int(w) for w in str(args.workers).split(",") if w]
     if args.smoke:

@@ -19,6 +19,7 @@ training required.
 
 import json
 import os
+import shutil
 import sys
 import tempfile
 import time
@@ -114,6 +115,12 @@ def main():
         text = metrics_text()
         assert "repro_pipeline_points" in text
         assert "repro_dse_shards_completed" in text
+
+        # CI artifact hook: keep the validated trace around for upload.
+        export = os.environ.get("TRACE_SMOKE_EXPORT")
+        if export:
+            shutil.copyfile(trace_path, export)
+            print(f"trace-smoke: exported trace to {export}")
 
         print(
             f"trace-smoke OK: {payload['span_count']} spans "

@@ -108,6 +108,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--top", type=int, default=10)
     p.add_argument("--time-limit", type=float, default=300.0)
+    p.add_argument(
+        "--strategy", default="beam",
+        choices=["beam", "race", "sa", "rl", "greedy", "random"],
+        help="search strategy: 'beam' is the exhaustive/ordered-beam "
+             "ModelDSE; the others are budgeted searchers — 'race' "
+             "runs sa/greedy/rl/random under one shared query budget "
+             "with UCB reallocation",
+    )
+    p.add_argument("--budget", type=int, default=1000,
+                   help="surrogate query budget for budgeted strategies "
+                        "(distinct design points; memo revisits are free)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="RNG seed for budgeted strategies (bit-reproducible)")
     p.add_argument("--batch-size", type=int, default=24,
                    help="evaluation pipeline batch size")
     p.add_argument("--engine", choices=["auto", "compiled", "reference", "fused"],
@@ -368,8 +381,32 @@ def _cmd_dse(args) -> int:
         predictor = _load_predictor(args.database, args.predictor, args.model)
     if args.resume and not args.checkpoint:
         raise ReproError("--resume requires --checkpoint FILE")
+    if args.strategy != "beam" and (args.workers > 1 or args.checkpoint):
+        raise ReproError(
+            "--strategy race/sa/rl/greedy/random runs serially; "
+            "drop --workers/--checkpoint or use --strategy beam"
+        )
     with span("dse.run", kernel=args.kernel, workers=args.workers):
-        if args.workers > 1 or args.checkpoint:
+        if args.strategy != "beam":
+            from .dse import DEFAULT_ARMS, run_race
+
+            pipeline = EvaluationPipeline(
+                predictor,
+                batch_size=args.batch_size,
+                engine=args.engine,
+                cache=not args.no_cache,
+            )
+            arms = DEFAULT_ARMS if args.strategy == "race" else (args.strategy,)
+            race = run_race(
+                pipeline, spec, space,
+                budget=args.budget,
+                strategies=arms,
+                top_m=args.top,
+                seed=args.seed,
+            )
+            result = race.as_dse_result(stats=pipeline.stats_snapshot())
+            result.strategy = args.strategy
+        elif args.workers > 1 or args.checkpoint:
             from .dse import ParallelDSE
 
             parallel = ParallelDSE(
@@ -401,6 +438,17 @@ def _cmd_dse(args) -> int:
         f"{args.kernel}: explored {result.explored:,} configs in {result.seconds:.1f}s "
         f"({mode}, {result.predictions_per_second:.0f} inferences/s)"
     )
+    if result.race is not None:
+        race_info = result.race
+        arms = ", ".join(
+            f"{name}={totals['queries']}q/{totals['new_pareto']}p"
+            for name, totals in race_info["strategies"].items()
+        )
+        print(
+            f"  {result.strategy}: {race_info['queries']}/{race_info['budget']} "
+            f"budget over {len(race_info['rounds'])} rounds ({arms})"
+        )
+        print(f"  pareto front: {len(result.pareto)} non-dominated designs")
     if result.shards:
         line = (
             f"  parallel: {result.workers} worker(s), {result.shards} shards, "

@@ -8,7 +8,13 @@
 - :class:`EvaluationPipeline` — the batched + cached surrogate hot
   path every searcher routes its predictions through;
 - :class:`ParallelDSE` — sharded multiprocessing orchestrator with
-  checkpoint/resume, bit-identical to the serial exhaustive sweep.
+  checkpoint/resume, bit-identical to the serial exhaustive sweep;
+- :mod:`~repro.dse.strategies` / :mod:`~repro.dse.rl` /
+  :mod:`~repro.dse.race` — budgeted search strategies (annealing,
+  greedy, REINFORCE policy explorer, random) raced under one shared
+  query budget by a UCB bandit;
+- :mod:`~repro.dse.hypervolume` — exact WFG hypervolume, the search
+  quality metric the benchmarks gate on.
 """
 
 from .annealing import AnnealingResult, SimulatedAnnealingDSE
@@ -30,7 +36,19 @@ from .pipeline import (
     UnsupportedModelError,
     surrogate_scorers,
 )
+from .hypervolume import hypervolume, normalized_hypervolume, reference_point
+from .race import DEFAULT_ARMS, RaceResult, StrategyRacer, run_race
 from .search import PARETO_KEYS, DSECandidate, DSEResult, ModelDSE
+from .strategies import (
+    AnnealingStrategy,
+    BudgetedEvaluator,
+    GreedyStrategy,
+    QueryBudget,
+    RandomStrategy,
+    SearchStrategy,
+    StepOutcome,
+    build_strategy,
+)
 
 __all__ = [
     "PARETO_KEYS",
@@ -58,4 +76,19 @@ __all__ = [
     "DSECandidate",
     "DSEResult",
     "ModelDSE",
+    "AnnealingStrategy",
+    "BudgetedEvaluator",
+    "DEFAULT_ARMS",
+    "GreedyStrategy",
+    "QueryBudget",
+    "RaceResult",
+    "RandomStrategy",
+    "SearchStrategy",
+    "StepOutcome",
+    "StrategyRacer",
+    "build_strategy",
+    "hypervolume",
+    "normalized_hypervolume",
+    "reference_point",
+    "run_race",
 ]

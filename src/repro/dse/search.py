@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..designspace.space import DesignPoint, DesignSpace, point_key
 from ..model.predictor import GNNDSEPredictor, Prediction
@@ -54,6 +54,11 @@ class DSEResult:
     order.  ``workers``/``shards``/``shards_resumed``/``retries``
     describe how :class:`~repro.dse.parallel.ParallelDSE` produced the
     result; the serial searchers leave them at their defaults.
+
+    ``strategy`` names the search that produced the result (``"beam"``
+    for this module's exhaustive/beam search); when it is ``"race"``
+    the ``race`` dict carries the strategy racer's budget ledger and
+    per-arm totals (:meth:`~repro.dse.race.RaceResult.summary`).
     """
 
     kernel: str
@@ -68,6 +73,8 @@ class DSEResult:
     shards: int = 0
     shards_resumed: int = 0
     retries: int = 0
+    strategy: str = "beam"
+    race: Optional[Dict[str, object]] = None
 
     def top_points(self) -> List[DesignPoint]:
         return [c.point for c in self.top]

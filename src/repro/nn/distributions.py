@@ -1,0 +1,108 @@
+"""Differentiable categorical distributions for policy-gradient search.
+
+The RL pragma explorer (:mod:`repro.dse.rl`) samples discrete
+pragma-edit actions from a policy network and needs the log-probability
+of the sampled actions to flow gradients back through REINFORCE.  This
+module provides exactly that on the existing autograd engine: a
+:class:`MaskedCategorical` built from raw logits plus a boolean
+feasibility mask (boundary knobs cannot step further), with
+``sample`` / ``log_prob`` / ``entropy`` mirroring
+``torch.distributions.Categorical``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import NNError
+from .tensor import Tensor
+
+__all__ = ["MaskedCategorical"]
+
+#: Additive logit bias that zeroes a masked action's probability without
+#: producing NaNs in the softmax (exp(-1e9) underflows to exactly 0.0).
+_MASK_BIAS = -1.0e9
+
+
+class MaskedCategorical:
+    """Batch of categorical distributions over partially-masked actions.
+
+    Parameters
+    ----------
+    logits:
+        ``(batch, actions)`` tensor of unnormalised scores; gradients
+        flow back through :meth:`log_prob` and :meth:`entropy`.
+    mask:
+        Optional boolean array of the same shape; ``False`` entries are
+        infeasible and receive exactly zero probability.  Every row must
+        keep at least one feasible action.
+    """
+
+    def __init__(self, logits: Tensor, mask: Optional[np.ndarray] = None):
+        if logits.data.ndim != 2:
+            raise NNError(
+                f"MaskedCategorical expects (batch, actions) logits, "
+                f"got shape {logits.shape}"
+            )
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.shape != logits.data.shape:
+                raise NNError(
+                    f"mask shape {mask.shape} != logits shape {logits.data.shape}"
+                )
+            if not mask.any(axis=1).all():
+                raise NNError("MaskedCategorical: a row has no feasible action")
+            bias = np.where(mask, 0.0, _MASK_BIAS).astype(logits.data.dtype)
+            logits = logits + Tensor(bias)
+        self.mask = mask
+        self.logits = logits
+        self.log_probs = logits.log_softmax(axis=1)
+
+    @property
+    def probs(self) -> np.ndarray:
+        """Detached probability matrix (rows sum to 1)."""
+        p = np.exp(self.log_probs.data)
+        return p / p.sum(axis=1, keepdims=True)
+
+    def sample(self, rng: random.Random) -> np.ndarray:
+        """Draw one action per row using ``rng`` (deterministic per seed).
+
+        Uses inverse-CDF sampling with one ``rng.random()`` draw per
+        row, consumed in row order — the whole edit trajectory of a
+        seeded explorer is therefore reproducible bit-for-bit.
+        """
+        probs = self.probs
+        out = np.empty(probs.shape[0], dtype=np.int64)
+        for i in range(probs.shape[0]):
+            u = rng.random()
+            cdf = np.cumsum(probs[i])
+            # searchsorted returns the first action whose cumulative
+            # probability exceeds u; clip guards the u ~ 1.0 edge.
+            out[i] = min(int(np.searchsorted(cdf, u, side="right")), probs.shape[1] - 1)
+            if self.mask is not None and not self.mask[i, out[i]]:
+                # Float round-off can land the draw on a zero-probability
+                # tail slot; snap to the last feasible action instead.
+                out[i] = int(np.nonzero(self.mask[i])[0][-1])
+        return out
+
+    def log_prob(self, actions: Sequence[int]) -> Tensor:
+        """Log-probability of ``actions`` (one per row), differentiable."""
+        actions = np.asarray(actions, dtype=np.int64)
+        one_hot = np.zeros(self.log_probs.shape, dtype=self.log_probs.data.dtype)
+        one_hot[np.arange(actions.shape[0]), actions] = 1.0
+        return (self.log_probs * Tensor(one_hot)).sum(axis=1)
+
+    def entropy(self) -> Tensor:
+        """Shannon entropy per row, differentiable.
+
+        Masked slots contribute exactly zero (their probability
+        underflows to 0 and ``0 * log p`` is forced to 0 through the
+        detached probability factor).
+        """
+        probs = self.probs
+        if self.mask is not None:
+            probs = np.where(self.mask, probs, 0.0)
+        return -(self.log_probs * Tensor(probs)).sum(axis=1)

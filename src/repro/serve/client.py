@@ -290,12 +290,25 @@ class ServeClient:
         top: int = 10,
         time_limit: float = 10.0,
         workers: Optional[int] = None,
+        strategy: Optional[str] = None,
+        budget: Optional[int] = None,
+        seed: Optional[int] = None,
     ) -> Dict[str, object]:
         """Run the model-driven search server-side; returns the JSON payload
         (same schema as ``repro dse --output``).  ``workers>1`` asks the
         server for the sharded parallel orchestrator (bit-identical
-        results, capped server-side)."""
+        results, capped server-side).  ``strategy`` selects a budgeted
+        searcher (``"race"``/``"sa"``/``"rl"``/``"greedy"``/``"random"``)
+        spending at most ``budget`` distinct surrogate queries,
+        bit-reproducible for a fixed ``seed``; race payloads carry the
+        bandit's budget ledger under ``"race"``."""
         body = {"kernel": kernel, "top": top, "time_limit": time_limit}
         if workers is not None:
             body["workers"] = workers
+        if strategy is not None:
+            body["strategy"] = strategy
+        if budget is not None:
+            body["budget"] = budget
+        if seed is not None:
+            body["seed"] = seed
         return self._request("POST", "/v1/dse/top", body)

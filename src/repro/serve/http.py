@@ -248,13 +248,20 @@ class _Handler(BaseHTTPRequestHandler):
             top = int(body.get("top", 10))
             time_limit = float(body.get("time_limit", 10.0))
             workers = int(body.get("workers", 1))
+            budget = int(body.get("budget", 1000))
+            seed = int(body.get("seed", 0))
         except (TypeError, ValueError):
             raise _RequestError(
                 400, "bad_request",
-                "'top', 'time_limit' and 'workers' must be numbers",
+                "'top', 'time_limit', 'workers', 'budget' and 'seed' "
+                "must be numbers",
             ) from None
+        strategy = body.get("strategy", "beam")
+        if not isinstance(strategy, str):
+            raise _RequestError(400, "bad_request", "'strategy' must be a string")
         return 200, service.dse_top(
-            kernel, top=top, time_limit_seconds=time_limit, workers=workers
+            kernel, top=top, time_limit_seconds=time_limit, workers=workers,
+            strategy=strategy, budget=budget, seed=seed,
         )
 
     def _reload_model(self, service: PredictorService) -> Tuple[int, Dict[str, object]]:

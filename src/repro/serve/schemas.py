@@ -82,6 +82,8 @@ def dse_result_payload(result, stats=None) -> Dict[str, object]:
         "shards": getattr(result, "shards", 0),
         "shards_resumed": getattr(result, "shards_resumed", 0),
         "retries": getattr(result, "retries", 0),
+        "strategy": getattr(result, "strategy", "beam"),
+        "race": getattr(result, "race", None),
         "top": [
             {
                 "rank": rank + 1,

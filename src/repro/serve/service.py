@@ -362,12 +362,21 @@ class PredictorService:
     #: Upper bound on ``workers`` accepted by :meth:`dse_top`.
     MAX_DSE_WORKERS = 8
 
+    #: Upper bound on the surrogate-query budget of a budgeted strategy.
+    MAX_DSE_BUDGET = 20_000
+
+    #: Strategies :meth:`dse_top` accepts (beam = the default ModelDSE).
+    DSE_STRATEGIES = ("beam", "race", "sa", "rl", "greedy", "random")
+
     def dse_top(
         self,
         kernel: str,
         top: int = 10,
         time_limit_seconds: float = 10.0,
         workers: int = 1,
+        strategy: str = "beam",
+        budget: int = 1000,
+        seed: int = 0,
     ) -> Dict[str, object]:
         """Run the model-driven search server-side; returns the JSON payload.
 
@@ -378,6 +387,14 @@ class PredictorService:
         :class:`~repro.dse.parallel.ParallelDSE` orchestrator instead —
         worker processes get their own pipelines, and the merged result
         is bit-identical to the serial sweep.
+
+        ``strategy`` selects the searcher: ``"beam"`` is the ModelDSE
+        sweep; the budgeted strategies (``"race"``/``"sa"``/``"rl"``/
+        ``"greedy"``/``"random"``) spend at most ``budget`` distinct
+        surrogate queries and return the shared Pareto front plus, for
+        races, the bandit's budget ledger in the payload's ``race``
+        field.  Budgeted runs are serial (``workers`` must stay 1) and
+        bit-reproducible for a fixed ``seed``.
         """
         if self._closed:
             raise ServeError("service is shut down")
@@ -388,13 +405,44 @@ class PredictorService:
             raise ServeError(
                 f"workers must be between 1 and {self.MAX_DSE_WORKERS}, got {workers}"
             )
+        if strategy not in self.DSE_STRATEGIES:
+            raise ServeError(
+                f"unknown strategy {strategy!r}; known: {list(self.DSE_STRATEGIES)}"
+            )
+        budget = int(budget)
+        if strategy != "beam":
+            if workers != 1:
+                raise ServeError(
+                    f"strategy {strategy!r} runs serially; workers must be 1"
+                )
+            if not 1 <= budget <= self.MAX_DSE_BUDGET:
+                raise ServeError(
+                    f"budget must be between 1 and {self.MAX_DSE_BUDGET}, "
+                    f"got {budget}"
+                )
         time_limit = min(float(time_limit_seconds), self.max_dse_seconds)
         if time_limit <= 0:
             raise ServeError(f"time_limit must be > 0, got {time_limit_seconds}")
         space = self.space(kernel)  # raises ServeError on unknown kernels
         gen = self._acquired_generation()
         try:
-            if workers > 1:
+            if strategy != "beam":
+                from ..dse.race import DEFAULT_ARMS, run_race
+
+                arms = DEFAULT_ARMS if strategy == "race" else (strategy,)
+                race = run_race(
+                    gen.pipeline,
+                    get_kernel(kernel),
+                    space,
+                    budget=budget,
+                    strategies=arms,
+                    top_m=int(top),
+                    seed=int(seed),
+                )
+                result = race.as_dse_result(stats=gen.pipeline.stats_snapshot())
+                result.strategy = strategy
+                payload = dse_result_payload(result)
+            elif workers > 1:
                 parallel = ParallelDSE(
                     gen.predictor,
                     get_kernel(kernel),

@@ -158,3 +158,28 @@ class TestModelArtifactCommands:
     def test_dse_without_model_or_database_fails(self, capsys):
         assert main(["dse", "-k", "fir", "--time-limit", "1"]) == 1
         assert "error" in capsys.readouterr().err
+
+    def test_dse_race_strategy_with_output(self, artifact_dir, tmp_path, capsys):
+        out_json = tmp_path / "race.json"
+        code = main(
+            ["dse", "-k", "fir", "--model", str(artifact_dir),
+             "--strategy", "race", "--budget", "25", "--seed", "3",
+             "--top", "3", "--output", str(out_json)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "race:" in out
+        assert "budget" in out
+        payload = json.loads(out_json.read_text())
+        assert payload["strategy"] == "race"
+        assert payload["race"]["queries"] <= 25
+        assert payload["race"]["rounds"]
+        assert 1 <= len(payload["top"]) <= 3
+
+    def test_dse_strategy_rejects_workers(self, artifact_dir, capsys):
+        code = main(
+            ["dse", "-k", "fir", "--model", str(artifact_dir),
+             "--strategy", "sa", "--budget", "10", "--workers", "2"]
+        )
+        assert code == 1
+        assert "serially" in capsys.readouterr().err
