@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install lint test test-fast test-fused bench bench-fast bench-smoke serve-smoke bench-parallel-smoke trace-smoke loop-smoke serve-load-smoke bench-dse-smoke ci examples clean
+.PHONY: install lint test test-fast test-fused bench bench-fast bench-smoke serve-smoke bench-parallel-smoke trace-smoke loop-smoke serve-load-smoke bench-dse-smoke bench-cross-device-smoke ci examples clean
 
 install:
 	$(PY) setup.py develop
@@ -75,8 +75,11 @@ serve-load-smoke:
 bench-dse-smoke:
 	$(PY) benchmarks/bench_dse_quality.py --smoke
 
+bench-cross-device-smoke:
+	$(PY) benchmarks/bench_cross_device.py --smoke
+
 # Everything CI runs, in the same order: lint, the tier-1 suite, and
-# the seven smoke gates.  `make ci` green locally = workflow green.
+# the eight smoke gates.  `make ci` green locally = workflow green.
 ci: lint
 	$(PY) -m pytest tests/ -x -q
 	$(MAKE) bench-smoke
@@ -86,6 +89,7 @@ ci: lint
 	$(MAKE) loop-smoke
 	$(MAKE) serve-load-smoke
 	$(MAKE) bench-dse-smoke
+	$(MAKE) bench-cross-device-smoke
 
 # Smoke-scale benchmark run (~minutes): tiny database + training budgets.
 bench-fast:

@@ -1,0 +1,142 @@
+"""Cross-device DSE gate: distinct per-device fronts, reproducible merge.
+
+Runs :func:`repro.dse.run_cross_device_dse` with the analytic evaluator
+(no training, no trained weights — the modeled HLS/CGRA flow itself is
+the oracle) over two FPGA parts with different capacities/AXI widths
+(xcvu9p, xczu9eg) and the CGRA grid (cgra4x4), on three kernels.
+
+Acceptance bar (``--smoke``, wired into ``make ci``):
+
+- every device yields a non-empty Pareto front on every kernel, kept
+  over that device's own objective axes (DSP/BRAM/LUT/FF vs PE/ISLOT);
+- the fronts are genuinely device-dependent: for each kernel, no two
+  devices report identical (latency, util_max) front projections;
+- the merged cross-device front is non-empty, device-annotated, and a
+  subset of the per-device fronts;
+- a full second run reproduces the entire payload bit-for-bit.
+
+Run standalone::
+
+    python benchmarks/bench_cross_device.py --smoke
+    python benchmarks/bench_cross_device.py --smoke --output cross.json
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # standalone run from a source checkout, no install
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.designspace import build_design_space
+from repro.dse import run_cross_device_dse
+from repro.kernels import get_kernel
+
+SMOKE_KERNELS = ("fir", "gesummv", "stencil")
+DEVICES = ("xcvu9p", "xczu9eg", "cgra4x4")
+TIME_LIMIT = 120.0
+
+
+def run_kernel(name: str) -> dict:
+    spec = get_kernel(name)
+    space = build_design_space(spec)
+    start = time.perf_counter()
+    result = run_cross_device_dse(
+        spec, space, DEVICES, time_limit_seconds=TIME_LIMIT
+    )
+    elapsed = time.perf_counter() - start
+    payload = result.payload()
+    payload["seconds"] = round(elapsed, 3)
+    return payload
+
+
+def check_kernel(payload: dict) -> list:
+    """Assertions for one kernel's cross-device payload; returns errors."""
+    errors = []
+    kernel = payload["kernel"]
+    fronts = payload["per_device"]
+    if sorted(fronts) != sorted(DEVICES):
+        errors.append(f"{kernel}: expected fronts for {DEVICES}, got {sorted(fronts)}")
+        return errors
+    for device, front in fronts.items():
+        if not front["pareto"]:
+            errors.append(f"{kernel} @ {device}: empty Pareto front")
+    # Distinctness: the (latency, util_max) projection of each device's
+    # front must differ between every device pair.
+    projections = {}
+    for device, front in fronts.items():
+        entries = []
+        for item in front["pareto"]:
+            objectives = item["objectives"]
+            utils = [v for k, v in objectives.items() if k != "latency"]
+            entries.append((objectives["latency"], max(utils) if utils else 0.0))
+        projections[device] = sorted(entries)
+    names = sorted(projections)
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            if projections[a] == projections[b]:
+                errors.append(f"{kernel}: devices {a} and {b} produced identical fronts")
+    merged = payload["merged"]
+    if not merged:
+        errors.append(f"{kernel}: empty merged cross-device front")
+    front_points = {
+        (device, item["point"])
+        for device, front in fronts.items()
+        for item in front["pareto"]
+    }
+    for entry in merged:
+        if entry["device"] not in fronts:
+            errors.append(f"{kernel}: merged entry names unknown device {entry['device']!r}")
+        elif (entry["device"], entry["point"]) not in front_points:
+            errors.append(
+                f"{kernel}: merged entry {entry['device']}/{entry['point']} "
+                f"is not on that device's own front"
+            )
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI gate: assert the acceptance bar and exit non-zero on failure")
+    parser.add_argument("--output", default=None, help="write the JSON payload here")
+    args = parser.parse_args(argv)
+
+    payloads = [run_kernel(name) for name in SMOKE_KERNELS]
+    errors = []
+    for payload in payloads:
+        errors.extend(check_kernel(payload))
+        sizes = {d: len(f["pareto"]) for d, f in payload["per_device"].items()}
+        merged_devices = sorted({e["device"] for e in payload["merged"]})
+        print(
+            f"{payload['kernel']:12s} fronts {sizes} "
+            f"merged {len(payload['merged'])} (devices {merged_devices}) "
+            f"in {payload['seconds']}s"
+        )
+
+    # Bit-reproducibility: a fresh second run must reproduce everything.
+    rerun = [run_kernel(name) for name in SMOKE_KERNELS]
+    for first, second in zip(payloads, rerun):
+        first.pop("seconds"), second.pop("seconds")
+        if json.dumps(first, sort_keys=True) != json.dumps(second, sort_keys=True):
+            errors.append(f"{first['kernel']}: rerun did not reproduce the payload")
+    if not errors:
+        print("rerun: bit-identical")
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump({"kernels": payloads, "errors": errors}, handle, indent=1)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+
+    for error in errors:
+        print(f"FAIL: {error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

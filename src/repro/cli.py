@@ -73,12 +73,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("kernels", help="list registered kernels")
     p.add_argument("--sizes", action="store_true", help="compute design-space sizes")
 
+    sub.add_parser("devices", help="list the device registry")
+
     p = sub.add_parser("synthesize", help="evaluate one design point with the HLS simulator")
     p.add_argument("-k", "--kernel", required=True)
     p.add_argument(
         "-s", "--set", dest="settings", action="append", type=_parse_setting,
         default=[], metavar="NAME=VALUE", help="pragma setting (repeatable)",
     )
+    p.add_argument("--device", default=None,
+                   help="target device from the registry (see `repro devices`)")
     p.add_argument("--json", action="store_true", help="emit JSON")
 
     p = sub.add_parser("database", help="generate a training database")
@@ -108,6 +112,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--top", type=int, default=10)
     p.add_argument("--time-limit", type=float, default=300.0)
+    p.add_argument("--device", default=None,
+                   help="target device from the registry (see `repro devices`); "
+                        "FPGA targets use the trained surrogate when one is "
+                        "given, CGRA targets the analytic evaluator")
+    p.add_argument("--all-devices", action="store_true",
+                   help="one DSE per registered device, plus the merged "
+                        "device-annotated cross-device Pareto front")
     p.add_argument(
         "--strategy", default="beam",
         choices=["beam", "race", "sa", "rl", "greedy", "random"],
@@ -265,16 +276,41 @@ def _cmd_kernels(args) -> int:
     return 0
 
 
+def _cmd_devices(args) -> int:
+    from .hls import get_device, list_devices
+
+    print(f"{'device':10s} {'kind':6s} {'axes':16s} capacities")
+    for name in list_devices():
+        device = get_device(name)
+        caps = ", ".join(
+            f"{axis}={int(cap):,}" for axis, cap in device.capacities().items()
+        )
+        print(f"{name:10s} {device.kind:6s} {'/'.join(device.axes):16s} {caps}")
+    return 0
+
+
+def _resolve_device(name):
+    """Device registry lookup for CLI flags (None passes through)."""
+    if name is None:
+        return None
+    from .hls import get_device
+
+    return get_device(name)  # HLSError (a ReproError) on unknown names
+
+
 def _cmd_synthesize(args) -> int:
     spec = get_kernel(args.kernel)
     space = build_design_space(spec)
     point = space.default_point()
     point.update(dict(args.settings))
     space.validate(point)
-    result = MerlinHLSTool().synthesize(spec, point)
+    device = _resolve_device(args.device)
+    tool = MerlinHLSTool(device=device) if device is not None else MerlinHLSTool()
+    result = tool.synthesize(spec, point)
     if args.json:
         print(json.dumps({
             "kernel": result.kernel,
+            "device": result.device,
             "valid": result.valid,
             "invalid_reason": result.invalid_reason,
             "latency": result.latency,
@@ -284,6 +320,7 @@ def _cmd_synthesize(args) -> int:
         return 0
     status = "valid" if result.valid else f"INVALID: {result.invalid_reason}"
     print(f"{result.kernel}: {status}")
+    print(f"  device         {result.device}")
     print(f"  latency        {result.latency:,} cycles")
     for res, value in result.utilization.items():
         print(f"  {res:14s} {value:.3f}")
@@ -359,6 +396,83 @@ def _load_predictor(database_path: str, predictor_path: str, model: str):
     return ExperimentContext.load_predictor(ctx, predictor_path, model)
 
 
+def _run_device_dse(args, spec, space, device, predictor):
+    """One serial beam search bound to a registry device.
+
+    FPGA targets ride the trained surrogate when one was loaded
+    (re-bound via ``for_device``); CGRA targets — and model-less
+    invocations — run the analytic evaluator.
+    """
+    from .dse import AnalyticPredictor, EvaluationPipeline, ModelDSE
+
+    if (
+        predictor is not None
+        and getattr(device, "kind", "fpga") == "fpga"
+        and hasattr(predictor, "for_device")
+    ):
+        bound = predictor.for_device(device)
+        pipeline = EvaluationPipeline(
+            bound,
+            batch_size=args.batch_size,
+            engine=args.engine,
+            cache=not args.no_cache,
+        )
+        dse = ModelDSE(
+            bound, spec, space, top_m=args.top, pipeline=pipeline, device=device
+        )
+    else:
+        dse = ModelDSE(
+            AnalyticPredictor(device),
+            spec,
+            space,
+            top_m=args.top,
+            pipeline=None,
+            use_pipeline=False,
+            device=device,
+        )
+    return dse.run(time_limit_seconds=args.time_limit)
+
+
+def _cmd_dse_all_devices(args, spec, space, predictor) -> int:
+    from .dse import run_cross_device_dse
+    from .hls import list_devices
+    from .obs import span
+    from .serve.schemas import DSE_RESULT_SCHEMA_VERSION
+
+    with span("dse.cross_device", kernel=args.kernel):
+        result = run_cross_device_dse(
+            spec,
+            space,
+            list_devices(),
+            predictor=predictor,
+            top_m=args.top,
+            batch_size=args.batch_size,
+            time_limit_seconds=args.time_limit,
+        )
+    _finish_trace(args.trace, "dse.cross_device")
+    for name in result.devices:
+        per = result.per_device[name]
+        mode = "exhaustive" if per.exhaustive else "heuristic"
+        print(
+            f"{args.kernel} @ {name}: explored {per.explored:,} configs in "
+            f"{per.seconds:.1f}s ({mode}), {len(per.pareto)} on the device front"
+        )
+    print(f"merged cross-device front ({len(result.merged)} designs):")
+    for entry in result.merged:
+        info = entry.payload()
+        print(
+            f"  {info['device']:10s} latency {info['latency']:>12,.0f} "
+            f"util_max {info['util_max']:.3f}  {info['point']}"
+        )
+    if args.output:
+        payload = {"schema_version": DSE_RESULT_SCHEMA_VERSION, **result.payload()}
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=1)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_dse(args) -> int:
     import os
 
@@ -368,17 +482,25 @@ def _cmd_dse(args) -> int:
     _start_trace(args.trace)
     spec = get_kernel(args.kernel)
     space = build_design_space(spec)
+    if args.all_devices and args.device:
+        raise ReproError("--device and --all-devices are mutually exclusive")
+    device = _resolve_device(args.device)
     if os.path.isdir(args.model):
         from .model.predictor import GNNDSEPredictor
 
         predictor = GNNDSEPredictor.load(args.model)
-    elif args.database is None or args.predictor is None:
+    elif args.database is not None and args.predictor is not None:
+        predictor = _load_predictor(args.database, args.predictor, args.model)
+    elif args.device or args.all_devices:
+        # Device-targeted runs can fall back to the analytic evaluator,
+        # so a trained model is optional.
+        predictor = None
+    else:
         raise ReproError(
             "dse needs either --model <artifact-dir> or both -d/--database "
-            "and -p/--predictor"
+            "and -p/--predictor (or --device/--all-devices for the "
+            "analytic evaluator)"
         )
-    else:
-        predictor = _load_predictor(args.database, args.predictor, args.model)
     if args.resume and not args.checkpoint:
         raise ReproError("--resume requires --checkpoint FILE")
     if args.strategy != "beam" and (args.workers > 1 or args.checkpoint):
@@ -386,8 +508,19 @@ def _cmd_dse(args) -> int:
             "--strategy race/sa/rl/greedy/random runs serially; "
             "drop --workers/--checkpoint or use --strategy beam"
         )
+    if (device is not None or args.all_devices) and (
+        args.strategy != "beam" or args.workers > 1 or args.checkpoint
+    ):
+        raise ReproError(
+            "--device/--all-devices run the serial beam search; "
+            "drop --strategy/--workers/--checkpoint"
+        )
+    if args.all_devices:
+        return _cmd_dse_all_devices(args, spec, space, predictor)
     with span("dse.run", kernel=args.kernel, workers=args.workers):
-        if args.strategy != "beam":
+        if device is not None:
+            result = _run_device_dse(args, spec, space, device, predictor)
+        elif args.strategy != "beam":
             from .dse import DEFAULT_ARMS, run_race
 
             pipeline = EvaluationPipeline(
@@ -434,9 +567,10 @@ def _cmd_dse(args) -> int:
             result = dse.run(time_limit_seconds=args.time_limit)
     _finish_trace(args.trace, "dse.run")
     mode = "exhaustive" if result.exhaustive else "heuristic"
+    target = f" on {result.device}" if result.device else ""
     print(
         f"{args.kernel}: explored {result.explored:,} configs in {result.seconds:.1f}s "
-        f"({mode}, {result.predictions_per_second:.0f} inferences/s)"
+        f"({mode}{target}, {result.predictions_per_second:.0f} inferences/s)"
     )
     if result.race is not None:
         race_info = result.race
@@ -458,7 +592,7 @@ def _cmd_dse(args) -> int:
         print(f"  pareto front: {len(result.pareto)} non-dominated designs")
     if result.stats is not None:
         print(f"  pipeline {result.stats.summary()}")
-    tool = MerlinHLSTool()
+    tool = MerlinHLSTool(device=device) if device is not None else MerlinHLSTool()
     for rank, candidate in enumerate(result.top):
         line = f"  top-{rank + 1:02d} predicted latency {candidate.predicted_latency:>12,.0f}"
         if args.evaluate:
@@ -734,6 +868,7 @@ def _cmd_experiment(args) -> int:
 
 _COMMANDS = {
     "kernels": _cmd_kernels,
+    "devices": _cmd_devices,
     "synthesize": _cmd_synthesize,
     "database": _cmd_database,
     "train": _cmd_train,

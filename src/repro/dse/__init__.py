@@ -19,6 +19,14 @@
 
 from .annealing import AnnealingResult, SimulatedAnnealingDSE
 from .augment import AugmentationResult, RoundOutcome, run_dse_rounds
+from .crossdevice import (
+    CROSS_DEVICE_KEYS,
+    AnalyticPredictor,
+    CrossDeviceResult,
+    DeviceFrontEntry,
+    cross_device_objectives,
+    run_cross_device_dse,
+)
 from .multiobjective import ParetoArchive, ParetoDSE
 from .ordering import order_pragmas
 from .parallel import (
@@ -27,7 +35,13 @@ from .parallel import (
     ShardResult,
     WorkerHooks,
 )
-from .pareto import dominates, pareto_front, pareto_merge
+from .pareto import (
+    DEFAULT_OBJECTIVE_KEYS,
+    dominates,
+    objective_keys_for,
+    pareto_front,
+    pareto_merge,
+)
 from .pipeline import (
     CompiledGNNEngine,
     EncodingCache,
@@ -52,6 +66,14 @@ from .strategies import (
 
 __all__ = [
     "PARETO_KEYS",
+    "DEFAULT_OBJECTIVE_KEYS",
+    "objective_keys_for",
+    "CROSS_DEVICE_KEYS",
+    "AnalyticPredictor",
+    "CrossDeviceResult",
+    "DeviceFrontEntry",
+    "cross_device_objectives",
+    "run_cross_device_dse",
     "DSECheckpoint",
     "ParallelDSE",
     "ShardResult",

@@ -11,15 +11,13 @@ frontier.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from ..designspace.space import point_key
-from .pareto import dominates
+from .pareto import DEFAULT_OBJECTIVE_KEYS, dominates
 from .search import DSECandidate, DSEResult, ModelDSE
 
 __all__ = ["ParetoArchive", "ParetoDSE"]
-
-_KEYS = ("latency", "DSP", "BRAM", "LUT", "FF")
 
 
 @dataclass
@@ -28,41 +26,51 @@ class ParetoArchive:
 
     When the archive exceeds ``capacity`` the most-crowded member (by
     nearest-neighbour latency distance) is evicted, preserving spread.
+    ``_seen`` tombstones every key ever admitted — including evicted
+    and pruned members — so re-offering a point the archive already
+    judged can never re-admit it and make the frontier depend on the
+    order points arrive in.
     """
 
     capacity: int = 64
+    keys: Tuple[str, ...] = DEFAULT_OBJECTIVE_KEYS
     members: List[DSECandidate] = field(default_factory=list)
     _seen: set = field(default_factory=set)
 
     def _objectives(self, candidate: DSECandidate) -> Dict[str, float]:
-        return {k: candidate.prediction.objectives[k] for k in _KEYS}
+        return {k: candidate.prediction.objectives[k] for k in self.keys}
 
     def offer(self, candidate: DSECandidate) -> bool:
         """Insert ``candidate`` if it is not dominated; prune dominated
-        incumbents.  Returns True when the candidate was admitted."""
+        incumbents.  Returns True only when the candidate was admitted
+        *and survived* — a candidate the capacity eviction removes
+        immediately is reported as not admitted."""
         key = point_key(candidate.point)
         if key in self._seen:
             return False
         objectives = self._objectives(candidate)
         for member in self.members:
-            if dominates(self._objectives(member), objectives, _KEYS):
+            if dominates(self._objectives(member), objectives, self.keys):
                 return False
         survivors = [
             m
             for m in self.members
-            if not dominates(objectives, self._objectives(m), _KEYS)
+            if not dominates(objectives, self._objectives(m), self.keys)
         ]
         survivors.append(candidate)
-        self._seen = {point_key(m.point) for m in survivors}
+        self._seen.add(key)
         self.members = survivors
         if len(self.members) > self.capacity:
-            self._evict_most_crowded()
+            victim = self._evict_most_crowded()
+            if victim is candidate:
+                return False
         return True
 
-    def _evict_most_crowded(self) -> None:
+    def _evict_most_crowded(self) -> Optional[DSECandidate]:
         ordered = sorted(self.members, key=lambda c: c.predicted_latency)
         # Never evict the extremes; drop the member with the smallest
-        # latency gap to its neighbours.
+        # latency gap to its neighbours.  The victim's key stays in
+        # ``_seen`` (tombstoned) so it cannot be re-admitted later.
         best_index, best_gap = None, float("inf")
         for i in range(1, len(ordered) - 1):
             gap = (
@@ -70,10 +78,11 @@ class ParetoArchive:
             )
             if gap < best_gap:
                 best_index, best_gap = i, gap
-        if best_index is not None:
-            victim = ordered[best_index]
-            self.members = [m for m in self.members if m is not victim]
-            self._seen.discard(point_key(victim.point))
+        if best_index is None:
+            return None
+        victim = ordered[best_index]
+        self.members = [m for m in self.members if m is not victim]
+        return victim
 
     def frontier(self) -> List[DSECandidate]:
         """Members sorted by predicted latency (ascending)."""
@@ -85,7 +94,7 @@ class ParetoDSE(ModelDSE):
 
     def __init__(self, *args, archive_capacity: int = 64, **kwargs):
         super().__init__(*args, **kwargs)
-        self.archive = ParetoArchive(capacity=archive_capacity)
+        self.archive = ParetoArchive(capacity=archive_capacity, keys=tuple(self.pareto_keys))
 
     def _merge_top(self, top, batch):
         for candidate in batch:

@@ -7,11 +7,35 @@ returns and to sanity-check DSE output in tests.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, TypeVar
+from typing import Callable, Dict, List, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
 
-__all__ = ["dominates", "pareto_front", "pareto_merge"]
+__all__ = [
+    "DEFAULT_OBJECTIVE_KEYS",
+    "objective_keys_for",
+    "dominates",
+    "pareto_front",
+    "pareto_merge",
+]
+
+#: Objective keys (all minimised) of the reference FPGA device — the
+#: single source of truth the DSE searchers, the Pareto archive, and
+#: this module's defaults share.  Device-specific axes come from
+#: :func:`objective_keys_for`.
+DEFAULT_OBJECTIVE_KEYS: Tuple[str, ...] = ("latency", "DSP", "BRAM", "LUT", "FF")
+
+
+def objective_keys_for(device) -> Tuple[str, ...]:
+    """Objective keys for Pareto dominance on ``device``.
+
+    ``None`` (or a device without declared axes) means the reference
+    FPGA's latency + DSP/BRAM/LUT/FF; registered devices report
+    latency + their own resource axes (e.g. PE/ISLOT for a CGRA).
+    """
+    if device is None:
+        return DEFAULT_OBJECTIVE_KEYS
+    return tuple(getattr(device, "pareto_keys", DEFAULT_OBJECTIVE_KEYS))
 
 
 def dominates(a: Dict[str, float], b: Dict[str, float], keys: Sequence[str]) -> bool:
@@ -24,7 +48,7 @@ def dominates(a: Dict[str, float], b: Dict[str, float], keys: Sequence[str]) -> 
 def pareto_front(
     items: Sequence[T],
     objectives: Callable[[T], Dict[str, float]],
-    keys: Sequence[str] = ("latency", "DSP", "BRAM", "LUT", "FF"),
+    keys: Sequence[str] = DEFAULT_OBJECTIVE_KEYS,
 ) -> List[T]:
     """Non-dominated subset of ``items`` (order preserved).
 
@@ -48,7 +72,7 @@ def pareto_merge(
     front: Sequence[T],
     additions: Sequence[T],
     objectives: Callable[[T], Dict[str, float]],
-    keys: Sequence[str] = ("latency", "DSP", "BRAM", "LUT", "FF"),
+    keys: Sequence[str] = DEFAULT_OBJECTIVE_KEYS,
 ) -> List[T]:
     """Merge ``additions`` into an existing Pareto ``front``.
 

@@ -52,6 +52,7 @@ from ..model.predictor import (
     DEFAULT_VALID_THRESHOLD,
     Prediction,
     predictions_from_outputs,
+    scale_objectives_for_device,
 )
 from ..nn.conv import TransformerConv
 from ..nn.lazy.equiv import EngineEquivalenceError, predictions_equivalent
@@ -545,25 +546,31 @@ class EncodingCache:
 
     def __init__(self, builder=None):
         self._builder = builder
-        self._encoded: Dict[str, EncodedGraph] = {}
+        self._encoded: Dict[tuple, EncodedGraph] = {}
         # Serving hits this cache from many request threads at once; the
         # lock makes the encode-once guarantee hold under concurrency.
         self._lock = threading.Lock()
 
-    def get(self, kernel: str) -> EncodedGraph:
+    def get(self, kernel: str, device=None) -> EncodedGraph:
+        key = (kernel, getattr(device, "name", None))
         with self._lock:
-            enc = self._encoded.get(kernel)
+            enc = self._encoded.get(key)
             if enc is None:
                 if self._builder is not None:
-                    enc = self._builder.encoded_graph(kernel)
+                    # Duck-typed stub builders may predate the device
+                    # parameter; only pass it when it matters.
+                    if device is None:
+                        enc = self._builder.encoded_graph(kernel)
+                    else:
+                        enc = self._builder.encoded_graph(kernel, device=device)
                 else:
-                    enc = encode_kernel(get_kernel(kernel))
-                self._encoded[kernel] = enc
+                    enc = encode_kernel(get_kernel(kernel), device=device)
+                self._encoded[key] = enc
             return enc
 
     def __contains__(self, kernel: str) -> bool:
         with self._lock:
-            return kernel in self._encoded
+            return (kernel, None) in self._encoded
 
 
 # ---------------------------------------------------------------------------
@@ -614,6 +621,12 @@ class EvaluationPipeline:
         self._fused_verified: set = set()
         self.stats = PipelineStats()
         self.encodings = EncodingCache(getattr(predictor, "builder", None))
+        # Device the predictor is bound to (None = reference device):
+        # conditions the encoded graphs, keys the compiled templates,
+        # and rescales predicted utilizations onto the target's
+        # capacities — matching predictor.predict_batch exactly.
+        self._device = getattr(predictor, "device", None)
+        self._device_name = getattr(self._device, "name", None)
         self._point_cache: Dict[str, Dict] = {}
         self._compiled: Dict[tuple, Dict[str, object]] = {}
         self._compile_failed = False
@@ -670,14 +683,14 @@ class EvaluationPipeline:
 
     def _fused_engines(self, kernel: str, capacity: int) -> Dict[str, object]:
         """Fused engines + template for one kernel at one capacity."""
-        key = ("fused", kernel, np.dtype(get_default_dtype()).str, capacity)
+        key = ("fused", kernel, self._device_name, np.dtype(get_default_dtype()).str, capacity)
         entry = self._compiled.get(key)
         if entry is not None:
             return entry
         models = self._predictor_models()
         for model in models.values():
             model.eval()
-        template = _FusedTemplate(self.encodings.get(kernel), capacity)
+        template = _FusedTemplate(self.encodings.get(kernel, self._device), capacity)
         entry = {
             "template": template,
             "engines": {
@@ -709,13 +722,13 @@ class EvaluationPipeline:
         for model in models.values():
             for param in model.parameters():
                 dtype = np.promote_types(dtype, param.data.dtype)
-        key = (kernel, dtype.str, capacity)
+        key = (kernel, self._device_name, dtype.str, capacity)
         entry = self._compiled.get(key)
         if entry is not None:
             return entry
         for model in models.values():
             model.eval()
-        template = _BatchTemplate(self.encodings.get(kernel), capacity, dtype)
+        template = _BatchTemplate(self.encodings.get(kernel, self._device), capacity, dtype)
         entry = {
             "template": template,
             "engines": {
@@ -979,6 +992,7 @@ class EvaluationPipeline:
             valid_threshold,
             objectives_mask=mask if reg is not None else None,
         )
+        out = scale_objectives_for_device(out, self._device)
         self.stats.materialize_seconds += time.perf_counter() - t0
         if fused and self.verify_fused and kernel not in self._fused_verified:
             self._verify_fused_batch(kernel, points, out, valid_threshold)

@@ -17,13 +17,15 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 from ..designspace.space import DesignPoint, DesignSpace, point_key
 from ..model.predictor import GNNDSEPredictor, Prediction
 from .ordering import order_pragmas
-from .pareto import pareto_front, pareto_merge
+from .pareto import DEFAULT_OBJECTIVE_KEYS, objective_keys_for, pareto_front, pareto_merge
 from .pipeline import EvaluationPipeline, PipelineStats
 
 __all__ = ["PARETO_KEYS", "DSECandidate", "DSEResult", "ModelDSE"]
 
-#: Objectives (all minimised) the DSE's running Pareto front is kept over.
-PARETO_KEYS = ("latency", "DSP", "BRAM", "LUT", "FF")
+#: Objectives (all minimised) the DSE's running Pareto front is kept
+#: over on the reference device; device-bound searches use the target's
+#: own axes (see :func:`repro.dse.pareto.objective_keys_for`).
+PARETO_KEYS = DEFAULT_OBJECTIVE_KEYS
 
 
 def _candidate_objectives(candidate: "DSECandidate"):
@@ -75,6 +77,9 @@ class DSEResult:
     retries: int = 0
     strategy: str = "beam"
     race: Optional[Dict[str, object]] = None
+    #: Name of the registered device the search targeted ("" = the
+    #: reference device, for results predating device provenance).
+    device: str = ""
 
     def top_points(self) -> List[DesignPoint]:
         return [c.point for c in self.top]
@@ -108,6 +113,11 @@ class ModelDSE:
         from ``predictor`` when not given.  Pass ``pipeline=None`` and
         ``use_pipeline=False`` to call ``predictor.predict_batch``
         directly (the pre-pipeline behaviour).
+    device:
+        Registered device the search targets.  Defaults to the
+        predictor's bound device (``predictor.device``) or, failing
+        that, the reference device; determines the Pareto objective
+        keys and the ``device`` stamp on results.
     """
 
     def __init__(
@@ -122,6 +132,7 @@ class ModelDSE:
         beam_width: int = 8,
         pipeline: Optional[EvaluationPipeline] = None,
         use_pipeline: bool = True,
+        device=None,
     ):
         self.predictor = predictor
         self.spec = spec
@@ -134,11 +145,17 @@ class ModelDSE:
         if pipeline is None and use_pipeline:
             pipeline = EvaluationPipeline(predictor)
         self.pipeline = pipeline
+        self.device = device if device is not None else getattr(predictor, "device", None)
+        self.pareto_keys = objective_keys_for(self.device)
+        self.device_name = getattr(self.device, "name", "")
+        # Device-declared fit axes (None = all non-latency objectives,
+        # the reference-device behaviour).
+        self.fit_axes = getattr(self.device, "fit_axes", None)
 
     # -- scoring ------------------------------------------------------------------
 
     def _usable(self, prediction: Prediction) -> bool:
-        return prediction.valid and prediction.fits(self.fit_threshold)
+        return prediction.valid and prediction.fits(self.fit_threshold, axes=self.fit_axes)
 
     def _merge_top(
         self, top: List[DSECandidate], batch: List[DSECandidate]
@@ -235,7 +252,7 @@ class ModelDSE:
             scored = self._predict_batch(batch)
             top = self._merge_top(top, scored)
             usable = [c for c in scored if self._usable(c.prediction)]
-            pareto = pareto_merge(pareto, usable, _candidate_objectives, PARETO_KEYS)
+            pareto = pareto_merge(pareto, usable, _candidate_objectives, self.pareto_keys)
             explored += len(batch)
             if on_batch is not None:
                 on_batch(explored)
@@ -269,6 +286,7 @@ class ModelDSE:
             predictions_per_second=explored / seconds if seconds > 0 else 0.0,
             stats=self._stats_since(stats_before),
             pareto=pareto,
+            device=self.device_name,
         )
 
     # -- ordered heuristic search ----------------------------------------------------------
@@ -332,5 +350,6 @@ class ModelDSE:
             stats=self._stats_since(stats_before),
             # The beam search only retains the top list; its front is
             # the non-dominated subset of those survivors.
-            pareto=pareto_front(top, _candidate_objectives, PARETO_KEYS),
+            pareto=pareto_front(top, _candidate_objectives, self.pareto_keys),
+            device=self.device_name,
         )

@@ -17,6 +17,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from ..designspace.space import DesignPoint, point_key
 from ..errors import DatabaseError
 from ..frontend.pragmas import PipelineOption
+from ..hls.device import DEFAULT_DEVICE
 from ..hls.report import HLSResult
 
 __all__ = ["DesignRecord", "Database", "serialize_point", "deserialize_point"]
@@ -56,6 +57,9 @@ class DesignRecord:
     source: str = ""  # which explorer produced it
     round: int = 0  # 0 = initial DB; 1+ = DSE augmentation rounds
     created: float = 0.0  # unix timestamp the label was committed (0 = unknown)
+    #: Registered device the label was synthesized for.  "" (records
+    #: predating device provenance) means the reference device.
+    device: str = ""
 
     @property
     def design_point(self) -> DesignPoint:
@@ -84,14 +88,26 @@ class DesignRecord:
             source=source,
             round=round,
             created=created,
+            device=getattr(result, "device", ""),
         )
 
 
+def _record_key(kernel: str, device: str, key: str) -> Tuple[str, str, str]:
+    """Canonical record key: "" device provenance means the reference
+    device, so legacy records and explicit reference-device records
+    collide (they label the same synthesis run)."""
+    return (kernel, device or DEFAULT_DEVICE.name, key)
+
+
 class Database:
-    """Keyed store of design records, shared across applications."""
+    """Keyed store of design records, shared across applications.
+
+    Records are keyed by (kernel, device, point), so the same design
+    point synthesized for two different targets is two records.
+    """
 
     def __init__(self):
-        self._records: Dict[Tuple[str, str], DesignRecord] = {}
+        self._records: Dict[Tuple[str, str, str], DesignRecord] = {}
         #: How many records a newer-round label has replaced (via
         #: :meth:`add` or :meth:`merge`).  Not persisted — it describes
         #: this in-memory instance's mutation history.
@@ -103,11 +119,16 @@ class Database:
     def __iter__(self) -> Iterator[DesignRecord]:
         return iter(self._records.values())
 
-    def __contains__(self, key: Tuple[str, str]) -> bool:
-        return key in self._records
+    def __contains__(self, key: Tuple[str, ...]) -> bool:
+        # Accept legacy (kernel, point_key) pairs — they mean the
+        # reference device — alongside full (kernel, device, point_key)
+        # triples.
+        if len(key) == 2:
+            return _record_key(key[0], "", key[1]) in self._records
+        return _record_key(*key) in self._records
 
-    def has(self, kernel: str, point: DesignPoint) -> bool:
-        return (kernel, point_key(point)) in self._records
+    def has(self, kernel: str, point: DesignPoint, device: str = "") -> bool:
+        return _record_key(kernel, device, point_key(point)) in self._records
 
     def add(self, record: DesignRecord) -> bool:
         """Insert a record; returns False when the point was already known.
@@ -120,7 +141,7 @@ class Database:
         within a round, so re-running a round is idempotent).  Returns
         True only for genuinely new points.
         """
-        key = (record.kernel, record.point_key)
+        key = _record_key(record.kernel, record.device, record.point_key)
         existing = self._records.get(key)
         if existing is not None:
             if record.round > existing.round:
@@ -130,11 +151,12 @@ class Database:
         self._records[key] = record
         return True
 
-    def get(self, kernel: str, key: str) -> DesignRecord:
+    def get(self, kernel: str, key: str, device: str = "") -> DesignRecord:
         try:
-            return self._records[(kernel, key)]
+            return self._records[_record_key(kernel, device, key)]
         except KeyError:
-            raise DatabaseError(f"no record for {kernel}/{key}") from None
+            name = device or DEFAULT_DEVICE.name
+            raise DatabaseError(f"no record for {kernel}/{name}/{key}") from None
 
     def for_kernel(self, kernel: str) -> List[DesignRecord]:
         return [r for r in self._records.values() if r.kernel == kernel]

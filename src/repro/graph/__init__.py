@@ -10,7 +10,14 @@ IR → graph → features pipeline for a registered kernel.
 
 from __future__ import annotations
 
-from .encoding import EDGE_DIM, NODE_DIM, EncodedGraph, GraphEncoder
+from .encoding import (
+    DEVICE_FEATURE_SLICE,
+    EDGE_DIM,
+    NODE_DIM,
+    EncodedGraph,
+    GraphEncoder,
+    device_features,
+)
 from .programl import (
     FLOW_CALL,
     FLOW_CONTROL,
@@ -28,6 +35,8 @@ from .programl import (
 from .vocab import NODE_TEXT_VOCAB, node_text_index, vocab_size
 
 __all__ = [
+    "DEVICE_FEATURE_SLICE",
+    "device_features",
     "EDGE_DIM",
     "NODE_DIM",
     "EncodedGraph",
@@ -63,6 +72,10 @@ def kernel_graph(spec) -> ProgramGraph:
     )
 
 
-def encode_kernel(spec) -> EncodedGraph:
-    """Front-end → IR → graph → encoded features for a kernel spec."""
-    return GraphEncoder().encode(kernel_graph(spec))
+def encode_kernel(spec, device=None) -> EncodedGraph:
+    """Front-end → IR → graph → encoded features for a kernel spec.
+
+    ``device`` (a registry entry) conditions the node features on the
+    target device; ``None`` is the reference device.
+    """
+    return GraphEncoder().encode(kernel_graph(spec), device=device)

@@ -30,6 +30,8 @@ __all__ = [
     "NODE_DIM",
     "EDGE_DIM",
     "PRAGMA_FEATURE_SLICE",
+    "DEVICE_FEATURE_SLICE",
+    "device_features",
     "EncodedGraph",
     "GraphEncoder",
 ]
@@ -53,11 +55,18 @@ _OFF_CONST = _OFF_FUNC + _MAX_FUNCTIONS  # 2: sign, log-magnitude
 _OFF_TRIP = _OFF_CONST + 2  # 2: has-trip bit, log trip
 _OFF_PRAGMA = _OFF_TRIP + 2  # 6: off/cg/fg one-hot, log factor, factor>1, tunable
 _PRAGMA_LEN = 6
-_USED_DIM = _OFF_PRAGMA + _PRAGMA_LEN
+_OFF_DEVICE = _OFF_PRAGMA + _PRAGMA_LEN  # 8: device conditioning block
+_DEVICE_LEN = 8
+_USED_DIM = _OFF_DEVICE + _DEVICE_LEN
 
 #: Column range of the pragma-option block inside a node feature row —
 #: the only features that differ between design points of one kernel.
 PRAGMA_FEATURE_SLICE = slice(_OFF_PRAGMA, _OFF_PRAGMA + _PRAGMA_LEN)
+
+#: Column range of the device conditioning block — broadcast to every
+#: node row, identical across design points, all-zero for the reference
+#: device (so reference encodings are bit-identical to device-less ones).
+DEVICE_FEATURE_SLICE = slice(_OFF_DEVICE, _OFF_DEVICE + _DEVICE_LEN)
 
 PragmaValue = Union[PipelineOption, int]
 
@@ -156,20 +165,56 @@ def _encode_pragma_value(kind: PragmaKind, value: PragmaValue, tunable: bool) ->
     return block * PRAGMA_FEATURE_GAIN
 
 
+def device_features(device) -> np.ndarray:
+    """Device conditioning block: capacity vector + target-type one-hot.
+
+    Capacities are encoded *relative* to the reference device
+    (log-ratios), so the reference FPGA — the device every existing
+    artifact was trained against — encodes to an all-zero block and
+    reference-device feature matrices stay bit-identical to the
+    device-less encoding.  ``None`` means the reference device.
+    """
+    block = np.zeros(_DEVICE_LEN, dtype=np.float32)
+    if device is None:
+        return block
+    from ..hls.device import DEFAULT_DEVICE  # local import: hls does not import graph
+
+    ref = DEFAULT_DEVICE.capacities()
+    block[0] = 1.0 if getattr(device, "kind", "fpga") == "cgra" else 0.0
+    caps = device.capacities()
+    for i, axis in enumerate(("DSP", "BRAM", "LUT", "FF")):
+        cap = caps.get(axis)
+        if cap:
+            block[1 + i] = np.log2(cap / ref[axis]) / 4.0
+    bandwidth = getattr(device, "axi_bits", 0) * getattr(device, "axi_ports", 0)
+    if bandwidth:
+        block[5] = np.log2(bandwidth / 512.0) / 4.0
+    block[6] = np.log2(getattr(device, "pe_count", 0) + 1.0) / 8.0
+    block[7] = np.log2(getattr(device, "instruction_slots", 0) + 1.0) / 16.0
+    return block
+
+
 class GraphEncoder:
     """Encodes :class:`ProgramGraph` objects into numpy model inputs."""
 
     node_dim = NODE_DIM
     edge_dim = EDGE_DIM
 
-    def encode(self, graph: ProgramGraph) -> EncodedGraph:
-        """Encode a program graph into an :class:`EncodedGraph`."""
+    def encode(self, graph: ProgramGraph, device=None) -> EncodedGraph:
+        """Encode a program graph into an :class:`EncodedGraph`.
+
+        ``device`` conditions every node row on the target device via
+        :func:`device_features`; omitted (or the reference device's
+        all-zero block) reproduces the original encoding exactly.
+        """
         if _USED_DIM > NODE_DIM:
             raise GraphError(
                 f"feature layout needs {_USED_DIM} dims > NODE_DIM={NODE_DIM}"
             )
         num_nodes = graph.num_nodes
         x = np.zeros((num_nodes, NODE_DIM), dtype=np.float32)
+        if device is not None:
+            x[:, DEVICE_FEATURE_SLICE] = device_features(device)
         for node in graph.nodes:
             row = x[node.id]
             row[_OFF_TYPE + node.ntype] = 1.0

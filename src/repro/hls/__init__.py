@@ -11,7 +11,19 @@ of HLS QoR (see DESIGN.md for the substitution argument):
 """
 
 from .config import MAX_PARTITION, ConfiguredKernel, ConfiguredLoop, configure
-from .device import OP_COSTS, VCU1525, OpCost, ResourcePool
+from .device import (
+    DEFAULT_DEVICE,
+    OP_COSTS,
+    U50,
+    VCU1525,
+    ZCU102,
+    OpCost,
+    ResourcePool,
+    get_device,
+    list_devices,
+    register_device,
+)
+from .cgra import CGRA4X4, CGRADevice, estimate_cgra
 from .estimator import Estimate, Estimator
 from .sweep import KnobSweep, SweepResult, sweep_kernel
 from .report import (
@@ -30,8 +42,17 @@ __all__ = [
     "configure",
     "OP_COSTS",
     "VCU1525",
+    "U50",
+    "ZCU102",
+    "DEFAULT_DEVICE",
     "OpCost",
     "ResourcePool",
+    "register_device",
+    "get_device",
+    "list_devices",
+    "CGRADevice",
+    "CGRA4X4",
+    "estimate_cgra",
     "Estimate",
     "Estimator",
     "INVALID_PARTITION",

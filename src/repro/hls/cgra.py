@@ -1,0 +1,263 @@
+"""CGRA-style target: PE-grid occupancy and instruction-slot scheduling.
+
+Modeled on the ESL CGRA simulator's machine: a small grid of processing
+elements (PEs), each with a private instruction memory, executing one
+instruction per cycle from a kernel that the compiler time-multiplexes
+across the grid.  A loop body of ``W`` instruction-cycles of work mapped
+onto ``P`` PEs runs with an initiation interval of ``ceil(W / P)``; the
+whole program (every loop's kernel) must fit in each PE's instruction
+memory, so the accounted resource axes are **PE** (peak grid occupancy)
+and **ISLOT** (instruction slots per PE), not the FPGA resource vector.
+
+Consequences that make the CGRA front genuinely different from the FPGA
+fronts over the same pragma space:
+
+* ``parallel`` pragmas widen the mapped kernel (more work per
+  invocation, fewer invocations) until the grid saturates — beyond
+  ``P`` PEs of work the kernel just gets longer;
+* ``pipeline`` pragmas enable modulo scheduling (no per-iteration sync
+  bubble) but cannot beat the grid's issue width;
+* ``partition``/``tile`` pragmas are no-ops — there are no banks to
+  multiply and no on-chip buffers to shrink — so points an FPGA must
+  pay area for are free here, and instruction-memory overflow (not
+  LUT/DSP exhaustion) is what invalidates aggressive points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import HLSError
+from ..ir.analysis import OpCensus
+from .config import ConfiguredKernel, ConfiguredLoop
+from .device import OP_COSTS, register_device
+from .estimator import Estimate
+from .report import LoopReport
+
+__all__ = ["CGRADevice", "CGRA4X4", "estimate_cgra"]
+
+#: Kernel-invocation overhead (configuration fetch + drain), cycles.
+_KERNEL_OVERHEAD = 4
+
+#: Synchronisation bubble between non-pipelined iterations, cycles.
+_SYNC_CYCLES = 2
+
+#: Instruction slots reserved for prologue/epilogue control code.
+_BASE_ISLOTS = 8
+
+#: OpCensus fields charged as PE instructions (calls are inlined bodies).
+_OP_FIELDS = (
+    "fadd", "fmul", "fdiv", "iadd", "imul", "idiv",
+    "cmp", "bitop", "shift", "select", "special",
+)
+
+
+@dataclass(frozen=True)
+class CGRADevice:
+    """A coarse-grained reconfigurable array target.
+
+    ``rows`` × ``cols`` PEs, each holding up to ``instruction_slots``
+    instructions of the mapped program.  Off-chip bandwidth is the
+    (narrow) system bus, ``axi_ports`` × ``axi_bits`` bits per cycle.
+    """
+
+    name: str
+    rows: int = 4
+    cols: int = 4
+    instruction_slots: int = 256
+    axi_ports: int = 1
+    axi_bits: int = 64
+
+    kind = "cgra"
+    axes: Tuple[str, ...] = ("PE", "ISLOT")
+
+    #: Instruction memory cannot be oversubscribed: any utilization
+    #: beyond 1.0 simply does not fit and the mapper refuses it.
+    refuse_utilization = 1.0
+
+    #: Axes the DSE's fit threshold (Eq. 7's T_u) applies to.  PE is
+    #: excluded on purpose: full grid occupancy is time-multiplexed
+    #: compute — the *goal*, not a budget violation — whereas filling
+    #: the instruction memory is the real capacity constraint.
+    fit_axes: Tuple[str, ...] = ("ISLOT",)
+
+    @property
+    def pe_count(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def pareto_keys(self) -> Tuple[str, ...]:
+        return ("latency",) + tuple(self.axes)
+
+    def capacities(self) -> Dict[str, float]:
+        return {"PE": float(self.pe_count), "ISLOT": float(self.instruction_slots)}
+
+    def utilization(self, usage: Dict[str, float]) -> Dict[str, float]:
+        """Normalise usage by grid size / instruction-memory depth.
+
+        Same contract as :meth:`ResourcePool.utilization`: axes are the
+        device's own, and unknown usage keys raise rather than silently
+        reading as zero.
+        """
+        capacities = self.capacities()
+        unknown = sorted(k for k in usage if k not in capacities)
+        if unknown:
+            raise HLSError(
+                f"device {self.name!r} does not account resource axes {unknown}; "
+                f"known axes: {list(self.axes)}"
+            )
+        return {axis: usage.get(axis, 0.0) / capacities[axis] for axis in self.axes}
+
+
+#: The registered 4×4 reference grid (ESL-CGRA's default topology).
+CGRA4X4 = CGRADevice(name="cgra4x4")
+
+register_device(CGRA4X4)
+
+
+def _body_instructions(census: OpCensus, accesses: int) -> int:
+    """Instruction-cycles one body occupies on the grid.
+
+    Multi-cycle operators (fdiv, ...) run iteratively on a PE and hold
+    it for their latency; every array access is one load/store
+    instruction.
+    """
+    work = accesses
+    for field_name in _OP_FIELDS:
+        count = getattr(census, field_name)
+        if count:
+            work += count * OP_COSTS[field_name].latency
+    return work
+
+
+class _CGRAScheduler:
+    """Maps a configured loop tree onto the PE grid."""
+
+    def __init__(self, configured: ConfiguredKernel, device: CGRADevice):
+        self._cfg = configured
+        self._device = device
+        self._fn_cycles: Dict[str, int] = {}
+        self._islots = _BASE_ISLOTS
+        self._pe_peak = 1
+        self._effort = 0.0
+
+    def run(self) -> Estimate:
+        analysis = self._cfg.analysis
+        reports: List[LoopReport] = []
+        for fn_name in analysis.functions:
+            cycles, fn_reports = self._schedule_function(fn_name)
+            self._fn_cycles[fn_name] = cycles
+            if fn_name == analysis.top_function:
+                reports = fn_reports
+        transfer = self._transfer_cycles()
+        total = self._fn_cycles[analysis.top_function] + transfer
+        return Estimate(
+            cycles=int(total),
+            usage={"PE": float(self._pe_peak), "ISLOT": float(self._islots)},
+            loops=reports,
+            effort=self._effort,
+            max_banks=1,  # no banking on a CGRA
+            transfer_cycles=int(transfer),
+        )
+
+    def _schedule_function(self, fn_name: str) -> Tuple[int, List[LoopReport]]:
+        fa = self._cfg.analysis.functions[fn_name]
+        cycles = self._fragment(fa.preamble_ops, 0, factor=1)[0]
+        cycles += self._call_cycles(fa.preamble_ops)
+        reports: List[LoopReport] = []
+        for top in self._cfg.functions[fn_name]:
+            loop_cycles, report = self._schedule_loop(top, fn_name)
+            cycles += loop_cycles
+            reports.append(report)
+        return int(cycles), reports
+
+    def _fragment(self, census: OpCensus, accesses: int, factor: int) -> Tuple[int, int]:
+        """Map one body fragment; returns (kernel_len, pe_used).
+
+        ``factor`` copies of the body are issued together (spatial
+        unroll); the grid time-multiplexes whatever exceeds its width.
+        """
+        work = _body_instructions(census, accesses) * max(factor, 1)
+        if work <= 0:
+            return 0, 0
+        pe = self._device.pe_count
+        kernel_len = math.ceil(work / pe)
+        pe_used = min(work, pe)
+        self._islots += kernel_len
+        self._pe_peak = max(self._pe_peak, pe_used)
+        self._effort += work
+        return kernel_len, pe_used
+
+    def _schedule_loop(self, cfg: ConfiguredLoop, fn_name: str) -> Tuple[int, LoopReport]:
+        loop = cfg.loop
+        factor = max(cfg.parallel, 1)
+        if cfg.children:
+            iters = math.ceil(loop.trip_count / factor)
+            stages = 0
+            child_reports: List[LoopReport] = []
+            for child in cfg.children:
+                child_cycles, child_report = self._schedule_loop(child, fn_name)
+                stages += child_cycles
+                child_reports.append(child_report)
+            own_len, _ = self._fragment(loop.body_ops, len(loop.accesses), factor)
+            own_len += self._call_cycles(loop.body_ops)
+            cycles = iters * (stages + own_len + _SYNC_CYCLES) + _KERNEL_OVERHEAD
+            report = LoopReport(
+                function=fn_name,
+                label=loop.label,
+                cycles=int(cycles),
+                trip_count=loop.trip_count,
+                ii=0,
+                depth=int(stages + own_len),
+                bottleneck="trip",
+                children=child_reports,
+            )
+            return int(cycles), report
+
+        iters = math.ceil(loop.trip_count / factor)
+        kernel_len, _ = self._fragment(loop.body_ops, len(loop.accesses), factor)
+        kernel_len += self._call_cycles(loop.body_ops)
+        # A loop-carried reduction serialises successive iterations to at
+        # least the reduction operator's latency, pipelined or not.
+        red_lat = 0
+        for red in loop.reductions:
+            if loop.induction_var in red.free_vars:
+                continue
+            lat = OP_COSTS["fadd"].latency if red.is_float else OP_COSTS["iadd"].latency
+            red_lat = max(red_lat, lat)
+        ii = max(kernel_len, red_lat, 1)
+        if cfg.is_pipelined:
+            cycles = ii * max(iters - 1, 0) + max(kernel_len, 1) + _KERNEL_OVERHEAD
+            bottleneck = "dependence" if red_lat > kernel_len else "compute"
+        else:
+            cycles = iters * (max(kernel_len, 1) + _SYNC_CYCLES) + _KERNEL_OVERHEAD
+            ii = 0
+            bottleneck = "trip"
+        report = LoopReport(
+            function=fn_name,
+            label=loop.label,
+            cycles=int(cycles),
+            trip_count=loop.trip_count,
+            ii=int(ii),
+            depth=int(max(kernel_len, 1)),
+            bottleneck=bottleneck,
+        )
+        return int(cycles), report
+
+    def _call_cycles(self, census: OpCensus) -> int:
+        return sum(self._fn_cycles.get(callee, 0) for callee in census.callees)
+
+    def _transfer_cycles(self) -> int:
+        bits_per_cycle = self._device.axi_bits * self._device.axi_ports
+        total = 0.0
+        for array in self._cfg.analysis.top.arrays.values():
+            if array.is_param:
+                total += array.total_bits() / bits_per_cycle
+        return int(total)
+
+
+def estimate_cgra(configured: ConfiguredKernel, device: CGRADevice) -> Estimate:
+    """Schedule a configured kernel on a CGRA device."""
+    return _CGRAScheduler(configured, device).run()

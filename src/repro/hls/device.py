@@ -1,17 +1,37 @@
-"""Target device and operator cost models.
+"""Target device registry and operator cost models.
 
-The paper targets a Xilinx Virtex UltraScale+ VCU1525 (XCVU9P part).
-Resource pools below are the real part's; operator latency/area costs
-are representative of Vitis HLS's default floating-point and integer
-operator libraries at ~250 MHz.
+The paper targets a Xilinx Virtex UltraScale+ VCU1525 (XCVU9P part);
+that pool remains the default device and the reference every surrogate
+prediction is trained against.  The registry adds further FPGA parts
+with distinct DSP/BRAM/LUT/FF budgets, port counts and AXI widths, and
+(see :mod:`repro.hls.cgra`) one CGRA-style target whose resource axes
+are PE-grid occupancy and instruction slots rather than the FPGA
+resource vector.  Operator latency/area costs are representative of
+Vitis HLS's default floating-point and integer operator libraries at
+~250 MHz.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Tuple
 
-__all__ = ["ResourcePool", "OpCost", "VCU1525", "OP_COSTS", "MEM_READ_LATENCY", "BRAM_BITS"]
+from ..errors import HLSError
+
+__all__ = [
+    "ResourcePool",
+    "OpCost",
+    "VCU1525",
+    "U50",
+    "ZCU102",
+    "DEFAULT_DEVICE",
+    "register_device",
+    "get_device",
+    "list_devices",
+    "OP_COSTS",
+    "MEM_READ_LATENCY",
+    "BRAM_BITS",
+]
 
 #: Capacity of one BRAM18K block in bits.
 BRAM_BITS = 18 * 1024
@@ -22,26 +42,129 @@ MEM_READ_LATENCY = 2
 
 @dataclass(frozen=True)
 class ResourcePool:
-    """On-chip resource capacities of an FPGA part."""
+    """On-chip resource capacities of an FPGA part.
+
+    ``axi_ports`` × ``axi_bits`` is the off-chip bandwidth the
+    estimator charges transfers against; the defaults reproduce the
+    original single 512-bit AXI port, so the reference device's
+    estimates are unchanged.
+    """
 
     name: str
     dsp: int
     bram: int  # BRAM18K blocks
     lut: int
     ff: int
+    axi_ports: int = 1
+    axi_bits: int = 512
+
+    #: Target family; the HLS tool dispatches its scheduler on this.
+    kind = "fpga"
+
+    #: Resource axes this pool accounts, in reporting order.
+    axes: Tuple[str, ...] = ("DSP", "BRAM", "LUT", "FF")
+
+    @property
+    def pareto_keys(self) -> Tuple[str, ...]:
+        """Objective keys (all minimised) for Pareto dominance on this device."""
+        return ("latency",) + tuple(self.axes)
+
+    @property
+    def fit_axes(self) -> Tuple[str, ...]:
+        """Axes the DSE fit threshold applies to: every resource axis —
+        an FPGA design must leave headroom on all of them."""
+        return tuple(self.axes)
+
+    def capacities(self) -> Dict[str, float]:
+        """Absolute capacity per declared axis."""
+        return {
+            "DSP": float(self.dsp),
+            "BRAM": float(self.bram),
+            "LUT": float(self.lut),
+            "FF": float(self.ff),
+        }
 
     def utilization(self, usage: Dict[str, float]) -> Dict[str, float]:
-        """Normalise absolute usage numbers by the pool capacities."""
-        return {
-            "DSP": usage.get("DSP", 0.0) / self.dsp,
-            "BRAM": usage.get("BRAM", 0.0) / self.bram,
-            "LUT": usage.get("LUT", 0.0) / self.lut,
-            "FF": usage.get("FF", 0.0) / self.ff,
-        }
+        """Normalise absolute usage numbers by the pool capacities.
+
+        The result is derived from the pool's declared ``axes`` —
+        axes absent from ``usage`` read as 0.0, but a usage key the
+        pool does not account (a typo'd axis, or another target
+        family's axis such as CGRA PE slots) raises instead of
+        silently reading as zero utilization and masking an invalid
+        design.
+        """
+        capacities = self.capacities()
+        unknown = sorted(k for k in usage if k not in capacities)
+        if unknown:
+            raise HLSError(
+                f"device {self.name!r} does not account resource axes {unknown}; "
+                f"known axes: {list(self.axes)}"
+            )
+        return {axis: usage.get(axis, 0.0) / capacities[axis] for axis in self.axes}
 
 
 #: Xilinx VCU1525 (XCVU9P): the paper's target board.
 VCU1525 = ResourcePool(name="xcvu9p", dsp=6840, bram=4320, lut=1_182_240, ff=2_364_480)
+
+#: Xilinx Alveo U50 (XCU50): smaller datacenter card, two HBM-backed ports.
+U50 = ResourcePool(
+    name="xcu50",
+    dsp=5952,
+    bram=2688,
+    lut=872_000,
+    ff=1_743_360,
+    axi_ports=2,
+    axi_bits=256,
+)
+
+#: Xilinx ZCU102 (XCZU9EG): embedded-class part with a narrow 128-bit HP port.
+ZCU102 = ResourcePool(
+    name="xczu9eg",
+    dsp=2520,
+    bram=1824,
+    lut=274_080,
+    ff=548_160,
+    axi_ports=1,
+    axi_bits=128,
+)
+
+#: The device every surrogate artifact is trained against and the
+#: default for every tool/CLI/HTTP entry point that omits ``device``.
+DEFAULT_DEVICE = VCU1525
+
+
+# -- device registry -----------------------------------------------------------
+
+_REGISTRY: Dict[str, object] = {}
+
+
+def register_device(device, replace: bool = False) -> None:
+    """Add ``device`` to the registry under ``device.name``."""
+    name = device.name
+    if not replace and name in _REGISTRY and _REGISTRY[name] is not device:
+        raise HLSError(f"device {name!r} is already registered")
+    _REGISTRY[name] = device
+
+
+def get_device(name: str):
+    """Look up a registered device by name; raises listing known names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise HLSError(
+            f"unknown device {name!r}; known devices: {list_devices()}"
+        ) from None
+
+
+def list_devices() -> List[str]:
+    """Sorted names of every registered device."""
+    return sorted(_REGISTRY)
+
+
+for _pool in (VCU1525, U50, ZCU102):
+    register_device(_pool)
+del _pool
 
 
 @dataclass(frozen=True)
@@ -79,5 +202,7 @@ BASE_LUT = 9000
 BASE_FF = 12000
 BASE_BRAM = 8
 
-#: Off-chip interface width in bits per cycle (one 512-bit AXI port).
+#: Off-chip interface width in bits per cycle (one 512-bit AXI port) —
+#: the reference device's bandwidth; per-device values come from
+#: ``axi_ports * axi_bits``.
 AXI_BITS_PER_CYCLE = 512

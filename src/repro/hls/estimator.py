@@ -98,6 +98,11 @@ class Estimator:
     def __init__(self, configured: ConfiguredKernel, device: ResourcePool):
         self._cfg = configured
         self._device = device
+        # Off-chip bandwidth comes from the device (ports × width); the
+        # defaults reproduce the original single 512-bit AXI port.
+        self._axi_bits = getattr(device, "axi_bits", AXI_BITS_PER_CYCLE) * getattr(
+            device, "axi_ports", 1
+        )
         self._fn_cycles: Dict[str, int] = {}
         self._usage = {"DSP": 0.0, "BRAM": 0.0, "LUT": 0.0, "FF": 0.0}
         self._effort = 0.0
@@ -432,7 +437,7 @@ class Estimator:
         for array in top.arrays.values():
             if not array.is_param:
                 continue
-            cycles = array.total_bits() / AXI_BITS_PER_CYCLE
+            cycles = array.total_bits() / self._axi_bits
             if self._cfg.overlapped.get(array.name, False):
                 cycles *= 0.15  # double-buffered: mostly hidden
             total += cycles

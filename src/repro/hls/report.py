@@ -53,17 +53,14 @@ class HLSResult:
     invalid_reason: Optional[str] = None
     loops: List[LoopReport] = field(default_factory=list)
     transfer_cycles: int = 0
+    #: Registered device the result was synthesized for ("" = the
+    #: reference device, for records predating device provenance).
+    device: str = ""
 
     @property
     def objectives(self) -> Dict[str, float]:
-        """The five predicted objectives: latency + four utilizations."""
-        return {
-            "latency": float(self.latency),
-            "DSP": self.utilization["DSP"],
-            "BRAM": self.utilization["BRAM"],
-            "LUT": self.utilization["LUT"],
-            "FF": self.utilization["FF"],
-        }
+        """Predicted objectives: latency + the device's utilizations."""
+        return {"latency": float(self.latency), **self.utilization}
 
     def fits(self, threshold: float = 0.8) -> bool:
         """True when every utilization is below ``threshold`` (Eq. 7)."""

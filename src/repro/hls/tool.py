@@ -11,7 +11,9 @@ in the GNN-DSE flow (the *Evaluator* box of Fig. 2).  It returns an
 * ``synth_seconds``, a deterministic model of the real tool's runtime
   used for every "X hours of DSE" comparison in the evaluation.
 
-Results are memoised per (kernel, point) since explorers revisit points.
+Results are memoised per (device, kernel, point) since explorers
+revisit points; the device name is part of the key so a tool whose
+target changes can never serve one device's QoR for another.
 """
 
 from __future__ import annotations
@@ -23,7 +25,7 @@ from ..designspace.space import DesignPoint, point_key
 from ..ir.analysis import KernelAnalysis
 from ..kernels.base import KernelSpec
 from .config import MAX_PARTITION, configure
-from .device import VCU1525, ResourcePool
+from .device import DEFAULT_DEVICE, ResourcePool
 from .estimator import Estimator
 from .report import (
     INVALID_PARTITION,
@@ -50,19 +52,21 @@ class MerlinHLSTool:
     Parameters
     ----------
     device:
-        Target FPGA resource pool (defaults to the paper's VCU1525).
+        Target device — an FPGA :class:`ResourcePool` or a
+        :class:`~repro.hls.cgra.CGRADevice` from the registry
+        (defaults to the paper's VCU1525).
     cache:
-        Memoise results per (kernel, point) — on by default.
+        Memoise results per (device, kernel, point) — on by default.
     """
 
-    def __init__(self, device: ResourcePool = VCU1525, cache: bool = True):
+    def __init__(self, device: ResourcePool = DEFAULT_DEVICE, cache: bool = True):
         self.device = device
         self._cache: Optional[Dict[str, HLSResult]] = {} if cache else None
         self.invocations = 0
 
     def synthesize(self, spec: KernelSpec, point: DesignPoint) -> HLSResult:
         """Run the modeled Merlin+HLS flow on one design point."""
-        key = f"{spec.name}::{point_key(point)}"
+        key = f"{self.device.name}::{spec.name}::{point_key(point)}"
         if self._cache is not None and key in self._cache:
             return self._cache[key]
         result = self._synthesize_uncached(spec.name, spec.analysis, point)
@@ -81,17 +85,23 @@ class MerlinHLSTool:
         self, name: str, analysis: KernelAnalysis, point: DesignPoint
     ) -> HLSResult:
         configured = configure(analysis, point)
-        estimate = Estimator(configured, self.device).run()
+        if getattr(self.device, "kind", "fpga") == "cgra":
+            from .cgra import estimate_cgra
+
+            estimate = estimate_cgra(configured, self.device)
+        else:
+            estimate = Estimator(configured, self.device).run()
         utilization = self.device.utilization(estimate.usage)
         synth_seconds = self._synth_seconds(estimate.effort, estimate.max_banks)
 
         invalid_reason: Optional[str] = None
+        util_refuse = getattr(self.device, "refuse_utilization", _UTIL_REFUSE)
         if estimate.max_banks > MAX_PARTITION:
             invalid_reason = INVALID_PARTITION
         elif estimate.effort > _EFFORT_TIMEOUT or synth_seconds >= SYNTH_TIMEOUT_SECONDS:
             invalid_reason = INVALID_TIMEOUT
             synth_seconds = SYNTH_TIMEOUT_SECONDS
-        elif max(utilization.values()) > _UTIL_REFUSE:
+        elif max(utilization.values()) > util_refuse:
             invalid_reason = INVALID_RESOURCE
 
         return HLSResult(
@@ -105,6 +115,7 @@ class MerlinHLSTool:
             invalid_reason=invalid_reason,
             loops=estimate.loops,
             transfer_cycles=estimate.transfer_cycles,
+            device=self.device.name,
         )
 
     @staticmethod

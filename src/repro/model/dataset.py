@@ -62,12 +62,19 @@ class GraphDatasetBuilder:
         self.normalizer = normalizer or TargetNormalizer().fit(
             [r.latency for r in database if r.valid] or [1.0]
         )
-        self._encoded: Dict[str, EncodedGraph] = {}
+        self._encoded: Dict[Tuple[str, Optional[str]], EncodedGraph] = {}
 
-    def encoded_graph(self, kernel: str) -> EncodedGraph:
-        if kernel not in self._encoded:
-            self._encoded[kernel] = encode_kernel(get_kernel(kernel))
-        return self._encoded[kernel]
+    def encoded_graph(self, kernel: str, device=None) -> EncodedGraph:
+        """Encoded graph for ``kernel``, memoised per (kernel, device).
+
+        ``device`` is a registry entry conditioning the node features;
+        ``None`` (the reference device) reproduces the original
+        encoding exactly.
+        """
+        key = (kernel, getattr(device, "name", None))
+        if key not in self._encoded:
+            self._encoded[key] = encode_kernel(get_kernel(kernel), device=device)
+        return self._encoded[key]
 
     def sample(self, record: DesignRecord):
         """Build one GraphData sample from a database record."""

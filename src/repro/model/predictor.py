@@ -29,6 +29,7 @@ __all__ = [
     "Prediction",
     "GNNDSEPredictor",
     "predictions_from_outputs",
+    "scale_objectives_for_device",
     "train_predictor",
 ]
 
@@ -74,11 +75,20 @@ class Prediction:
             return float("inf")
         return self.objectives["latency"]
 
-    def fits(self, threshold: float = 0.8) -> bool:
+    def fits(self, threshold: float = 0.8, axes=None) -> bool:
+        """True when every non-latency objective (the device's resource
+        utilizations, whatever its axes) is below ``threshold``.
+
+        ``axes`` restricts the check to a device's declared fit axes
+        (e.g. a CGRA budgets instruction memory but not PE occupancy);
+        ``None`` checks every non-latency objective.
+        """
         if self.objectives is None:
             return False
         return all(
-            self.objectives[name] < threshold for name in ("DSP", "BRAM", "LUT", "FF")
+            value < threshold
+            for name, value in self.objectives.items()
+            if name != "latency" and (axes is None or name in axes)
         )
 
     def __eq__(self, other) -> bool:
@@ -150,8 +160,49 @@ def predictions_from_outputs(
     return out
 
 
+def scale_objectives_for_device(predictions: List[Prediction], device) -> List[Prediction]:
+    """Rescale reference-device utilization predictions onto ``device``.
+
+    The regression heads are trained against the reference FPGA's
+    capacities, so a predicted utilization ``u_ref`` corresponds to an
+    absolute usage of ``u_ref * cap_ref``; on a different FPGA pool the
+    same design occupies ``u_ref * cap_ref / cap_dev`` of each axis.
+    Latency passes through unchanged.  ``None`` / the reference device /
+    non-FPGA targets return the input list unmodified, keeping the
+    default path bit-identical.
+    """
+    if device is None or getattr(device, "kind", "fpga") != "fpga":
+        return predictions
+    from ..hls.device import DEFAULT_DEVICE
+
+    ref = DEFAULT_DEVICE.capacities()
+    caps = device.capacities()
+    ratios = {axis: ref[axis] / caps[axis] for axis in caps if axis in ref}
+    if all(ratio == 1.0 for ratio in ratios.values()):
+        return predictions
+    out: List[Prediction] = []
+    for p in predictions:
+        if p.objectives is None:
+            out.append(p)
+            continue
+        objectives = {
+            name: _canon(value * ratios[name]) if name in ratios else value
+            for name, value in p.objectives.items()
+        }
+        out.append(Prediction(p.valid, p.valid_prob, objectives))
+    return out
+
+
 class GNNDSEPredictor:
-    """Classifier + regressors + normalizer, over shared encoded graphs."""
+    """Classifier + regressors + normalizer, over shared encoded graphs.
+
+    ``device`` optionally binds the predictor to a registered device:
+    samples are encoded with that device's conditioning features and
+    predicted utilizations are rescaled to its capacities
+    (:func:`scale_objectives_for_device`).  Unbound (``device=None``)
+    predictors target the reference device and behave exactly as
+    before.
+    """
 
     def __init__(
         self,
@@ -160,17 +211,30 @@ class GNNDSEPredictor:
         bram_regressor,
         normalizer: TargetNormalizer,
         builder: GraphDatasetBuilder,
+        device=None,
     ):
         self.classifier = classifier
         self.regressor = regressor
         self.bram_regressor = bram_regressor
         self.normalizer = normalizer
         self.builder = builder
+        self.device = device
+
+    def for_device(self, device) -> "GNNDSEPredictor":
+        """A shallow copy bound to ``device``, sharing models/builder."""
+        return GNNDSEPredictor(
+            self.classifier,
+            self.regressor,
+            self.bram_regressor,
+            self.normalizer,
+            self.builder,
+            device=device,
+        )
 
     # -- sample construction -------------------------------------------------------
 
     def _sample(self, kernel: str, point: DesignPoint) -> GraphData:
-        enc: EncodedGraph = self.builder.encoded_graph(kernel)
+        enc: EncodedGraph = self.builder.encoded_graph(kernel, device=self.device)
         return GraphData(
             x=enc.fill(point),
             edge_index=enc.edge_index,
@@ -213,8 +277,9 @@ class GNNDSEPredictor:
             logits = self.classifier(batch).data
             reg = self.regressor(batch).data
             bram = self.bram_regressor(batch).data
-        return predictions_from_outputs(
-            logits, reg, bram, self.normalizer, valid_threshold
+        return scale_objectives_for_device(
+            predictions_from_outputs(logits, reg, bram, self.normalizer, valid_threshold),
+            self.device,
         )
 
     def predict(

@@ -44,9 +44,11 @@ from ..model.predictor import DEFAULT_VALID_THRESHOLD, Prediction
 
 __all__ = ["MicroBatcher"]
 
-#: (kernel, valid_threshold, objectives_for) — requests sharing this can
-#: ride in one ``predict_batch`` call.
-_GroupKey = Tuple[str, float, str]
+#: (kernel, valid_threshold, objectives_for, device) — requests sharing
+#: this can ride in one ``predict_batch`` call.  The device is part of
+#: the key so two targets' traffic can never coalesce into one forward
+#: (their encodings and utilization scales differ).
+_GroupKey = Tuple[str, float, str, str]
 
 
 class _Request:
@@ -135,6 +137,7 @@ class MicroBatcher:
         valid_threshold: float = DEFAULT_VALID_THRESHOLD,
         objectives_for: str = "all",
         deadline: Optional[float] = None,
+        device: str = "",
     ) -> Future:
         """Enqueue one prediction request; returns its future.
 
@@ -142,6 +145,9 @@ class MicroBatcher:
         batcher's ``clock``); a request admitted after its deadline is
         rejected immediately, one that expires while queued fails with
         :class:`~repro.errors.DeadlineExceededError` at flush time.
+        ``device`` is a registered device name ("" = the predictor's
+        own target); it keys the batch group and is forwarded to
+        ``predict_fn`` only when non-empty.
         """
         now = self._clock()
         with self._cond:
@@ -162,7 +168,7 @@ class MicroBatcher:
                     retry_after_seconds=self._retry_after_locked(),
                 )
             request = _Request(
-                (kernel, float(valid_threshold), objectives_for),
+                (kernel, float(valid_threshold), objectives_for, device),
                 point, now, deadline,
             )
             self._queue.append(request)
@@ -289,14 +295,18 @@ class MicroBatcher:
             group = self._take_group()
             if group is None:
                 return
-            kernel, threshold, objectives_for = group[0].key
+            kernel, threshold, objectives_for, device = group[0].key
             started = self._clock()
+            # The device kwarg is passed only when set, so bare
+            # predict_fn stubs (tests, load harnesses) keep working.
+            extra = {"device": device} if device else {}
             try:
                 predictions = self._predict_fn(
                     kernel,
                     [r.point for r in group],
                     valid_threshold=threshold,
                     objectives_for=objectives_for,
+                    **extra,
                 )
             except BaseException as exc:  # deliver, don't kill the worker
                 for request in group:

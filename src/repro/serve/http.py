@@ -96,6 +96,8 @@ def _error_for(exc: Exception) -> _RequestError:
         return _RequestError(400, "invalid_design_point", str(exc))
     if isinstance(exc, ServeError):
         message = str(exc)
+        if message.startswith("unknown device"):
+            return _RequestError(400, "unknown_device", message)
         if message.startswith("unknown kernel"):
             return _RequestError(404, "unknown_kernel", message)
         if "timed out" in message:
@@ -218,6 +220,7 @@ class _Handler(BaseHTTPRequestHandler):
                 400, "bad_request", "'valid_threshold' must be a number"
             ) from None
         objectives_for = body.get("objectives_for", "all")
+        device = _device_field(body)
         deadline_seconds = None
         if "deadline_ms" in body:
             try:
@@ -231,10 +234,11 @@ class _Handler(BaseHTTPRequestHandler):
             deadline_seconds = deadline_ms / 1000.0
         predictions, model_info = service.predict_versioned(
             kernel, points, threshold, objectives_for,
-            deadline_seconds=deadline_seconds,
+            deadline_seconds=deadline_seconds, device=device,
         )
         return 200, {
             "kernel": kernel,
+            "device": service.resolve_device(device).name,
             "predictions": [prediction_payload(p) for p in predictions],
             "model": model_info,
         }
@@ -259,9 +263,10 @@ class _Handler(BaseHTTPRequestHandler):
         strategy = body.get("strategy", "beam")
         if not isinstance(strategy, str):
             raise _RequestError(400, "bad_request", "'strategy' must be a string")
+        device = _device_field(body)
         return 200, service.dse_top(
             kernel, top=top, time_limit_seconds=time_limit, workers=workers,
-            strategy=strategy, budget=budget, seed=seed,
+            strategy=strategy, budget=budget, seed=seed, device=device,
         )
 
     def _reload_model(self, service: PredictorService) -> Tuple[int, Dict[str, object]]:
@@ -274,6 +279,14 @@ class _Handler(BaseHTTPRequestHandler):
         if swapped and callback is not None:
             callback(info)
         return 200, {"model": info, "swapped": swapped}
+
+
+def _device_field(body: Dict[str, object]) -> str:
+    """Optional ``device`` request field ("" when absent; 400 on non-string)."""
+    device = body.get("device", "")
+    if not isinstance(device, str):
+        raise _RequestError(400, "bad_request", "'device' must be a string")
+    return device
 
 
 def _trace_snapshot() -> Dict[str, object]:

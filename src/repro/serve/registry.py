@@ -54,6 +54,7 @@ from ..errors import ArtifactError
 from ..explorer.database import Database
 from ..graph.encoding import EDGE_DIM, NODE_DIM
 from ..graph.vocab import EDGE_FLOWS, NODE_TEXT_VOCAB, NODE_TYPES
+from ..hls.device import get_device, list_devices
 from ..model.config import ModelConfig
 from ..model.dataset import GraphDatasetBuilder
 from ..model.models import build_model
@@ -66,6 +67,7 @@ __all__ = [
     "ArtifactVersion",
     "ModelRegistry",
     "artifact_fingerprint",
+    "device_set_fingerprint",
     "save_artifact",
     "load_artifact",
     "read_manifest",
@@ -74,7 +76,11 @@ __all__ = [
 ]
 
 #: Bump when the manifest layout or blob format changes incompatibly.
-ARTIFACT_SCHEMA_VERSION = 1
+#: v2 pins the device registry: an artifact records the device set (and
+#: capacities) it was saved against, and loads reject a mismatch — a
+#: device-conditioned surrogate is only meaningful on the device set it
+#: was trained with.
+ARTIFACT_SCHEMA_VERSION = 2
 
 ARTIFACT_FORMAT = "repro-gnn-dse-predictor"
 
@@ -102,6 +108,35 @@ def vocab_fingerprint() -> str:
         sort_keys=True,
     )
     return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def device_set_fingerprint() -> str:
+    """SHA-256 over the registered device set (names, kinds, capacities).
+
+    Device conditioning makes saved weights a function of the devices
+    they were trained against: adding, removing, or resizing a device
+    changes what the device feature block means, so the fingerprint —
+    like :func:`vocab_fingerprint` — pins it.
+    """
+    payload = json.dumps(
+        [
+            {
+                "name": name,
+                "kind": getattr(get_device(name), "kind", "fpga"),
+                "capacities": {
+                    axis: float(cap)
+                    for axis, cap in sorted(get_device(name).capacities().items())
+                },
+            }
+            for name in list_devices()
+        ],
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _device_set_payload() -> Dict[str, object]:
+    return {"names": list_devices(), "sha256": device_set_fingerprint()}
 
 
 def _state_blob(model) -> bytes:
@@ -164,6 +199,7 @@ def save_artifact(predictor, path) -> Dict[str, object]:
         "node_dim": NODE_DIM,
         "edge_dim": EDGE_DIM,
         "normalization_factor": float(factor),
+        "devices": _device_set_payload(),
         "models": {},
     }
     for role in _ROLES:
@@ -239,12 +275,30 @@ def _load_blob(path: Path, entry: Dict[str, object]) -> Dict[str, np.ndarray]:
 
 
 def verify_artifact(path) -> Dict[str, object]:
-    """Check an artifact's manifest and blob hashes without loading models."""
+    """Check an artifact's manifest and blob hashes without loading models.
+
+    Also checks the recorded device set against this process's registry
+    — offline verification must catch everything :func:`load_artifact`
+    would refuse, not report a doomed artifact as healthy.
+    """
     path = Path(path)
     manifest = read_manifest(path)
+    _check_device_set(manifest)
     for role in _ROLES:
         _load_blob(path, manifest["models"][role])
     return manifest
+
+
+def _check_device_set(manifest: Dict[str, object]) -> None:
+    """Refuse a manifest saved under a different device registry."""
+    devices = manifest.get("devices", {})
+    if devices.get("sha256") != device_set_fingerprint():
+        raise ArtifactError(
+            f"artifact was saved against a different device set "
+            f"({devices.get('names')}) than this process has registered "
+            f"({list_devices()}); device-conditioned predictions would be "
+            f"meaningless — retrain or re-save with the matching registry"
+        )
 
 
 def load_artifact(path, database: Optional[Database] = None):
@@ -268,6 +322,7 @@ def load_artifact(path, database: Optional[Database] = None):
             f"feature dims mismatch: artifact ({manifest['node_dim']}, "
             f"{manifest['edge_dim']}) vs build ({NODE_DIM}, {EDGE_DIM})"
         )
+    _check_device_set(manifest)
     models = {}
     for role in _ROLES:
         entry = manifest["models"][role]
@@ -316,6 +371,7 @@ def artifact_fingerprint(manifest: Dict[str, object]) -> str:
         {
             "schema_version": manifest["schema_version"],
             "vocab_sha256": manifest["vocab_sha256"],
+            "devices_sha256": manifest.get("devices", {}).get("sha256"),
             "normalization_factor": manifest["normalization_factor"],
             "models": {
                 role: entry["sha256"]

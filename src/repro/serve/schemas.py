@@ -14,6 +14,7 @@ from typing import Dict
 from ..designspace.space import DesignPoint
 from ..errors import ServeError
 from ..explorer.database import deserialize_point, serialize_point
+from ..hls.device import DEFAULT_DEVICE
 from ..model.predictor import Prediction
 
 __all__ = [
@@ -26,7 +27,9 @@ __all__ = [
 ]
 
 #: Version of the ``dse --output`` / ``/v1/dse/top`` result schema.
-DSE_RESULT_SCHEMA_VERSION = 1
+#: v2 added the ``device`` field (the registered device the search
+#: targeted; results predating device provenance stamp the reference).
+DSE_RESULT_SCHEMA_VERSION = 2
 
 
 def prediction_payload(prediction: Prediction) -> Dict[str, object]:
@@ -74,6 +77,7 @@ def dse_result_payload(result, stats=None) -> Dict[str, object]:
     return {
         "schema_version": DSE_RESULT_SCHEMA_VERSION,
         "kernel": result.kernel,
+        "device": getattr(result, "device", "") or DEFAULT_DEVICE.name,
         "explored": result.explored,
         "seconds": result.seconds,
         "exhaustive": result.exhaustive,

@@ -34,7 +34,8 @@ from ..designspace.space import DesignPoint
 from ..dse.pipeline import EvaluationPipeline
 from ..dse.parallel import ParallelDSE
 from ..dse.search import ModelDSE
-from ..errors import DesignSpaceError, ServeError
+from ..errors import DesignSpaceError, HLSError, ServeError
+from ..hls.device import DEFAULT_DEVICE, get_device, list_devices
 from ..kernels import get_kernel, list_kernels
 from ..model.predictor import DEFAULT_VALID_THRESHOLD, Prediction
 from .batcher import MicroBatcher
@@ -54,11 +55,16 @@ class _Generation:
     (no request straddles two model versions).
     """
 
-    def __init__(self, predictor, pipeline, batcher, info: Dict[str, object]):
+    def __init__(self, predictor, pipeline, batcher, info: Dict[str, object],
+                 pipeline_for=None):
         self.predictor = predictor
         self.pipeline = pipeline
         self.batcher = batcher
         self.info = dict(info)
+        # ``pipeline_for(device_name)`` lazily builds a pipeline bound
+        # to another registered device (sharing this generation's model
+        # weights); the default serves only the predictor's own target.
+        self.pipeline_for = pipeline_for or (lambda name: pipeline)
         self._cond = threading.Condition()
         self._inflight = 0
         self._retired = False
@@ -159,13 +165,44 @@ class PredictorService:
             engine=self._engine,
             cache=self._cache,
         )
-        predict_fn = pipeline.predict_batch
-        if self._dispatch_overhead_seconds > 0.0:
-            overhead = self._dispatch_overhead_seconds
+        home_device = getattr(getattr(predictor, "device", None), "name", "") or ""
+        device_pipelines: Dict[str, EvaluationPipeline] = {}
+        device_lock = threading.Lock()
 
-            def predict_fn(kernel, points, **kwargs):
+        def pipeline_for(device_name: str) -> EvaluationPipeline:
+            """Pipeline serving ``device_name`` (lazily built per device).
+
+            "" and the predictor's own target map to the base pipeline;
+            other registered devices get a pipeline around the predictor
+            re-bound via ``for_device`` — same weights, device-conditioned
+            encodings, capacity-rescaled utilizations.
+            """
+            if not device_name or device_name == home_device:
+                return pipeline
+            if home_device == "" and device_name == DEFAULT_DEVICE.name:
+                return pipeline  # explicit reference device == unbound predictor
+            if not hasattr(predictor, "for_device"):
+                raise ServeError(
+                    f"served model cannot target device {device_name!r}: "
+                    "predictor does not support device re-binding"
+                )
+            with device_lock:
+                bound = device_pipelines.get(device_name)
+                if bound is None:
+                    bound = device_pipelines[device_name] = EvaluationPipeline(
+                        predictor.for_device(get_device(device_name)),
+                        batch_size=self._batch_size,
+                        engine=self._engine,
+                        cache=self._cache,
+                    )
+                return bound
+
+        overhead = self._dispatch_overhead_seconds
+
+        def predict_fn(kernel, points, device="", **kwargs):
+            if overhead > 0.0:
                 time.sleep(overhead)
-                return pipeline.predict_batch(kernel, points, **kwargs)
+            return pipeline_for(device).predict_batch(kernel, points, **kwargs)
 
         batcher = MicroBatcher(
             predict_fn,
@@ -176,7 +213,7 @@ class PredictorService:
         )
         info = {"version": None, "sha256": None, "path": None}
         info.update(model_info or {})
-        return _Generation(predictor, pipeline, batcher, info)
+        return _Generation(predictor, pipeline, batcher, info, pipeline_for=pipeline_for)
 
     # -- generation access (kept as attributes for callers and tests) ----------
 
@@ -269,6 +306,21 @@ class PredictorService:
                 space = self._spaces[kernel] = build_design_space(spec)
             return space
 
+    def resolve_device(self, name: str):
+        """Registered device for ``name`` ("" = the reference device).
+
+        Raises :class:`~repro.errors.ServeError` (mapped to a 400 by
+        the HTTP layer) for names not in the registry.
+        """
+        if not name:
+            return DEFAULT_DEVICE
+        try:
+            return get_device(name)
+        except HLSError:
+            raise ServeError(
+                f"unknown device {name!r}; known devices: {list_devices()}"
+            ) from None
+
     def complete_point(self, kernel: str, point: DesignPoint) -> DesignPoint:
         """Fill omitted knobs with their neutral setting and validate.
 
@@ -294,6 +346,7 @@ class PredictorService:
         valid_threshold: float = DEFAULT_VALID_THRESHOLD,
         objectives_for: str = "all",
         deadline_seconds: Optional[float] = None,
+        device: str = "",
     ) -> Tuple[List[Prediction], Dict[str, object]]:
         """Like :meth:`predict`, also returning which model answered.
 
@@ -312,6 +365,15 @@ class PredictorService:
             raise ServeError("service is shut down")
         if objectives_for not in ("all", "valid"):
             raise ServeError(f"unknown objectives_for {objectives_for!r}")
+        if device:
+            resolved = self.resolve_device(device)
+            if getattr(resolved, "kind", "fpga") != "fpga":
+                raise ServeError(
+                    f"device {resolved.name!r} is a {resolved.kind} target; "
+                    "the surrogate serves FPGA devices only "
+                    "(use /v1/dse/top for analytic CGRA search)"
+                )
+            device = resolved.name
         deadline = None
         if deadline_seconds is not None:
             if deadline_seconds <= 0:
@@ -324,7 +386,8 @@ class PredictorService:
         try:
             futures = [
                 gen.batcher.submit(
-                    kernel, p, valid_threshold, objectives_for, deadline=deadline
+                    kernel, p, valid_threshold, objectives_for,
+                    deadline=deadline, device=device,
                 )
                 for p in completed
             ]
@@ -346,6 +409,7 @@ class PredictorService:
         points: Sequence[DesignPoint],
         valid_threshold: float = DEFAULT_VALID_THRESHOLD,
         objectives_for: str = "all",
+        device: str = "",
     ) -> List[Prediction]:
         """Validate, enqueue, and await predictions for ``points``.
 
@@ -354,7 +418,7 @@ class PredictorService:
         engine-sized forwards.
         """
         return self.predict_versioned(
-            kernel, points, valid_threshold, objectives_for
+            kernel, points, valid_threshold, objectives_for, device=device
         )[0]
 
     # -- server-side DSE ---------------------------------------------------------
@@ -377,6 +441,7 @@ class PredictorService:
         strategy: str = "beam",
         budget: int = 1000,
         seed: int = 0,
+        device: str = "",
     ) -> Dict[str, object]:
         """Run the model-driven search server-side; returns the JSON payload.
 
@@ -423,10 +488,21 @@ class PredictorService:
         time_limit = min(float(time_limit_seconds), self.max_dse_seconds)
         if time_limit <= 0:
             raise ServeError(f"time_limit must be > 0, got {time_limit_seconds}")
+        target = self.resolve_device(device) if device else None
+        if target is not None and target.name == DEFAULT_DEVICE.name:
+            target = None  # explicit reference device == the default path
+        if target is not None and (strategy != "beam" or workers != 1):
+            raise ServeError(
+                "device-targeted DSE runs the serial beam search; "
+                "set strategy='beam' and workers=1"
+            )
         space = self.space(kernel)  # raises ServeError on unknown kernels
         gen = self._acquired_generation()
         try:
-            if strategy != "beam":
+            if target is not None:
+                result = self._device_dse(gen, target, kernel, space, top, time_limit)
+                payload = dse_result_payload(result)
+            elif strategy != "beam":
                 from ..dse.race import DEFAULT_ARMS, run_race
 
                 arms = DEFAULT_ARMS if strategy == "race" else (strategy,)
@@ -467,6 +543,42 @@ class PredictorService:
         finally:
             gen.release()
         return payload
+
+    def _device_dse(
+        self, gen: _Generation, target, kernel: str, space, top: int, time_limit: float
+    ):
+        """Serial beam search bound to a non-reference registry device.
+
+        FPGA targets reuse the generation's model through a per-device
+        pipeline (device-conditioned encodings + capacity-rescaled
+        utilizations); CGRA-style targets — which the surrogate was
+        never trained for — run the analytic evaluator instead.
+        """
+        if getattr(target, "kind", "fpga") == "fpga" and hasattr(
+            gen.predictor, "for_device"
+        ):
+            pipeline = gen.pipeline_for(target.name)
+            dse = ModelDSE(
+                pipeline.predictor,
+                get_kernel(kernel),
+                space,
+                top_m=int(top),
+                pipeline=pipeline,
+                device=target,
+            )
+        else:
+            from ..dse.crossdevice import AnalyticPredictor
+
+            dse = ModelDSE(
+                AnalyticPredictor(target),
+                get_kernel(kernel),
+                space,
+                top_m=int(top),
+                pipeline=None,
+                use_pipeline=False,
+                device=target,
+            )
+        return dse.run(time_limit_seconds=time_limit)
 
     # -- health / metrics --------------------------------------------------------
 

@@ -144,7 +144,7 @@ class TestModelArtifactCommands:
         assert code == 0
         assert "top-01" in capsys.readouterr().out
         payload = json.loads(out_json.read_text())
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == 2
         assert payload["kernel"] == "fir"
         assert 1 <= len(payload["top"]) <= 3
         assert payload["top"][0]["rank"] == 1

@@ -420,7 +420,7 @@ class TestHTTPServer:
 
     def test_dse_top_payload_schema(self, client):
         payload = client.dse_top("fir", top=3, time_limit=3.0)
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == 2
         assert payload["kernel"] == "fir"
         assert payload["explored"] >= len(payload["top"]) >= 1
         ranks = [entry["rank"] for entry in payload["top"]]
@@ -1129,3 +1129,106 @@ class TestServeClientTimeouts:
     def test_negative_retries_rejected(self):
         with pytest.raises(ServeError):
             ServeClient("http://127.0.0.1:1", retries=-1)
+
+
+# ---------------------------------------------------------------------------
+# device-aware serving
+
+
+def _raw_post(url, path, body):
+    """POST a JSON body, returning (status, decoded payload)."""
+    request = urllib.request.Request(
+        url + path, data=json.dumps(body).encode(), method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestDeviceServing:
+    def test_predict_stamps_resolved_device(self, server):
+        status, payload = _raw_post(
+            server.url, "/v1/predict",
+            {"kernel": "fir", "points": [{}], "device": "xcu50"},
+        )
+        assert status == 200
+        assert payload["device"] == "xcu50"
+        assert len(payload["predictions"]) == 1
+
+    def test_predict_defaults_to_reference_device(self, server):
+        status, payload = _raw_post(
+            server.url, "/v1/predict", {"kernel": "fir", "points": [{}]},
+        )
+        assert status == 200
+        assert payload["device"] == "xcvu9p"
+
+    def test_unknown_device_is_400_unknown_device(self, server):
+        for path, body in [
+            ("/v1/predict", {"kernel": "fir", "points": [{}], "device": "nope"}),
+            ("/v1/dse/top", {"kernel": "fir", "top": 2, "time_limit": 2,
+                             "device": "nope"}),
+        ]:
+            status, payload = _raw_post(server.url, path, body)
+            assert status == 400, path
+            assert payload["error"]["type"] == "unknown_device", path
+            assert "known devices" in payload["error"]["message"], path
+
+    def test_non_string_device_is_400(self, server):
+        status, payload = _raw_post(
+            server.url, "/v1/predict",
+            {"kernel": "fir", "points": [{}], "device": 7},
+        )
+        assert status == 400
+
+    def test_cgra_predict_rejected(self, server):
+        # The surrogate serves FPGA targets; CGRA search is analytic.
+        status, payload = _raw_post(
+            server.url, "/v1/predict",
+            {"kernel": "fir", "points": [{}], "device": "cgra4x4"},
+        )
+        assert status == 400
+        assert "cgra" in payload["error"]["message"]
+
+    def test_dse_top_carries_device(self, server):
+        status, payload = _raw_post(
+            server.url, "/v1/dse/top",
+            {"kernel": "fir", "top": 2, "time_limit": 3, "device": "xczu9eg"},
+        )
+        assert status == 200
+        assert payload["schema_version"] == 2
+        assert payload["device"] == "xczu9eg"
+        assert payload["top"]
+
+    def test_dse_top_default_device_stamped(self, client):
+        payload = client.dse_top("fir", top=2, time_limit=2.0)
+        assert payload["device"] == "xcvu9p"
+
+    def test_device_dse_requires_serial_beam(self, server):
+        status, payload = _raw_post(
+            server.url, "/v1/dse/top",
+            {"kernel": "fir", "top": 2, "time_limit": 2,
+             "device": "xczu9eg", "workers": 2},
+        )
+        assert status == 400
+
+    def test_service_level_unknown_device(self, predictor):
+        service = PredictorService(predictor, batch_size=2)
+        try:
+            with pytest.raises(ServeError, match="unknown device"):
+                service.predict("fir", [{}], device="nope")
+        finally:
+            service.close()
+
+    def test_dse_top_on_cgra_uses_analytic_search(self, server):
+        status, payload = _raw_post(
+            server.url, "/v1/dse/top",
+            {"kernel": "fir", "top": 2, "time_limit": 5, "device": "cgra4x4"},
+        )
+        assert status == 200
+        assert payload["device"] == "cgra4x4"
+        assert payload["top"]
+        best = payload["top"][0]["prediction"]
+        assert best["objectives"] is None or "PE" in best["objectives"]
